@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (see the experiment
+index in DESIGN.md), prints the corresponding table or series, and asserts
+the *shape* of the result -- which law wins, by roughly what factor -- rather
+than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator shared by the benchmark workloads."""
+    return np.random.default_rng(1986)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled block so `pytest -s` shows the regenerated artifact."""
+    print(f"\n===== {title} =====")
+    print(body)

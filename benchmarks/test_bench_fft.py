@@ -1,0 +1,70 @@
+"""E6 -- Section 3.4 and Figure 2: the fast Fourier transform.
+
+Two artifacts are regenerated:
+
+* Figure 2: the decomposition of a 16-point FFT into 4-point blocks (two
+  passes of four blocks, shuffled between passes), executed and verified
+  against a direct DFT;
+* Equation (4): the measured intensity is ``Theta(log2 M)``, so rebalancing
+  requires ``M_new = M_old ** alpha`` -- exponential memory growth.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from conftest import emit
+
+from repro.analysis.fitting import fit_log_law, fit_power_law
+from repro.experiments.fft_figure2 import render_decomposition, run_figure2_experiment
+from repro.experiments.intensity import run_intensity_experiment
+from repro.kernels.fft import BlockedFFT
+
+# N = 2**12; the block stage counts 1, 2, 3, 4, 6 and 12 all divide 12, so the
+# pass count (and hence the measured intensity) is free of ceiling artifacts.
+MEMORY_SIZES = (4, 8, 16, 32, 128, 8192)
+SCALE = 12
+
+
+def test_bench_fft_figure2_decomposition(benchmark):
+    result = benchmark(run_figure2_experiment, n_points=16, block_points=4)
+    emit("Figure 2: 16-point FFT decomposed into 4-point blocks", render_decomposition(result))
+    emit("Figure 2: pass structure", result.table().render_ascii())
+
+    assert result.pass_count == 2
+    assert result.blocks_per_pass == 4
+    assert result.correct
+
+
+def test_bench_fft_exponential_law(benchmark):
+    experiment = benchmark(
+        run_intensity_experiment,
+        BlockedFFT(),
+        MEMORY_SIZES,
+        SCALE,
+        alphas=(1.0, 1.5, 2.0, 3.0),
+        base_memory=32,
+    )
+    emit("FFT: measured F(M)", experiment.table().render_ascii())
+    emit("FFT: measured rebalancing curve", experiment.rebalance_table().render_ascii())
+
+    memories = experiment.sweep.memory_sizes
+    intensities = experiment.sweep.intensities
+
+    # The logarithmic model fits essentially perfectly ...
+    assert fit_log_law(memories, intensities).r_squared > 0.99
+    # ... and clearly better than any power law, whose best exponent is small.
+    assert fit_power_law(memories, intensities).exponent < 0.35
+    assert experiment.sweep.best_model() == "logarithmic"
+
+    # Exponential rebalancing: log2(M_new) grows linearly with alpha.
+    feasible = [r for r in experiment.rebalance_results if r.alpha > 1.0]
+    normalised = [math.log2(r.memory_new) / r.alpha for r in feasible]
+    assert max(normalised) / min(normalised) < 1.4
+    # The growth dwarfs the alpha**2 law: at alpha=3 the quadratic prediction
+    # would be 9x, the measured requirement is more than an order of
+    # magnitude larger than that.
+    base = feasible[0].memory_old
+    at_alpha_3 = next(r for r in feasible if r.alpha == 3.0)
+    assert at_alpha_3.memory_new / base > 20 * 9

@@ -1,0 +1,74 @@
+"""E4/E5 -- Section 3.3: grid relaxation in 2 and 3 dimensions.
+
+A PE owning a block of ``M`` grid points updates the whole block each
+iteration but exchanges only its surface with its neighbours, so its
+intensity is ``Theta(M**(1/d))`` and the rebalancing law ``alpha**d``:
+``alpha**2`` for the two-dimensional case (E4) and ``alpha**3`` for the
+three-dimensional case (E5).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.experiments.intensity import run_intensity_experiment
+from repro.kernels.grid import GridRelaxation
+
+
+def test_bench_grid_2d_alpha_squared_law(benchmark):
+    experiment = benchmark(
+        run_intensity_experiment,
+        GridRelaxation(dimension=2),
+        (100, 256, 576, 1296, 2704),
+        7,
+        alphas=(1.0, 1.5, 2.0),
+    )
+    emit("2-D grid relaxation: measured F(M)", experiment.table().render_ascii())
+    emit(
+        "2-D grid relaxation: measured rebalancing curve",
+        experiment.rebalance_table().render_ascii(),
+    )
+    # F(M) ~ M^(1/2); the halo overhead at finite block sides biases the
+    # exponent upward slightly, so the tolerance is asymmetric.
+    assert 0.4 <= experiment.intensity_exponent <= 0.75
+    assert 1.3 <= experiment.memory_growth_exponent <= 2.6
+
+
+def test_bench_grid_3d_alpha_cubed_law(benchmark):
+    experiment = benchmark(
+        run_intensity_experiment,
+        GridRelaxation(dimension=3),
+        (512, 1728, 4096, 13824),
+        7,
+        alphas=(1.0, 1.25, 1.5),
+    )
+    emit("3-D grid relaxation: measured F(M)", experiment.table().render_ascii())
+    emit(
+        "3-D grid relaxation: measured rebalancing curve",
+        experiment.rebalance_table().render_ascii(),
+    )
+    # F(M) ~ M^(1/3) => memory-law degree ~ 3, and in every case the 3-D
+    # law must demand more memory growth than the 2-D law would.
+    assert 0.25 <= experiment.intensity_exponent <= 0.55
+    assert experiment.memory_growth_exponent > 1.8
+
+
+def test_bench_grid_dimension_ordering(benchmark):
+    """Higher-dimensional grids need faster memory growth (the alpha**d family)."""
+
+    def measure():
+        exponents = {}
+        for dimension, memories in ((2, (256, 1296, 2704)), (3, (1728, 4096, 13824))):
+            experiment = run_intensity_experiment(
+                GridRelaxation(dimension=dimension), memories, 7, alphas=(1.0, 1.5)
+            )
+            exponents[dimension] = experiment.intensity_exponent
+        return exponents
+
+    exponents = benchmark(measure)
+    emit(
+        "Grid relaxation: fitted intensity exponents by dimension",
+        "\n".join(f"  d={d}: F(M) ~ M^{e:.3f}" for d, e in sorted(exponents.items())),
+    )
+    assert exponents[3] < exponents[2]

@@ -1,0 +1,63 @@
+"""E8 -- Section 3.6: I/O-bounded computations.
+
+Matrix-vector multiplication and triangular solve reuse each matrix element
+only once: the measured intensity saturates at a constant as the local memory
+grows, and the rebalancing solver reports that no finite memory can restore
+balance once ``C/IO`` has increased.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from conftest import emit
+
+from repro.analysis.fitting import fit_power_law
+from repro.experiments.intensity import run_intensity_experiment
+from repro.kernels.io_bound import StreamingMatrixVectorProduct, StreamingTriangularSolve
+
+MEMORY_SIZES = (8, 32, 128, 512, 2048)
+
+
+def test_bench_matvec_cannot_be_rebalanced(benchmark):
+    experiment = benchmark(
+        run_intensity_experiment,
+        StreamingMatrixVectorProduct(),
+        MEMORY_SIZES,
+        64,
+        alphas=(1.0, 2.0, 4.0),
+    )
+    emit("Matrix-vector product: measured F(M)", experiment.table().render_ascii())
+    emit(
+        "Matrix-vector product: rebalancing attempts",
+        experiment.rebalance_table().render_ascii(),
+    )
+
+    # Intensity essentially flat in M and bounded by the constant 2.
+    assert abs(fit_power_law(experiment.sweep.memory_sizes, experiment.sweep.intensities).exponent) < 0.1
+    assert max(experiment.sweep.intensities) <= 2.0 + 1e-9
+    # Rebalancing by memory alone is impossible for every alpha > 1.
+    assert not experiment.rebalancable
+    assert math.isinf(experiment.memory_growth_exponent)
+
+
+def test_bench_triangular_solve_cannot_be_rebalanced(benchmark):
+    experiment = benchmark(
+        run_intensity_experiment,
+        StreamingTriangularSolve(),
+        MEMORY_SIZES,
+        64,
+        alphas=(1.0, 2.0, 4.0),
+    )
+    emit("Triangular solve: measured F(M)", experiment.table().render_ascii())
+    emit(
+        "Triangular solve: rebalancing attempts",
+        experiment.rebalance_table().render_ascii(),
+    )
+
+    intensities = experiment.sweep.intensities
+    # Saturates: the last memory quadrupling buys almost no intensity.
+    assert intensities[-1] / intensities[-2] < 1.1
+    assert intensities[-1] < 2.5
+    assert not experiment.rebalancable

@@ -1,0 +1,44 @@
+"""E10 -- Section 4.1, Figure 3: the one-dimensional processor array.
+
+Viewing ``p`` linearly connected cells as one aggregate PE, the compute
+bandwidth grows ``p``-fold while the external I/O bandwidth stays that of a
+single cell, so ``alpha = p`` and -- for matmul-class computations -- the
+total memory must grow ``p**2``-fold: **each cell's memory grows linearly
+with the array length**.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.core.intensity import LogarithmicIntensity
+from repro.experiments.arrays_section4 import run_linear_array_experiment
+
+LENGTHS = (2, 4, 8, 16, 32, 64, 128)
+
+
+def test_bench_linear_array_per_cell_memory_grows_linearly(benchmark):
+    experiment = benchmark(run_linear_array_experiment, LENGTHS)
+    emit("Fig. 3: linear array sizing (matrix multiplication)", experiment.table().render_ascii())
+
+    assert experiment.per_cell_growth_exponent == pytest.approx(1.0, abs=0.05)
+    growths = [r.per_cell_growth for r in experiment.results]
+    for p, growth in zip(LENGTHS, growths):
+        assert growth == pytest.approx(p, rel=1e-6)
+
+
+def test_bench_linear_array_fft_is_hopeless(benchmark):
+    """For FFT-class computations the per-cell memory explodes with p."""
+    experiment = benchmark(
+        run_linear_array_experiment,
+        (2, 3, 4),
+        intensity=LogarithmicIntensity(),
+        computation_label="FFT (law M^alpha)",
+    )
+    emit("Fig. 3 variant: linear array sizing for the FFT", experiment.table().render_ascii())
+    per_cell = [r.per_cell_memory_words for r in experiment.results]
+    # Per-cell memory grows faster than any polynomial in p: successive
+    # ratios themselves grow rapidly.
+    assert per_cell[1] / per_cell[0] > 100
+    assert per_cell[2] / per_cell[1] > per_cell[1] / per_cell[0]

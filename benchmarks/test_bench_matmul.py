@@ -1,0 +1,55 @@
+"""E2 -- Section 3.1: matrix multiplication.
+
+Regenerates the paper's Equation (2)-(3) story from measurements: the blocked
+kernel's intensity ``F(M)`` grows like ``sqrt(M)``, so restoring balance after
+a factor-``alpha`` increase in ``C/IO`` requires ``M_new ~ alpha**2 M_old``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.analysis.fitting import estimate_growth_exponent
+from repro.analysis.plotting import ascii_chart
+from repro.experiments.intensity import run_intensity_experiment
+from repro.kernels.matmul import BlockedMatrixMultiply
+
+MEMORY_SIZES = (12, 27, 48, 108, 192, 300, 432)
+SCALE = 48
+ALPHAS = (1.0, 1.5, 2.0, 3.0, 4.0)
+
+
+def test_bench_matmul_alpha_squared_law(benchmark):
+    experiment = benchmark(
+        run_intensity_experiment,
+        BlockedMatrixMultiply(),
+        MEMORY_SIZES,
+        SCALE,
+        alphas=ALPHAS,
+    )
+    emit("Matrix multiplication: measured F(M)", experiment.table().render_ascii())
+    emit(
+        "Matrix multiplication: measured rebalancing curve",
+        experiment.rebalance_table().render_ascii(),
+    )
+    emit(
+        "F(M) on log-log axes (slope ~ 1/2)",
+        ascii_chart(
+            {"matmul": (experiment.sweep.memory_sizes, experiment.sweep.intensities)},
+            log_x=True,
+            log_y=True,
+            x_label="local memory M (words)",
+            y_label="intensity F(M)",
+        ),
+    )
+
+    # Paper: F(M) = Theta(sqrt(M)).
+    assert experiment.intensity_exponent == pytest.approx(0.5, abs=0.12)
+    # Paper: M_new = alpha^2 * M_old.
+    assert experiment.memory_growth_exponent == pytest.approx(2.0, abs=0.5)
+    growth = estimate_growth_exponent(
+        [r.alpha for r in experiment.rebalance_results if r.alpha > 1],
+        [r.growth_factor for r in experiment.rebalance_results if r.alpha > 1],
+    )
+    assert growth == pytest.approx(2.0, abs=0.5)

@@ -1,0 +1,52 @@
+"""E11 -- Section 4.2, Figure 4: the two-dimensional processor array.
+
+For a ``p x p`` mesh the compute bandwidth grows ``p**2``-fold and the
+external I/O ``p``-fold, so ``alpha = p``.  For matmul-class computations the
+required ``p**2``-fold total memory is supplied automatically by the ``p**2``
+cells -- per-cell memory stays constant -- whereas for d-dimensional grid
+computations with ``d > 2`` the per-cell memory must still grow (``p**(d-2)``).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.core.intensity import PowerLawIntensity
+from repro.experiments.arrays_section4 import run_mesh_array_experiment
+
+SIDES = (2, 4, 8, 16, 32, 64)
+
+
+def test_bench_mesh_constant_per_cell_memory_for_matmul(benchmark):
+    experiment = benchmark(run_mesh_array_experiment, SIDES)
+    emit("Fig. 4: square mesh sizing (matrix multiplication)", experiment.table().render_ascii())
+
+    assert experiment.per_cell_growth_exponent == pytest.approx(0.0, abs=0.05)
+    for result in experiment.results:
+        assert result.per_cell_growth == pytest.approx(1.0, rel=1e-6)
+
+
+def test_bench_mesh_grows_for_high_dimensional_grids(benchmark):
+    def run_both():
+        return {
+            3: run_mesh_array_experiment(
+                SIDES,
+                intensity=PowerLawIntensity(exponent=1.0 / 3.0),
+                computation_label="3-d grid relaxation (law alpha^3)",
+            ),
+            4: run_mesh_array_experiment(
+                SIDES,
+                intensity=PowerLawIntensity(exponent=0.25),
+                computation_label="4-d grid relaxation (law alpha^4)",
+            ),
+        }
+
+    experiments = benchmark(run_both)
+    for d, experiment in experiments.items():
+        emit(
+            f"Fig. 4 variant: square mesh sizing for the {d}-d grid",
+            experiment.table().render_ascii(),
+        )
+        # Per-cell memory grows like p^(d-2): exponent 1 for d=3, 2 for d=4.
+        assert experiments[d].per_cell_growth_exponent == pytest.approx(d - 2, abs=0.05)

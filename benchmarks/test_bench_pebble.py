@@ -1,0 +1,44 @@
+"""E9 -- Hong-Kung I/O lower bounds (cited in Sections 3.1 and 3.4).
+
+Plays the red-blue pebble game on the matmul and FFT DAGs with the automatic
+LRU strategy and compares the measured I/O (an upper bound on the I/O
+complexity) with the closed-form lower bounds.  The measurements must lie
+above the bounds and track their dependence on the fast-memory size.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.experiments.pebble_bounds import run_pebble_experiment
+
+
+def test_bench_pebble_game_vs_lower_bounds(benchmark):
+    experiment = benchmark(
+        run_pebble_experiment,
+        matmul_order=6,
+        fft_points=64,
+        matmul_memories=(4, 8, 16, 32),
+        fft_memories=(4, 8, 16, 32),
+    )
+    emit("Red-blue pebble game vs Hong-Kung lower bounds", experiment.table().render_ascii())
+
+    # Sanity: a legal strategy can never beat the lower bound.
+    assert experiment.all_above_lower_bound
+
+    # The measured I/O decreases as the fast memory grows, tracking the bound.
+    for dag_name in (f"matmul[{experiment.matmul_order}]", f"fft[{experiment.fft_points}]"):
+        points = experiment.points_for(dag_name)
+        measured = [p.measured_io for p in points]
+        assert measured == sorted(measured, reverse=True), dag_name
+        # Quadrupling-and-more of the fast memory buys a substantial reduction.
+        assert measured[-1] < 0.6 * measured[0], dag_name
+
+    # The strategies stay within a modest constant factor of the (loose,
+    # conservative-constant) lower bounds: ~10x for the FFT, larger for the
+    # miniature matmul DAG where the 1/8 constant of the bound dominates.
+    for point in experiment.points_for(f"fft[{experiment.fft_points}]"):
+        assert point.ratio < 20.0
+    for point in experiment.points_for(f"matmul[{experiment.matmul_order}]"):
+        assert point.ratio < 100.0

@@ -1,0 +1,48 @@
+"""E7 -- Section 3.5: comparison sorting by two-phase external merge sort.
+
+Like the FFT, sorting performs ``Theta(log2 M)`` comparisons per transferred
+word (run formation plus M-way heap merging), so the rebalancing law is the
+exponential ``M_new = M_old ** alpha`` (Equation (5), optimal per Song 1981).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.analysis.fitting import fit_log_law
+from repro.experiments.intensity import run_intensity_experiment
+from repro.kernels.sorting import ExternalMergeSort
+
+# N = 16384 keys >> M**2 keeps the merge phase multi-pass across the grid.
+MEMORY_SIZES = (8, 32, 128, 512)
+SCALE = 16384
+
+
+def test_bench_sorting_exponential_law(benchmark):
+    experiment = benchmark(
+        run_intensity_experiment,
+        ExternalMergeSort(),
+        MEMORY_SIZES,
+        SCALE,
+        alphas=(1.0, 1.5, 2.0),
+        base_memory=32,
+    )
+    emit("Sorting: measured F(M)", experiment.table().render_ascii())
+    emit("Sorting: measured rebalancing curve", experiment.rebalance_table().render_ascii())
+
+    memories = experiment.sweep.memory_sizes
+    intensities = experiment.sweep.intensities
+
+    # Intensity is logarithmic in the memory size.
+    assert fit_log_law(memories, intensities).r_squared > 0.95
+    assert experiment.sweep.best_model() == "logarithmic"
+    assert intensities[0] < intensities[-1]
+
+    # The measured rebalancing growth is far steeper than any alpha^2 law.
+    feasible = [r for r in experiment.rebalance_results if r.alpha > 1.0]
+    exponents = [r.implied_exponent for r in feasible]
+    assert all(e > 2.5 for e in exponents)
+    at_alpha_2 = next(r for r in feasible if r.alpha == 2.0)
+    quadratic_prediction = 2.0**2
+    assert at_alpha_2.growth_factor > 5 * quadratic_prediction

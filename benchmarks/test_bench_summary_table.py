@@ -1,0 +1,26 @@
+"""E1 -- the Section 3 summary table, regenerated from kernel measurements.
+
+The paper's "table" is the list of rebalancing laws at the start of
+Section 3.  This benchmark sweeps every instrumented kernel over local-memory
+sizes, classifies the measured intensity curves, and prints the reproduced
+summary next to the paper's predictions.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.summary import analytic_summary_table, run_summary_experiment
+
+
+def test_bench_summary_table(benchmark):
+    experiment = benchmark(run_summary_experiment, quick=False)
+    emit("Section 3 summary (analytic, from the registry)", analytic_summary_table().render_ascii())
+    emit("Section 3 summary (measured from kernel sweeps)", experiment.table().render_ascii())
+
+    # Every computation must land in the class the paper assigns it.
+    assert experiment.all_agree
+    measured = {law.registry_name: law for law in experiment.measured_laws}
+    # Matmul-class computations: fitted memory-law degree near 2.
+    for name in ("matmul", "triangularization", "grid2d"):
+        assert 1.4 <= measured[name].measured.detail <= 2.7, name

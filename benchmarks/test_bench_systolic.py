@@ -1,0 +1,29 @@
+"""E12 -- Section 4.2's feasibility condition: systolic-array decompositions.
+
+The mesh-sizing argument only applies when the computation "can actually be
+decomposed for parallel execution on the processor array"; the paper points
+at the classical systolic designs.  This benchmark runs the cycle-level
+simulations of an output-stationary matmul mesh and a linear matvec array on
+streams of problem instances, checking numerical correctness and steady-state
+cell utilization.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.experiments.arrays_section4 import run_systolic_experiment
+
+
+def test_bench_systolic_arrays(benchmark):
+    experiment = benchmark(run_systolic_experiment, order=8, batches=32)
+    emit("Cycle-level systolic array simulations", experiment.table().render_ascii())
+
+    assert experiment.matmul_correct
+    assert experiment.matvec_correct
+    assert experiment.qr_correct
+    # Pipelined steady state keeps the cells busy (>= 90%).
+    assert experiment.matmul_utilization >= 0.9
+    assert experiment.matvec_utilization >= 0.9
+    assert experiment.qr_utilization >= 0.8

@@ -1,0 +1,58 @@
+"""A3 -- ablation: square vs skinny output tiles for blocked matmul.
+
+The paper's decomposition uses ``sqrt(M) x sqrt(M)`` output tiles.  This
+ablation re-runs the same kernel with skinny ``1 x w`` and ``2 x w`` tiles of
+comparable footprint and shows that the square shape is what buys the
+``Theta(sqrt(M))`` intensity: skinny tiles degrade toward a constant
+intensity, i.e. toward the I/O-bounded regime.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.report import Table
+from repro.kernels.matmul import BlockedMatrixMultiply, tile_side_for_memory
+
+
+def _run_ablation(n: int = 48, memories: tuple[int, ...] = (48, 108, 192, 432)):
+    problem = BlockedMatrixMultiply().default_problem(n)
+    results: dict[str, list[float]] = {"square": [], "rows=2": [], "rows=1": []}
+    for memory in memories:
+        square = BlockedMatrixMultiply()
+        results["square"].append(square.execute(memory, **problem).intensity)
+        for rows, label in ((2, "rows=2"), (1, "rows=1")):
+            side = tile_side_for_memory(memory)
+            cols = max(1, (side * side) // rows)
+            skinny = BlockedMatrixMultiply(tile_shape=(rows, cols))
+            results[label].append(skinny.execute(memory, **problem).intensity)
+    return memories, results
+
+
+def test_bench_tiling_ablation(benchmark):
+    memories, results = benchmark(_run_ablation)
+
+    table = Table(
+        columns=("memory (words)", "square tile F", "2-row tile F", "1-row tile F"),
+        title="A3: output-tile aspect ratio vs intensity (48 x 48 matmul)",
+    )
+    for index, memory in enumerate(memories):
+        table.add_row(
+            memory,
+            results["square"][index],
+            results["rows=2"][index],
+            results["rows=1"][index],
+        )
+    emit("Tiling ablation", table.render_ascii())
+
+    # Square tiles dominate at every memory size.
+    for index in range(len(memories)):
+        assert results["square"][index] > results["rows=2"][index] > results["rows=1"][index]
+
+    # And only the square shape preserves the sqrt(M) growth.
+    square_exponent = fit_power_law(memories, results["square"]).exponent
+    skinny_exponent = fit_power_law(memories, results["rows=1"]).exponent
+    assert square_exponent == pytest.approx(0.5, abs=0.15)
+    assert skinny_exponent < 0.25

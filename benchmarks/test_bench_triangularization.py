@@ -1,0 +1,36 @@
+"""E3 -- Section 3.2: matrix triangularization (Gaussian elimination).
+
+The panel-wise blocked LU factorization has the same ``Theta(sqrt(M))``
+intensity as matrix multiplication, hence the same ``alpha**2`` rebalancing
+law.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.experiments.intensity import run_intensity_experiment
+from repro.kernels.triangularization import BlockedLUTriangularization
+
+MEMORY_SIZES = (12, 27, 48, 108, 192, 300)
+SCALE = 48
+
+
+def test_bench_triangularization_alpha_squared_law(benchmark):
+    experiment = benchmark(
+        run_intensity_experiment,
+        BlockedLUTriangularization(),
+        MEMORY_SIZES,
+        SCALE,
+        alphas=(1.0, 1.5, 2.0, 3.0),
+    )
+    emit("Triangularization: measured F(M)", experiment.table().render_ascii())
+    emit(
+        "Triangularization: measured rebalancing curve",
+        experiment.rebalance_table().render_ascii(),
+    )
+
+    assert experiment.intensity_exponent == pytest.approx(0.5, abs=0.12)
+    assert experiment.memory_growth_exponent == pytest.approx(2.0, abs=0.55)
+    assert experiment.rebalancable

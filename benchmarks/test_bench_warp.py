@@ -1,0 +1,35 @@
+"""E13 -- Section 5: the CMU Warp machine case study.
+
+The paper's closing observation: each Warp cell delivers 10 MFLOPS, moves
+20 Mwords/s and carries a 64K-word local memory -- a large I/O bandwidth and
+a large local memory -- "reflecting the results of this paper".  The
+benchmark quantifies this: the memory needed for single-cell balance, the
+per-cell memory a p-cell Warp-like linear array needs (including the 10-cell
+production machine), and the memory a hypothetically faster cell would need.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.experiments.warp_study import run_warp_experiment
+from repro.warp.machine import WARP_CELL
+
+
+def test_bench_warp_case_study(benchmark):
+    experiment = benchmark(run_warp_experiment)
+    emit("Warp cell balance analysis", experiment.cell_table().render_ascii())
+    emit("Warp-like linear array sizing", experiment.array_table().render_ascii())
+    emit("Hypothetical faster Warp cell", experiment.alpha_table().render_ascii())
+
+    # The cell is not I/O starved for matmul-class kernels ...
+    assert experiment.cell_not_io_starved
+    # ... and its 64K-word memory covers the balance requirement of the
+    # production 10-cell array with room to spare.
+    assert experiment.memory_covers_production_array
+    assert experiment.production_array_per_cell_memory < 0.01 * WARP_CELL.memory_words
+
+    # The alpha sweep follows the alpha^2 law of the matmul class.
+    memories = dict(experiment.alpha_sweep)
+    assert memories[16.0] / memories[1.0] == pytest.approx(256.0)

@@ -1,0 +1,84 @@
+"""Section 4 walkthrough: how big must each cell's memory be as an array grows?
+
+The script sizes the per-cell local memory of
+
+* a one-dimensional (linear) array (Fig. 3), and
+* a two-dimensional square mesh (Fig. 4)
+
+for three computation classes -- matrix multiplication (law alpha^2), 3-D
+grid relaxation (law alpha^3) and the FFT (law M^alpha) -- as the number of
+cells grows, and renders the linear-array series as an ASCII chart.
+
+It then runs the cycle-level systolic matmul simulation to confirm that the
+decomposition the mesh argument relies on is actually realisable (correct
+results, >90% cell utilization in steady state).
+
+Run with:  python examples/parallel_array_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table, ascii_chart
+from repro.arrays import linear_array_sizing_sweep, mesh_sizing_sweep
+from repro.core import LogarithmicIntensity, PowerLawIntensity, ProcessingElement
+from repro.experiments import run_systolic_experiment
+
+REFERENCE = ProcessingElement(
+    compute_bandwidth=32e6, io_bandwidth=1e6, memory_words=1024, name="reference PE"
+)
+
+COMPUTATIONS = (
+    ("matrix multiplication (alpha^2)", PowerLawIntensity(exponent=0.5)),
+    ("3-D grid relaxation (alpha^3)", PowerLawIntensity(exponent=1.0 / 3.0)),
+    ("FFT (M^alpha)", LogarithmicIntensity()),
+)
+
+ARRAY_SIZES = (2, 4, 8, 16, 32)
+
+
+def main() -> None:
+    print(REFERENCE.describe())
+    print()
+
+    chart_series = {}
+    for label, intensity in COMPUTATIONS:
+        linear = linear_array_sizing_sweep(intensity, REFERENCE, ARRAY_SIZES)
+        mesh = mesh_sizing_sweep(intensity, REFERENCE, ARRAY_SIZES)
+
+        table = Table(
+            columns=(
+                "array size p",
+                "linear array: per-cell memory",
+                "p x p mesh: per-cell memory",
+            ),
+            title=f"Per-cell memory (words) to stay balanced -- {label}",
+        )
+        for p, lin, msh in zip(ARRAY_SIZES, linear, mesh):
+            table.add_row(p, lin.per_cell_memory_words, msh.per_cell_memory_words)
+        print(table.render_ascii())
+        print()
+
+        if "FFT" not in label:
+            chart_series[label] = (
+                list(ARRAY_SIZES),
+                [r.per_cell_memory_words for r in linear],
+            )
+
+    print(
+        ascii_chart(
+            chart_series,
+            log_x=True,
+            log_y=True,
+            title="Linear array: per-cell memory vs array size (log-log)",
+            x_label="cells p",
+            y_label="words per cell",
+        )
+    )
+
+    print("\nFeasibility check (Section 4.2): cycle-level systolic simulations")
+    systolic = run_systolic_experiment(order=8, batches=24)
+    print(systolic.table().render_ascii())
+
+
+if __name__ == "__main__":
+    main()

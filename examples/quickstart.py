@@ -1,0 +1,72 @@
+"""Quickstart: the balance model in five minutes.
+
+Reproduces the paper's core question for matrix multiplication:
+
+1. describe a PE by its compute bandwidth, I/O bandwidth and local memory
+   (Fig. 1);
+2. check whether it is balanced for blocked matrix multiplication by
+   actually running the instrumented kernel;
+3. increase the compute bandwidth by a factor alpha and watch the PE become
+   I/O bound;
+4. ask the rebalancing solver how much memory restores balance (alpha^2 x),
+   enlarge the memory, and verify on the simulator that balance is restored.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ProcessingElement, PowerLawIntensity, rebalance_memory
+from repro.kernels import BlockedMatrixMultiply
+from repro.machine import SimulatedPE
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 48
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    kernel = BlockedMatrixMultiply()
+
+    # --- 1. a PE balanced for blocked matmul at M = 108 words --------------
+    memory = 108
+    measured_intensity = kernel.execute(memory, a=a, b=b).intensity
+    pe = ProcessingElement(
+        compute_bandwidth=measured_intensity * 1e6,
+        io_bandwidth=1e6,
+        memory_words=memory,
+        name="balanced PE",
+    )
+    print(pe.describe())
+
+    report = SimulatedPE(pe).run(kernel, a=a, b=b)
+    print(f"  -> {report.describe()}")
+
+    # --- 2. technology scales compute bandwidth by alpha = 3 ---------------
+    alpha = 3.0
+    faster = pe.with_compute_scaled(alpha)
+    faster_report = SimulatedPE(faster).run(kernel, a=a, b=b)
+    print(f"\nAfter a {alpha:g}x compute upgrade (same I/O, same memory):")
+    print(f"  -> {faster_report.describe()}")
+
+    # --- 3. how much memory does the paper say we need? ---------------------
+    matmul_intensity = PowerLawIntensity(exponent=0.5)  # F(M) = sqrt(M)
+    result = rebalance_memory(matmul_intensity, pe.memory_words, alpha)
+    print(f"\nRebalancing law for matrix multiplication: {result.describe()}")
+
+    # --- 4. enlarge the memory by alpha^2 and verify on the simulator ------
+    rebalanced = faster.with_memory(pe.memory_words * alpha**2)
+    rebalanced_report = SimulatedPE(rebalanced, balance_tolerance=0.15).run(
+        kernel, a=a, b=b
+    )
+    print(f"\nAfter enlarging the local memory by alpha^2 = {alpha**2:g}x:")
+    print(f"  -> {rebalanced_report.describe()}")
+
+    correct = np.allclose(rebalanced_report.execution.output, a @ b)
+    print(f"\nBlocked result matches numpy: {correct}")
+
+
+if __name__ == "__main__":
+    main()

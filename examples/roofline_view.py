@@ -1,0 +1,67 @@
+"""Roofline view: Kung's balance condition as the ridge point of a roofline.
+
+Measures the operational intensity of four kernels at a fixed local-memory
+size, places them on the roofline of a PE whose ridge point sits at
+F = C/IO = 16, and shows how enlarging the memory moves the matmul-class
+kernels up the slanted roof and past the ridge while the I/O-bounded kernels
+stay pinned on the bandwidth roof -- the paper's Section 3, drawn the way a
+modern performance engineer would draw it.
+
+Run with:  python examples/roofline_view.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import memory_for_ridge, ridge_point, roofline_chart
+from repro.core import ProcessingElement, PowerLawIntensity, LogarithmicIntensity
+from repro.kernels import (
+    BlockedFFT,
+    BlockedMatrixMultiply,
+    StreamingMatrixVectorProduct,
+    StreamingSparseMatrixVector,
+)
+
+PE = ProcessingElement(
+    compute_bandwidth=16e6, io_bandwidth=1e6, memory_words=4096, name="example PE"
+)
+
+
+def main() -> None:
+    print(PE.describe())
+    print(f"ridge point (balance condition): F = {ridge_point(PE):g} ops/word\n")
+
+    for memory in (48, 432, 4096):
+        workloads = {}
+        matmul = BlockedMatrixMultiply()
+        workloads[f"matmul (M={memory})"] = matmul.execute(
+            memory, **matmul.default_problem(48)
+        ).intensity
+        fft = BlockedFFT()
+        fft_memory = max(8, memory)
+        workloads[f"fft (M={fft_memory})"] = fft.execute(
+            fft_memory, **fft.default_problem(12)
+        ).intensity
+        matvec = StreamingMatrixVectorProduct()
+        workloads["matvec"] = matvec.execute(
+            max(8, memory), **matvec.default_problem(64)
+        ).intensity
+        spmv = StreamingSparseMatrixVector()
+        workloads["spmv"] = spmv.execute(
+            max(8, memory), **spmv.default_problem(64)
+        ).intensity
+
+        print(roofline_chart(PE, workloads))
+        print()
+
+    print("Memory needed to reach the ridge point (i.e. to balance this PE):")
+    print(
+        f"  matrix multiplication: {memory_for_ridge(PE, PowerLawIntensity(exponent=0.5)):,.0f} words"
+    )
+    print(
+        f"  FFT:                   {memory_for_ridge(PE, LogarithmicIntensity()):,.0f} words"
+    )
+    print("  matvec / spmv:         no finite memory (I/O bounded)")
+
+
+if __name__ == "__main__":
+    main()

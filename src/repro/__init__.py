@@ -1,0 +1,75 @@
+"""repro: a reproduction of H. T. Kung's balanced-architecture analysis.
+
+The library implements, measures and reproduces the results of
+"Memory Requirements for Balanced Computer Architectures"
+(H. T. Kung, 1985; Journal of Complexity 1, 147-157):
+
+* :mod:`repro.core` -- the balance model: PEs, intensity functions,
+  rebalancing laws, and the registry of the paper's computations;
+* :mod:`repro.kernels` -- instrumented out-of-core kernels for every
+  computation in Section 3 (matmul, triangularization, grid relaxation,
+  FFT, sorting, matvec, triangular solve);
+* :mod:`repro.machine` -- the simulated PE, local-memory models and the
+  serial/overlapped execution-time models;
+* :mod:`repro.pebble` -- the Hong-Kung red-blue pebble game and I/O lower
+  bounds;
+* :mod:`repro.arrays` -- linear and mesh processor arrays, per-cell memory
+  sizing, and cycle-level systolic simulations (Section 4);
+* :mod:`repro.warp` -- the CMU Warp machine case study (Section 5);
+* :mod:`repro.analysis` -- sweeps, scaling-law fitting, tables and ASCII
+  figures;
+* :mod:`repro.experiments` -- one driver per paper artifact (see DESIGN.md).
+
+Quickstart::
+
+    from repro.core import ProcessingElement, PowerLawIntensity, rebalance_memory
+
+    pe = ProcessingElement(compute_bandwidth=1e7, io_bandwidth=1e6, memory_words=100)
+    matmul = PowerLawIntensity(exponent=0.5)      # F(M) = sqrt(M)
+    result = rebalance_memory(matmul, pe.memory_words, alpha=4.0)
+    print(result.describe())                      # M grows by 4**2 = 16x
+"""
+
+from repro import analysis, arrays, core, experiments, kernels, machine, pebble, warp
+from repro.core import (
+    ComputationCost,
+    ProcessingElement,
+    assess_balance,
+    rebalance_memory,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    FittingError,
+    MemoryCapacityError,
+    PebbleGameError,
+    RebalanceInfeasibleError,
+    ReproError,
+    SimulationError,
+    UnknownComputationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComputationCost",
+    "ConfigurationError",
+    "FittingError",
+    "MemoryCapacityError",
+    "PebbleGameError",
+    "ProcessingElement",
+    "RebalanceInfeasibleError",
+    "ReproError",
+    "SimulationError",
+    "UnknownComputationError",
+    "__version__",
+    "analysis",
+    "arrays",
+    "assess_balance",
+    "core",
+    "experiments",
+    "kernels",
+    "machine",
+    "pebble",
+    "rebalance_memory",
+    "warp",
+]

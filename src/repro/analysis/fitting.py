@@ -1,0 +1,194 @@
+"""Scaling-law fitting for measured intensity and memory-growth curves.
+
+The experiments measure two kinds of curves:
+
+* ``F(M)`` -- operational intensity against local-memory size, from kernel
+  executions; the paper predicts ``Theta(M**(1/2))``, ``Theta(M**(1/d))``,
+  ``Theta(log2 M)`` or ``Theta(1)`` depending on the computation;
+* ``M_new(alpha)`` -- the rebalanced memory against the bandwidth-ratio
+  increase; the paper predicts ``alpha**2``, ``alpha**d``, ``M_old**alpha``
+  or infeasibility.
+
+This module fits power laws and logarithmic laws to such curves (ordinary
+least squares in the appropriate transformed space), reports goodness of
+fit, and selects the better model -- which is how the benchmarks check the
+*shape* of the paper's results without relying on absolute constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import FittingError
+
+__all__ = [
+    "PowerLawFit",
+    "LogLawFit",
+    "fit_power_law",
+    "fit_log_law",
+    "select_intensity_model",
+    "estimate_growth_exponent",
+    "exponential_law_error",
+]
+
+
+def _validate_series(x: Sequence[float], y: Sequence[float], minimum: int) -> None:
+    if len(x) != len(y):
+        raise FittingError("x and y must have the same length")
+    if len(x) < minimum:
+        raise FittingError(f"need at least {minimum} points, got {len(x)}")
+    if any(v <= 0 for v in x):
+        raise FittingError("x values must be positive")
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = coefficient * x ** exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * float(x) ** self.exponent
+
+    def describe(self) -> str:
+        return (
+            f"y = {self.coefficient:.3g} * x^{self.exponent:.3g} "
+            f"(R^2 = {self.r_squared:.4f})"
+        )
+
+
+@dataclass(frozen=True)
+class LogLawFit:
+    """Least-squares fit of ``y = intercept + slope * log2(x)``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * math.log2(float(x))
+
+    def describe(self) -> str:
+        return (
+            f"y = {self.intercept:.3g} + {self.slope:.3g} * log2(x) "
+            f"(R^2 = {self.r_squared:.4f})"
+        )
+
+
+def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = c * x**e`` by linear regression of ``log y`` on ``log x``."""
+    _validate_series(x, y, minimum=2)
+    if any(v <= 0 for v in y):
+        raise FittingError("power-law fitting requires positive y values")
+    log_x = np.log(np.asarray(x, dtype=float))
+    log_y = np.log(np.asarray(y, dtype=float))
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(math.exp(intercept)),
+        r_squared=_r_squared(log_y, predicted),
+    )
+
+
+def fit_log_law(x: Sequence[float], y: Sequence[float]) -> LogLawFit:
+    """Fit ``y = a + b * log2(x)`` by ordinary least squares."""
+    _validate_series(x, y, minimum=2)
+    log2_x = np.log2(np.asarray(x, dtype=float))
+    y_arr = np.asarray(y, dtype=float)
+    slope, intercept = np.polyfit(log2_x, y_arr, 1)
+    predicted = slope * log2_x + intercept
+    return LogLawFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=_r_squared(y_arr, predicted),
+    )
+
+
+def select_intensity_model(
+    memories: Sequence[float],
+    intensities: Sequence[float],
+    *,
+    flat_exponent_threshold: float = 0.12,
+) -> str:
+    """Name the model that best describes a measured ``F(M)`` curve.
+
+    Returns one of ``"constant"``, ``"logarithmic"`` or ``"power-law"``:
+    a power-law fit with an exponent below ``flat_exponent_threshold`` is
+    reported as constant; otherwise the model with the smaller relative
+    residual (power law judged in log space, log law in linear space,
+    both normalised by the dynamic range of the data) wins.
+    """
+    _validate_series(memories, intensities, minimum=3)
+    power = fit_power_law(memories, intensities)
+    if abs(power.exponent) < flat_exponent_threshold:
+        return "constant"
+    log_fit = fit_log_law(memories, intensities)
+    y = np.asarray(intensities, dtype=float)
+    power_pred = np.array([power.predict(m) for m in memories])
+    log_pred = np.array([log_fit.predict(m) for m in memories])
+    # Compare the two models by the same metric: RMS of per-point relative
+    # errors (a max-based normalisation would let the large-M points dominate
+    # and judge the two fits in incompatible spaces).
+    power_err = float(np.sqrt(np.mean(((power_pred - y) / y) ** 2)))
+    log_err = float(np.sqrt(np.mean(((log_pred - y) / y) ** 2)))
+    return "logarithmic" if log_err < power_err else "power-law"
+
+
+def estimate_growth_exponent(
+    alphas: Sequence[float], growth_factors: Sequence[float]
+) -> float:
+    """Exponent ``k`` of the best fit ``growth = alpha**k``.
+
+    Used to check measured rebalancing curves against the paper's
+    ``alpha**2`` / ``alpha**d`` laws; points with ``alpha == 1`` are ignored
+    (their growth is identically 1 and carries no information).
+    """
+    pairs = [
+        (a, g)
+        for a, g in zip(alphas, growth_factors)
+        if a > 1.0 and g > 0 and math.isfinite(g)
+    ]
+    if len(pairs) < 2:
+        raise FittingError("need at least two alpha > 1 points to estimate the exponent")
+    fit = fit_power_law([a for a, _ in pairs], [g for _, g in pairs])
+    return fit.exponent
+
+
+def exponential_law_error(
+    memory_old: float,
+    alphas: Sequence[float],
+    memories_new: Sequence[float],
+) -> float:
+    """Relative RMS error of the prediction ``M_new = M_old ** alpha``.
+
+    Computed in log space (``log M_new`` against ``alpha * log M_old``), so
+    the enormous dynamic range of the exponential law does not swamp the
+    metric.
+    """
+    if memory_old <= 1:
+        raise FittingError("memory_old must exceed 1 word for the exponential law")
+    if len(alphas) != len(memories_new) or not alphas:
+        raise FittingError("alphas and memories_new must be equal-length and non-empty")
+    errors = []
+    for alpha, m_new in zip(alphas, memories_new):
+        if m_new <= 0 or not math.isfinite(m_new):
+            raise FittingError("memories_new must be finite and positive")
+        predicted_log = alpha * math.log(memory_old)
+        actual_log = math.log(m_new)
+        errors.append((actual_log - predicted_log) / predicted_log)
+    return float(np.sqrt(np.mean(np.square(errors))))

@@ -1,0 +1,108 @@
+"""ASCII plotting and CSV export for experiment figures.
+
+The environment has no graphics stack, so the paper's figures are
+regenerated as ASCII scatter/line charts (log axes supported) plus CSV files
+a downstream user can plot with any tool.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ascii_chart", "save_csv"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    if not log:
+        return [float(v) for v in values]
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("log axes require positive values")
+    return [math.log10(float(v)) for v in values]
+
+
+def ascii_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 70,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more ``(xs, ys)`` series as an ASCII scatter chart.
+
+    Each series gets its own marker character; the legend, axis ranges and
+    log-scale flags are printed under the chart.
+    """
+    if not series:
+        raise ConfigurationError("at least one series is required")
+    if width < 10 or height < 5:
+        raise ConfigurationError("chart must be at least 10 x 5 characters")
+
+    transformed: dict[str, tuple[list[float], list[float]]] = {}
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys) or not xs:
+            raise ConfigurationError(f"series {name!r} must be non-empty and aligned")
+        transformed[name] = (_transform(xs, log_x), _transform(ys, log_y))
+
+    all_x = [v for xs, _ in transformed.values() for v in xs]
+    all_y = [v for _, ys in transformed.values() for v in ys]
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(transformed.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    axis_note_x = " (log10)" if log_x else ""
+    axis_note_y = " (log10)" if log_y else ""
+    lines.append(
+        f"x: {x_label}{axis_note_x} in [{x_min:.3g}, {x_max:.3g}]   "
+        f"y: {y_label}{axis_note_y} in [{y_min:.3g}, {y_max:.3g}]"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(transformed)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def save_csv(
+    path: str | Path,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write a simple CSV file (no quoting) and return its path."""
+    path = Path(path)
+    if not columns:
+        raise ConfigurationError("columns must not be empty")
+    lines = [",".join(columns)]
+    for row in rows:
+        if len(row) != len(columns):
+            raise ConfigurationError(
+                f"row {row!r} does not match the {len(columns)} columns"
+            )
+        lines.append(",".join(str(v) for v in row))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path

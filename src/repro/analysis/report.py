@@ -1,0 +1,92 @@
+"""Table rendering for experiment and benchmark output.
+
+Benchmarks regenerate the paper's summary "table" and the derived series;
+:class:`Table` renders them as aligned ASCII, GitHub-flavoured markdown or
+CSV so the same data can be printed by the harness and committed to
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Table"]
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A small column-oriented table with ASCII / markdown / CSV rendering."""
+
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    title: str = ""
+    float_format: str = ".4g"
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row; the number of values must match the column count."""
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} values but the table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def add_dict_rows(self, records: Iterable[dict[str, Any]]) -> None:
+        """Append one row per dict, taking values in column order."""
+        for record in records:
+            self.add_row(*(record.get(column, "") for column in self.columns))
+
+    def _formatted(self) -> list[list[str]]:
+        return [
+            [_format_cell(value, self.float_format) for value in row]
+            for row in self.rows
+        ]
+
+    def render_ascii(self) -> str:
+        """Aligned plain-text rendering with a header rule."""
+        formatted = self._formatted()
+        widths = [len(c) for c in self.columns]
+        for row in formatted:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in formatted:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        formatted = self._formatted()
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in formatted:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def render_csv(self) -> str:
+        """Comma-separated rendering (no quoting; intended for simple values)."""
+        lines = [",".join(self.columns)]
+        for row in self._formatted():
+            lines.append(",".join(cell.replace(",", ";") for cell in row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render_ascii()

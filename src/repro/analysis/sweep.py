@@ -1,0 +1,171 @@
+"""Parameter sweeps: measure ``F(M)`` and rebalancing curves from kernels.
+
+A :class:`MemorySweep` runs one instrumented kernel on one fixed problem at a
+series of local-memory sizes and collects the measured intensities.  The
+result can be
+
+* fitted (power law vs logarithmic law, :mod:`repro.analysis.fitting`),
+* classified into the paper's taxonomy (:mod:`repro.core.classification`),
+* wrapped into a :class:`~repro.core.intensity.TabulatedIntensity` so the
+  generic rebalancing solver operates on *measured* data, which is how the
+  benchmarks recover ``M_new = alpha**2 M_old`` and friends experimentally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.fitting import (
+    LogLawFit,
+    PowerLawFit,
+    fit_log_law,
+    fit_power_law,
+    select_intensity_model,
+)
+from repro.core.classification import ClassificationResult, classify_samples
+from repro.core.intensity import TabulatedIntensity
+from repro.core.rebalance import RebalanceResult, rebalance_memory
+from repro.exceptions import ConfigurationError
+from repro.kernels.base import Kernel, KernelExecution
+
+__all__ = ["MemorySweep", "MemorySweepResult", "measured_rebalance_curve"]
+
+
+@dataclass(frozen=True)
+class MemorySweepResult:
+    """Measured intensity of one kernel on one problem across memory sizes."""
+
+    kernel_name: str
+    problem: Mapping[str, Any]
+    memory_sizes: tuple[int, ...]
+    executions: tuple[KernelExecution, ...]
+
+    @property
+    def intensities(self) -> tuple[float, ...]:
+        return tuple(e.intensity for e in self.executions)
+
+    @property
+    def io_words(self) -> tuple[float, ...]:
+        return tuple(e.cost.io_words for e in self.executions)
+
+    @property
+    def compute_ops(self) -> tuple[float, ...]:
+        return tuple(e.cost.compute_ops for e in self.executions)
+
+    def tabulated_intensity(self) -> TabulatedIntensity:
+        """The measured curve as an invertible intensity function."""
+        return TabulatedIntensity(self.memory_sizes, self.intensities)
+
+    def power_law_fit(self) -> PowerLawFit:
+        """Best power-law fit of intensity against memory."""
+        return fit_power_law(self.memory_sizes, self.intensities)
+
+    def log_law_fit(self) -> LogLawFit:
+        """Best ``a + b log2 M`` fit of intensity against memory."""
+        return fit_log_law(self.memory_sizes, self.intensities)
+
+    def best_model(self) -> str:
+        """``"constant"``, ``"logarithmic"`` or ``"power-law"``."""
+        return select_intensity_model(self.memory_sizes, self.intensities)
+
+    def classification(self) -> ClassificationResult:
+        """Classification into the paper's taxonomy, from the measurements."""
+        return classify_samples(self.memory_sizes, self.intensities)
+
+    def rows(self) -> list[dict[str, float]]:
+        """One dict per memory size, ready for table rendering or CSV export."""
+        return [
+            {
+                "memory_words": float(m),
+                "compute_ops": e.cost.compute_ops,
+                "io_words": e.cost.io_words,
+                "intensity": e.intensity,
+                "peak_resident_words": float(e.peak_memory_words),
+            }
+            for m, e in zip(self.memory_sizes, self.executions)
+        ]
+
+
+class MemorySweep:
+    """Run a kernel at several memory sizes on a fixed problem instance."""
+
+    def __init__(self, kernel: Kernel, *, verify: bool = False) -> None:
+        self.kernel = kernel
+        self.verify = verify
+
+    def run(
+        self, memory_sizes: Sequence[int], **problem: Any
+    ) -> MemorySweepResult:
+        """Execute the kernel once per memory size and collect the results."""
+        if not memory_sizes:
+            raise ConfigurationError("memory_sizes must not be empty")
+        sizes = sorted(int(m) for m in memory_sizes)
+        if len(set(sizes)) != len(sizes):
+            raise ConfigurationError("memory_sizes must be distinct")
+        executions = []
+        for size in sizes:
+            execution = self.kernel.execute(size, **problem)
+            if self.verify and not self.kernel.verify(execution):
+                raise ConfigurationError(
+                    f"{self.kernel.name} produced an incorrect result at M={size}"
+                )
+            executions.append(execution)
+        return MemorySweepResult(
+            kernel_name=self.kernel.name,
+            problem=dict(problem),
+            memory_sizes=tuple(sizes),
+            executions=tuple(executions),
+        )
+
+    def run_default(
+        self, memory_sizes: Sequence[int], scale: int
+    ) -> MemorySweepResult:
+        """Run the sweep on the kernel's default problem at the given scale.
+
+        Each memory size uses ``kernel.problem_for_memory(size, scale)``; for
+        most kernels that is the same fixed problem at every size, but
+        kernels whose decomposition ties the owned partition to the memory
+        (the grid relaxation) scale the problem accordingly.
+        """
+        if not memory_sizes:
+            raise ConfigurationError("memory_sizes must not be empty")
+        sizes = sorted(int(m) for m in memory_sizes)
+        if len(set(sizes)) != len(sizes):
+            raise ConfigurationError("memory_sizes must be distinct")
+        executions = []
+        base_problem: dict[str, Any] = {}
+        for size in sizes:
+            problem = self.kernel.problem_for_memory(size, scale)
+            base_problem = problem
+            execution = self.kernel.execute(size, **problem)
+            if self.verify and not self.kernel.verify(execution):
+                raise ConfigurationError(
+                    f"{self.kernel.name} produced an incorrect result at M={size}"
+                )
+            executions.append(execution)
+        return MemorySweepResult(
+            kernel_name=self.kernel.name,
+            problem=dict(base_problem),
+            memory_sizes=tuple(sizes),
+            executions=tuple(executions),
+        )
+
+
+def measured_rebalance_curve(
+    sweep: MemorySweepResult,
+    memory_old: float,
+    alphas: Sequence[float],
+) -> list[RebalanceResult]:
+    """Rebalancing curve computed from a *measured* intensity table.
+
+    The balanced memory for each ``alpha`` is obtained by inverting the
+    measured ``F(M)`` curve (log-log interpolation), not the analytic
+    formula -- this is the experiment that recovers the paper's laws from
+    simulation data alone.
+    """
+    intensity = sweep.tabulated_intensity()
+    return [
+        rebalance_memory(intensity, memory_old, alpha, allow_infeasible=True)
+        for alpha in alphas
+    ]

@@ -1,0 +1,44 @@
+"""Parallel processor-array models (Section 4).
+
+Topologies, the aggregate-PE view of an array, per-cell memory sizing, and
+cycle-level systolic-array simulations demonstrating that the decompositions
+assumed by the balance analysis are actually realisable.
+"""
+
+from repro.arrays.aggregate import ArrayConfiguration, linear_array, square_mesh
+from repro.arrays.sizing import (
+    ArraySizingResult,
+    linear_array_sizing_sweep,
+    mesh_sizing_sweep,
+    size_array_memory,
+)
+from repro.arrays.systolic import (
+    LinearMatvecArray,
+    OutputStationaryMatmulArray,
+    SystolicRunResult,
+)
+from repro.arrays.topology import ArrayTopology, LinearArrayTopology, MeshTopology
+from repro.arrays.triangular_qr import (
+    GentlemanKungTriangularArray,
+    TriangularQRResult,
+    givens_rotation,
+)
+
+__all__ = [
+    "ArrayConfiguration",
+    "ArraySizingResult",
+    "ArrayTopology",
+    "GentlemanKungTriangularArray",
+    "LinearArrayTopology",
+    "LinearMatvecArray",
+    "MeshTopology",
+    "OutputStationaryMatmulArray",
+    "SystolicRunResult",
+    "TriangularQRResult",
+    "givens_rotation",
+    "linear_array",
+    "linear_array_sizing_sweep",
+    "mesh_sizing_sweep",
+    "size_array_memory",
+    "square_mesh",
+]

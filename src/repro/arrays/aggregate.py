@@ -1,0 +1,143 @@
+"""The "new processing element" view of a processor array (Section 4).
+
+The paper analyses parallel arrays by treating a collection of ``p`` cells as
+one new PE: its computation bandwidth is the sum of the cells' bandwidths,
+its I/O bandwidth is whatever the boundary cells can carry, and its local
+memory is the sum of the cells' memories.  Rebalancing this aggregate PE with
+the single-PE machinery then dictates how much memory *each cell* must have.
+
+* Linear array (Fig. 3): aggregate ``C`` grows ``p``-fold, aggregate ``IO``
+  stays that of a single cell (only the two end cells talk to the outside
+  world), so the effective bandwidth-ratio increase is ``alpha = p``.
+* Square ``p x p`` mesh (Fig. 4): aggregate ``C`` grows ``p**2``-fold while
+  aggregate ``IO`` grows ``p``-fold (the perimeter), so again ``alpha = p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import ProcessingElement
+from repro.exceptions import ConfigurationError
+from repro.arrays.topology import ArrayTopology, LinearArrayTopology, MeshTopology
+
+__all__ = ["ArrayConfiguration", "linear_array", "square_mesh"]
+
+
+@dataclass(frozen=True)
+class ArrayConfiguration:
+    """A processor array built from identical cells.
+
+    Parameters
+    ----------
+    cell:
+        The per-cell PE (compute bandwidth, link bandwidth, local memory).
+        The cell's ``io_bandwidth`` is interpreted as the bandwidth of one
+        external link; boundary cells each contribute one such link to the
+        aggregate I/O bandwidth.
+    topology:
+        The interconnection topology (linear array or mesh).
+    """
+
+    cell: ProcessingElement
+    topology: ArrayTopology
+    #: Number of cell-width links to the outside world.  ``None`` means one
+    #: link per boundary cell; the paper's idealisation for the linear array
+    #: (Fig. 3) corresponds to ``external_links=1`` (the array is fed from
+    #: one end), and for the ``p x p`` mesh to ``external_links=p``.
+    external_links: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.external_links is not None and self.external_links < 1:
+            raise ConfigurationError("external_links must be >= 1 when given")
+
+    @property
+    def cell_count(self) -> int:
+        return self.topology.cell_count
+
+    @property
+    def external_link_count(self) -> int:
+        if self.external_links is not None:
+            return self.external_links
+        return self.topology.boundary_cell_count
+
+    @property
+    def aggregate_compute_bandwidth(self) -> float:
+        """Total operations per second of all cells together."""
+        return self.cell.compute_bandwidth * self.cell_count
+
+    @property
+    def aggregate_io_bandwidth(self) -> float:
+        """External words per second, carried by the external links only."""
+        return self.cell.io_bandwidth * self.external_link_count
+
+    @property
+    def aggregate_memory_words(self) -> int:
+        """Total local memory of all cells."""
+        return self.cell.memory_words * self.cell_count
+
+    def as_processing_element(self, name: str | None = None) -> ProcessingElement:
+        """The aggregate PE of Section 4 ("new processing element")."""
+        return ProcessingElement(
+            compute_bandwidth=self.aggregate_compute_bandwidth,
+            io_bandwidth=self.aggregate_io_bandwidth,
+            memory_words=self.aggregate_memory_words,
+            name=name or f"aggregate({self.topology.describe()})",
+        )
+
+    def bandwidth_ratio_increase(self, reference: ProcessingElement) -> float:
+        """The effective ``alpha``: how much larger the aggregate ``C/IO`` is.
+
+        ``reference`` is the single PE that used to perform the computation
+        (the paper's "original PE"); for a linear array of identical cells
+        this evaluates to ``p / boundary_count * (reference ratio scaling)``
+        -- with ``reference == cell`` it is ``p/2`` for a two-ended linear
+        array and the paper's idealised ``p`` when the array is fed from one
+        end only.
+        """
+        if reference.compute_io_ratio <= 0:
+            raise ConfigurationError("reference PE must have a positive C/IO ratio")
+        aggregate_ratio = (
+            self.aggregate_compute_bandwidth / self.aggregate_io_bandwidth
+        )
+        return aggregate_ratio / reference.compute_io_ratio
+
+    def describe(self) -> str:
+        return (
+            f"{self.topology.describe()}: aggregate C="
+            f"{self.aggregate_compute_bandwidth:g} ops/s, IO="
+            f"{self.aggregate_io_bandwidth:g} words/s, M="
+            f"{self.aggregate_memory_words} words"
+        )
+
+
+def linear_array(
+    cell: ProcessingElement, length: int, *, paper_idealization: bool = True
+) -> ArrayConfiguration:
+    """A linear array of ``length`` copies of ``cell`` (Fig. 3).
+
+    With ``paper_idealization`` the array has the I/O bandwidth of a single
+    cell (the paper treats the collection's external bandwidth as unchanged
+    from the original PE's); otherwise both end cells contribute a link.
+    """
+    return ArrayConfiguration(
+        cell=cell,
+        topology=LinearArrayTopology(length),
+        external_links=1 if paper_idealization else None,
+    )
+
+
+def square_mesh(
+    cell: ProcessingElement, side: int, *, paper_idealization: bool = True
+) -> ArrayConfiguration:
+    """A ``side x side`` mesh of copies of ``cell`` (Fig. 4).
+
+    With ``paper_idealization`` the aggregate I/O bandwidth is ``side`` times
+    one cell's (the paper's "p times larger"); otherwise every perimeter cell
+    contributes a link (``4*side - 4``).
+    """
+    return ArrayConfiguration(
+        cell=cell,
+        topology=MeshTopology.square(side),
+        external_links=side if paper_idealization else None,
+    )

@@ -1,0 +1,155 @@
+"""Per-cell memory sizing for processor arrays (Sections 4.1 and 4.2).
+
+Given a computation (through its intensity function / memory law), a
+reference single PE that was balanced for it, and an array configuration,
+this module answers: *how much local memory must each cell have so that the
+array as a whole stays balanced?*
+
+The derivation follows the paper exactly:
+
+1. view the array as one aggregate PE (``repro.arrays.aggregate``);
+2. its ``C/IO`` is larger than the reference PE's by a factor ``alpha``;
+3. rebalancing requires the aggregate memory to be
+   ``law.required_memory(M_ref, alpha)``;
+4. dividing by the number of cells gives the per-cell requirement.
+
+Headline results reproduced here:
+
+* **linear array, matmul-class computations** (law ``alpha**2``): per-cell
+  memory grows *linearly* with the array length ``p``;
+* **square mesh, matmul-class computations**: per-cell memory is
+  *independent* of ``p`` -- the array is automatically rebalanced as cells
+  are added;
+* **square mesh, d-dimensional grid computations with d > 2**: per-cell
+  memory must still grow (``p**(d-2)``), so an automatically rebalanced
+  square array is impossible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arrays.aggregate import ArrayConfiguration, linear_array, square_mesh
+from repro.core.intensity import IntensityFunction
+from repro.core.model import ProcessingElement
+from repro.core.rebalance import rebalance_memory
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ArraySizingResult",
+    "size_array_memory",
+    "linear_array_sizing_sweep",
+    "mesh_sizing_sweep",
+]
+
+
+@dataclass(frozen=True)
+class ArraySizingResult:
+    """Memory requirement of one array configuration for one computation."""
+
+    configuration: ArrayConfiguration
+    reference_pe: ProcessingElement
+    alpha: float
+    total_memory_words: float
+    per_cell_memory_words: float
+    feasible: bool
+
+    @property
+    def cell_count(self) -> int:
+        return self.configuration.cell_count
+
+    @property
+    def per_cell_growth(self) -> float:
+        """Per-cell memory relative to the reference PE's memory."""
+        if not self.feasible:
+            return math.inf
+        return self.per_cell_memory_words / self.reference_pe.memory_words
+
+    def describe(self) -> str:
+        if not self.feasible:
+            return (
+                f"{self.configuration.topology.describe()}: infeasible -- the "
+                "computation is I/O bounded"
+            )
+        return (
+            f"{self.configuration.topology.describe()}: alpha={self.alpha:g}, "
+            f"total memory {self.total_memory_words:g} words, per cell "
+            f"{self.per_cell_memory_words:g} words ({self.per_cell_growth:g}x the "
+            "reference PE)"
+        )
+
+
+def size_array_memory(
+    configuration: ArrayConfiguration,
+    intensity: IntensityFunction,
+    reference_pe: ProcessingElement,
+) -> ArraySizingResult:
+    """Memory each cell needs so the array stays balanced for the computation.
+
+    ``reference_pe`` is the original single PE, assumed balanced for the
+    computation at its current memory size (the paper's starting point).
+    """
+    alpha = configuration.bandwidth_ratio_increase(reference_pe)
+    if alpha < 1.0:
+        # The aggregate has relatively more I/O than the reference;
+        # its existing memory is already sufficient.
+        alpha = 1.0
+    result = rebalance_memory(
+        intensity, reference_pe.memory_words, alpha, allow_infeasible=True
+    )
+    if not result.feasible:
+        return ArraySizingResult(
+            configuration=configuration,
+            reference_pe=reference_pe,
+            alpha=alpha,
+            total_memory_words=math.inf,
+            per_cell_memory_words=math.inf,
+            feasible=False,
+        )
+    per_cell = result.memory_new / configuration.cell_count
+    return ArraySizingResult(
+        configuration=configuration,
+        reference_pe=reference_pe,
+        alpha=alpha,
+        total_memory_words=result.memory_new,
+        per_cell_memory_words=per_cell,
+        feasible=True,
+    )
+
+
+def linear_array_sizing_sweep(
+    intensity: IntensityFunction,
+    reference_pe: ProcessingElement,
+    lengths: Sequence[int],
+    *,
+    paper_idealization: bool = True,
+) -> list[ArraySizingResult]:
+    """Per-cell memory requirement of linear arrays of the given lengths (E10)."""
+    if not lengths:
+        raise ConfigurationError("lengths must not be empty")
+    results = []
+    for p in lengths:
+        config = linear_array(
+            reference_pe, p, paper_idealization=paper_idealization
+        )
+        results.append(size_array_memory(config, intensity, reference_pe))
+    return results
+
+
+def mesh_sizing_sweep(
+    intensity: IntensityFunction,
+    reference_pe: ProcessingElement,
+    sides: Sequence[int],
+    *,
+    paper_idealization: bool = True,
+) -> list[ArraySizingResult]:
+    """Per-cell memory requirement of ``p x p`` meshes for each ``p`` in ``sides`` (E11)."""
+    if not sides:
+        raise ConfigurationError("sides must not be empty")
+    results = []
+    for p in sides:
+        config = square_mesh(reference_pe, p, paper_idealization=paper_idealization)
+        results.append(size_array_memory(config, intensity, reference_pe))
+    return results

@@ -1,0 +1,134 @@
+"""Processor-array topologies (Section 4).
+
+The paper considers two mesh-connected parallel configurations built from
+identical cells:
+
+* a **one-dimensional (linear) array** of ``p`` cells (Fig. 3), where only
+  the two boundary cells communicate with the outside world, and
+* a **two-dimensional ``p x p`` mesh** (Fig. 4), where the ``4p - 4``
+  perimeter cells carry the external I/O.
+
+A topology knows how many cells it has, which cells are on the boundary, and
+who neighbours whom; the aggregate-PE construction in
+:mod:`repro.arrays.aggregate` uses these counts to derive the collection's
+effective compute and I/O bandwidths.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ArrayTopology", "LinearArrayTopology", "MeshTopology"]
+
+
+class ArrayTopology(ABC):
+    """Abstract interconnection topology of a processor array."""
+
+    @property
+    @abstractmethod
+    def cell_count(self) -> int:
+        """Total number of cells (PEs) in the array."""
+
+    @property
+    @abstractmethod
+    def boundary_cell_count(self) -> int:
+        """Number of cells that can exchange data with the outside world."""
+
+    @abstractmethod
+    def neighbors(self, cell: tuple[int, ...]) -> list[tuple[int, ...]]:
+        """Cells directly connected to ``cell``."""
+
+    @abstractmethod
+    def cells(self) -> list[tuple[int, ...]]:
+        """All cell coordinates."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Short human-readable description."""
+
+
+@dataclass(frozen=True)
+class LinearArrayTopology(ArrayTopology):
+    """``p`` linearly connected cells; cells 0 and p-1 face the outside world."""
+
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ConfigurationError(f"array length must be >= 1, got {self.length}")
+
+    @property
+    def cell_count(self) -> int:
+        return self.length
+
+    @property
+    def boundary_cell_count(self) -> int:
+        return 1 if self.length == 1 else 2
+
+    def cells(self) -> list[tuple[int, ...]]:
+        return [(i,) for i in range(self.length)]
+
+    def neighbors(self, cell: tuple[int, ...]) -> list[tuple[int, ...]]:
+        (i,) = cell
+        if not 0 <= i < self.length:
+            raise ConfigurationError(f"cell {cell!r} outside the array")
+        result = []
+        if i > 0:
+            result.append((i - 1,))
+        if i < self.length - 1:
+            result.append((i + 1,))
+        return result
+
+    def describe(self) -> str:
+        return f"linear array of {self.length} cells"
+
+
+@dataclass(frozen=True)
+class MeshTopology(ArrayTopology):
+    """``rows x cols`` mesh; the perimeter cells face the outside world."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigurationError("mesh dimensions must be >= 1")
+
+    @classmethod
+    def square(cls, side: int) -> "MeshTopology":
+        """A ``side x side`` mesh (the paper's ``p x p`` configuration)."""
+        return cls(rows=side, cols=side)
+
+    @property
+    def cell_count(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def boundary_cell_count(self) -> int:
+        if self.rows == 1 or self.cols == 1:
+            return self.cell_count
+        return 2 * (self.rows + self.cols) - 4
+
+    def cells(self) -> list[tuple[int, ...]]:
+        return [(r, c) for r in range(self.rows) for c in range(self.cols)]
+
+    def neighbors(self, cell: tuple[int, ...]) -> list[tuple[int, ...]]:
+        r, c = cell
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise ConfigurationError(f"cell {cell!r} outside the mesh")
+        result = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nr, nc = r + dr, c + dc
+            if 0 <= nr < self.rows and 0 <= nc < self.cols:
+                result.append((nr, nc))
+        return result
+
+    def is_boundary(self, cell: tuple[int, ...]) -> bool:
+        r, c = cell
+        return r in (0, self.rows - 1) or c in (0, self.cols - 1)
+
+    def describe(self) -> str:
+        return f"{self.rows} x {self.cols} mesh ({self.cell_count} cells)"

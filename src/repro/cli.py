@@ -1,0 +1,203 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+The CLI is a thin wrapper over :mod:`repro.experiments`; each subcommand runs
+one experiment and prints its tables.
+
+Examples
+--------
+::
+
+    python -m repro list                     # what can be regenerated
+    python -m repro summary --quick          # E1, small problem sizes
+    python -m repro matmul                   # E2 intensity + rebalancing curve
+    python -m repro figure2                  # the Figure 2 decomposition
+    python -m repro arrays                   # E10/E11 sizing tables
+    python -m repro systolic                 # E12 cycle-level simulations
+    python -m repro pebble                   # E9 pebble game vs lower bounds
+    python -m repro warp                     # E13 Warp case study
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+from repro.core.intensity import PowerLawIntensity
+from repro.experiments.arrays_section4 import (
+    run_linear_array_experiment,
+    run_mesh_array_experiment,
+    run_systolic_experiment,
+)
+from repro.experiments.fft_figure2 import render_decomposition, run_figure2_experiment
+from repro.experiments.intensity import run_intensity_experiment
+from repro.experiments.pebble_bounds import run_pebble_experiment
+from repro.experiments.summary import analytic_summary_table, run_summary_experiment
+from repro.experiments.warp_study import run_warp_experiment
+from repro.kernels import (
+    BlockedFFT,
+    BlockedLUTriangularization,
+    BlockedMatrixMultiply,
+    ExternalMergeSort,
+    GridRelaxation,
+    StreamingMatrixVectorProduct,
+    StreamingTriangularSolve,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+_KERNEL_COMMANDS = {
+    "matmul": (BlockedMatrixMultiply, 48, (12, 27, 48, 108, 192, 300, 432), None),
+    "triangularization": (BlockedLUTriangularization, 48, (12, 27, 48, 108, 192, 300), None),
+    "grid2d": (lambda: GridRelaxation(dimension=2), 7, (100, 256, 576, 1296, 2704), None),
+    "grid3d": (lambda: GridRelaxation(dimension=3), 7, (512, 1728, 4096, 13824), None),
+    "fft": (BlockedFFT, 12, (4, 8, 16, 32, 128, 8192), 32),
+    "sorting": (ExternalMergeSort, 16384, (8, 32, 128, 512), 32),
+    "matvec": (StreamingMatrixVectorProduct, 64, (8, 32, 128, 512, 2048), None),
+    "triangular_solve": (StreamingTriangularSolve, 64, (8, 32, 128, 512, 2048), None),
+}
+
+_EXPERIMENT_DESCRIPTIONS = {
+    "summary": "E1: the Section 3 summary table (analytic and measured)",
+    "figure2": "E6: the Figure 2 FFT decomposition (N=16, M=4)",
+    "arrays": "E10/E11: per-cell memory sizing for linear arrays and meshes",
+    "systolic": "E12: cycle-level systolic matmul / matvec simulations",
+    "pebble": "E9: red-blue pebble game vs Hong-Kung lower bounds",
+    "warp": "E13: the CMU Warp machine case study",
+    **{
+        name: f"E2-E8: measured intensity and rebalancing curve for {name}"
+        for name in _KERNEL_COMMANDS
+    },
+}
+
+
+def _print(text: str) -> None:
+    print(text)
+    print()
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name, description in _EXPERIMENT_DESCRIPTIONS.items():
+        print(f"  {name:<18s} {description}")
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    _print(analytic_summary_table().render_ascii())
+    experiment = run_summary_experiment(quick=args.quick)
+    _print(experiment.table().render_ascii())
+    if not experiment.all_agree:
+        print("WARNING: at least one measured classification disagrees with the paper")
+        return 1
+    return 0
+
+
+def _cmd_kernel(name: str, args: argparse.Namespace) -> int:
+    factory, scale, memories, base_memory = _KERNEL_COMMANDS[name]
+    kernel = factory()
+    experiment = run_intensity_experiment(
+        kernel, memories, scale, base_memory=base_memory
+    )
+    _print(experiment.table().render_ascii())
+    _print(experiment.rebalance_table().render_ascii())
+    print(f"fitted intensity exponent : {experiment.intensity_exponent:.3f}")
+    print(f"predicted law             : {experiment.predicted_law_label}")
+    if experiment.rebalancable:
+        print(f"measured growth exponent  : {experiment.memory_growth_exponent:.3f}")
+    else:
+        print("measured growth exponent  : infeasible (I/O bounded)")
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    result = run_figure2_experiment(n_points=args.points, block_points=args.block)
+    _print(render_decomposition(result))
+    _print(result.table().render_ascii())
+    print(f"correct against the direct DFT: {result.correct}")
+    return 0 if result.correct else 1
+
+
+def _cmd_arrays(args: argparse.Namespace) -> int:
+    _print(run_linear_array_experiment().table().render_ascii())
+    _print(run_mesh_array_experiment().table().render_ascii())
+    _print(
+        run_mesh_array_experiment(
+            intensity=PowerLawIntensity(exponent=0.25),
+            computation_label="4-d grid relaxation (law alpha^4)",
+        )
+        .table()
+        .render_ascii()
+    )
+    return 0
+
+
+def _cmd_systolic(args: argparse.Namespace) -> int:
+    experiment = run_systolic_experiment(order=args.order, batches=args.batches)
+    _print(experiment.table().render_ascii())
+    return 0 if (experiment.matmul_correct and experiment.matvec_correct) else 1
+
+
+def _cmd_pebble(args: argparse.Namespace) -> int:
+    experiment = run_pebble_experiment()
+    _print(experiment.table().render_ascii())
+    return 0 if experiment.all_above_lower_bound else 1
+
+
+def _cmd_warp(args: argparse.Namespace) -> int:
+    experiment = run_warp_experiment()
+    _print(experiment.cell_table().render_ascii())
+    _print(experiment.array_table().render_ascii())
+    _print(experiment.alpha_table().render_ascii())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the results of Kung's balanced-architecture analysis.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help=_EXPERIMENT_DESCRIPTIONS["summary"] and "list experiments")
+
+    summary = subparsers.add_parser("summary", help=_EXPERIMENT_DESCRIPTIONS["summary"])
+    summary.add_argument(
+        "--quick", action="store_true", help="smaller problems (seconds instead of tens of seconds)"
+    )
+
+    for name in _KERNEL_COMMANDS:
+        subparsers.add_parser(name, help=_EXPERIMENT_DESCRIPTIONS[name])
+
+    figure2 = subparsers.add_parser("figure2", help=_EXPERIMENT_DESCRIPTIONS["figure2"])
+    figure2.add_argument("--points", type=int, default=16, help="FFT size N (power of two)")
+    figure2.add_argument("--block", type=int, default=4, help="block size in complex points")
+
+    subparsers.add_parser("arrays", help=_EXPERIMENT_DESCRIPTIONS["arrays"])
+
+    systolic = subparsers.add_parser("systolic", help=_EXPERIMENT_DESCRIPTIONS["systolic"])
+    systolic.add_argument("--order", type=int, default=8)
+    systolic.add_argument("--batches", type=int, default=24)
+
+    subparsers.add_parser("pebble", help=_EXPERIMENT_DESCRIPTIONS["pebble"])
+    subparsers.add_parser("warp", help=_EXPERIMENT_DESCRIPTIONS["warp"])
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro``; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    handlers: dict[str, Callable[[argparse.Namespace], int]] = {
+        "list": _cmd_list,
+        "summary": _cmd_summary,
+        "figure2": _cmd_figure2,
+        "arrays": _cmd_arrays,
+        "systolic": _cmd_systolic,
+        "pebble": _cmd_pebble,
+        "warp": _cmd_warp,
+    }
+    if args.command in _KERNEL_COMMANDS:
+        return _cmd_kernel(args.command, args)
+    return handlers[args.command](args)

@@ -1,0 +1,74 @@
+"""Core balance model: the paper's primary contribution.
+
+This subpackage implements the information model of Section 2 (PEs described
+by compute bandwidth ``C``, I/O bandwidth ``IO`` and local-memory size ``M``),
+the balance condition ``C_comp / C == C_io / IO``, the rebalancing question
+("by how much must ``M`` grow when ``C/IO`` grows by ``alpha``?") and the
+registry of computations analysed in Section 3.
+"""
+
+from repro.core.classification import (
+    ClassificationResult,
+    ComputationClass,
+    classify_intensity,
+    classify_samples,
+)
+from repro.core.intensity import (
+    ConstantIntensity,
+    IntensityFunction,
+    LogarithmicIntensity,
+    PowerLawIntensity,
+    TabulatedIntensity,
+)
+from repro.core.laws import (
+    ExponentialMemoryLaw,
+    InfeasibleMemoryLaw,
+    MemoryLaw,
+    PolynomialMemoryLaw,
+    law_from_intensity,
+)
+from repro.core.model import (
+    BalanceAssessment,
+    BoundKind,
+    ComputationCost,
+    ProcessingElement,
+    assess_balance,
+)
+from repro.core.rebalance import (
+    RebalanceResult,
+    balanced_memory_for_pe,
+    memory_for_ratio,
+    rebalance_curve,
+    rebalance_memory,
+    rebalance_pe,
+)
+from repro.core import registry
+
+__all__ = [
+    "BalanceAssessment",
+    "BoundKind",
+    "ClassificationResult",
+    "ComputationClass",
+    "ComputationCost",
+    "ConstantIntensity",
+    "ExponentialMemoryLaw",
+    "InfeasibleMemoryLaw",
+    "IntensityFunction",
+    "LogarithmicIntensity",
+    "MemoryLaw",
+    "PolynomialMemoryLaw",
+    "PowerLawIntensity",
+    "ProcessingElement",
+    "RebalanceResult",
+    "TabulatedIntensity",
+    "assess_balance",
+    "balanced_memory_for_pe",
+    "classify_intensity",
+    "classify_samples",
+    "law_from_intensity",
+    "memory_for_ratio",
+    "rebalance_curve",
+    "rebalance_memory",
+    "rebalance_pe",
+    "registry",
+]

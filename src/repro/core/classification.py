@@ -1,0 +1,212 @@
+"""Classification of computations by their memory requirements.
+
+Section 3.6 and Section 4 of the paper suggest classifying computations by
+how the balanced memory must grow with the bandwidth ratio:
+
+* **compute-bound, polynomial law** (matrix multiplication, grid
+  relaxation): intensity grows as a power of ``M``; memory grows as a power
+  of ``alpha``.
+* **compute-bound, exponential law** (FFT, sorting): intensity grows only
+  logarithmically in ``M``; memory must grow exponentially in ``alpha``.
+* **I/O bounded** (matrix-vector product, triangular solve): intensity is
+  bounded by a constant; rebalancing by memory alone is impossible.
+
+Besides the analytic classification (from an intensity function), this
+module classifies *measured* intensity curves, which is how the simulator
+experiments recover the paper's taxonomy from data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro.core.intensity import (
+    ConstantIntensity,
+    IntensityFunction,
+    LogarithmicIntensity,
+    PowerLawIntensity,
+    TabulatedIntensity,
+)
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ComputationClass",
+    "ClassificationResult",
+    "classify_intensity",
+    "classify_samples",
+]
+
+
+class ComputationClass(str, Enum):
+    """The paper's taxonomy of computations by rebalancing behaviour."""
+
+    POLYNOMIAL = "polynomial-memory-growth"
+    EXPONENTIAL = "exponential-memory-growth"
+    IO_BOUNDED = "io-bounded"
+
+    @property
+    def rebalancable(self) -> bool:
+        """Whether balance can be restored by enlarging local memory alone."""
+        return self is not ComputationClass.IO_BOUNDED
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """Outcome of classifying a computation.
+
+    ``detail`` carries the fitted/derived parameter: the power-law degree of
+    the memory law for POLYNOMIAL, the logarithm coefficient for
+    EXPONENTIAL, and the constant intensity level for IO_BOUNDED.
+    """
+
+    computation_class: ComputationClass
+    detail: float
+    evidence: str
+
+    def describe(self) -> str:
+        if self.computation_class is ComputationClass.POLYNOMIAL:
+            return f"polynomial growth, M_new ~ alpha^{self.detail:.3g} M_old"
+        if self.computation_class is ComputationClass.EXPONENTIAL:
+            return "exponential growth, M_new ~ M_old^alpha"
+        return f"I/O bounded (intensity plateaus near {self.detail:.3g})"
+
+
+def classify_intensity(intensity: IntensityFunction) -> ClassificationResult:
+    """Classify an analytic intensity function into the paper's taxonomy."""
+    if isinstance(intensity, PowerLawIntensity):
+        return ClassificationResult(
+            computation_class=ComputationClass.POLYNOMIAL,
+            detail=1.0 / intensity.exponent,
+            evidence=f"analytic: {intensity.describe()}",
+        )
+    if isinstance(intensity, LogarithmicIntensity):
+        return ClassificationResult(
+            computation_class=ComputationClass.EXPONENTIAL,
+            detail=intensity.coefficient,
+            evidence=f"analytic: {intensity.describe()}",
+        )
+    if isinstance(intensity, ConstantIntensity):
+        return ClassificationResult(
+            computation_class=ComputationClass.IO_BOUNDED,
+            detail=intensity.value,
+            evidence=f"analytic: {intensity.describe()}",
+        )
+    if isinstance(intensity, TabulatedIntensity):
+        samples = intensity.samples
+        return classify_samples([m for m, _ in samples], [f for _, f in samples])
+    raise ConfigurationError(
+        f"cannot classify intensity of type {type(intensity).__name__}"
+    )
+
+
+def _log_log_slope(memories: Sequence[float], intensities: Sequence[float]) -> float:
+    """Least-squares slope of ``log F`` against ``log M``."""
+    xs = [math.log(m) for m in memories]
+    ys = [math.log(f) for f in intensities]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ConfigurationError("memory sizes must not all be equal")
+    return sxy / sxx
+
+
+def _least_squares(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Slope and intercept of the ordinary least-squares line through (xs, ys)."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx if sxx else 0.0
+    return slope, mean_y - slope * mean_x
+
+
+def _relative_rms(predictions: Sequence[float], actuals: Sequence[float]) -> float:
+    """Root-mean-square of the per-point relative errors."""
+    errors = [(p - a) / a for p, a in zip(predictions, actuals)]
+    return math.sqrt(sum(e * e for e in errors) / len(errors))
+
+
+def _log_law_fit_error(
+    memories: Sequence[float], intensities: Sequence[float]
+) -> float:
+    """Relative RMS error of the best fit ``F = a + b*log2(M)``."""
+    xs = [math.log2(m) for m in memories]
+    slope, intercept = _least_squares(xs, list(intensities))
+    predictions = [intercept + slope * x for x in xs]
+    return _relative_rms(predictions, intensities)
+
+
+def _power_law_fit_error(
+    memories: Sequence[float], intensities: Sequence[float]
+) -> float:
+    """Relative RMS error of the best power-law fit ``F = c * M**e``."""
+    xs = [math.log(m) for m in memories]
+    ys = [math.log(f) for f in intensities]
+    slope, intercept = _least_squares(xs, ys)
+    predictions = [math.exp(intercept + slope * x) for x in xs]
+    return _relative_rms(predictions, intensities)
+
+
+def classify_samples(
+    memories: Sequence[float],
+    intensities: Sequence[float],
+    *,
+    flat_slope_threshold: float = 0.12,
+    log_law_preference_margin: float = 0.75,
+) -> ClassificationResult:
+    """Classify a measured intensity curve ``F(M)``.
+
+    The decision procedure mirrors how the paper distinguishes its three
+    classes:
+
+    1. If the overall log-log slope is below ``flat_slope_threshold``, the
+       intensity is essentially constant in ``M`` -- I/O bounded.
+    2. Otherwise compare a power-law fit (``log F`` linear in ``log M``)
+       with a logarithmic-law fit (``F`` linear in ``log2 M``).  If the
+       logarithmic fit is better by at least ``log_law_preference_margin``
+       (relative), the computation is FFT/sorting-like (exponential memory
+       growth); otherwise it is matmul/grid-like (polynomial growth), and the
+       fitted memory-law degree is ``1 / slope``.
+    """
+    if len(memories) != len(intensities):
+        raise ConfigurationError("memories and intensities must have equal length")
+    if len(memories) < 3:
+        raise ConfigurationError("classification needs at least three samples")
+    if any(m <= 0 for m in memories) or any(f <= 0 for f in intensities):
+        raise ConfigurationError("samples must be positive")
+
+    slope = _log_log_slope(memories, intensities)
+    if slope < flat_slope_threshold:
+        plateau = sum(intensities) / len(intensities)
+        return ClassificationResult(
+            computation_class=ComputationClass.IO_BOUNDED,
+            detail=plateau,
+            evidence=f"measured log-log slope {slope:.3g} < {flat_slope_threshold}",
+        )
+
+    power_err = _power_law_fit_error(memories, intensities)
+    log_err = _log_law_fit_error(memories, intensities)
+    if log_err < power_err * log_law_preference_margin:
+        return ClassificationResult(
+            computation_class=ComputationClass.EXPONENTIAL,
+            detail=slope,
+            evidence=(
+                f"logarithmic fit (err {log_err:.3g}) beats power-law fit "
+                f"(err {power_err:.3g})"
+            ),
+        )
+    return ClassificationResult(
+        computation_class=ComputationClass.POLYNOMIAL,
+        detail=1.0 / slope,
+        evidence=(
+            f"power-law fit slope {slope:.3g} (err {power_err:.3g}) vs "
+            f"log fit err {log_err:.3g}"
+        ),
+    )

@@ -1,0 +1,235 @@
+"""The information model of Section 2: PEs, costs and balance.
+
+A processing element (PE) is characterised by three numbers (Fig. 1 of the
+paper): its computation bandwidth ``C`` (operations per second), its I/O
+bandwidth ``IO`` (words per second exchanged with the outside world) and the
+size ``M`` of its local memory (words).
+
+Carrying out a computation requires ``C_comp`` operations and ``C_io`` word
+transfers; the PE is *balanced* for that computation when the computing time
+``C_comp / C`` equals the I/O time ``C_io / IO``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ProcessingElement",
+    "ComputationCost",
+    "BoundKind",
+    "BalanceAssessment",
+    "assess_balance",
+]
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """A PE described by compute bandwidth, I/O bandwidth and local memory.
+
+    Parameters
+    ----------
+    compute_bandwidth:
+        ``C`` -- operations the PE can deliver per second.
+    io_bandwidth:
+        ``IO`` -- words the PE can exchange with the outside world per second.
+    memory_words:
+        ``M`` -- capacity of the local memory in words.
+    name:
+        Optional label used in reports.
+    """
+
+    compute_bandwidth: float
+    io_bandwidth: float
+    memory_words: int
+    name: str = "PE"
+
+    def __post_init__(self) -> None:
+        if self.compute_bandwidth <= 0:
+            raise ConfigurationError(
+                f"compute_bandwidth must be positive, got {self.compute_bandwidth!r}"
+            )
+        if self.io_bandwidth <= 0:
+            raise ConfigurationError(
+                f"io_bandwidth must be positive, got {self.io_bandwidth!r}"
+            )
+        if self.memory_words < 1:
+            raise ConfigurationError(
+                f"memory_words must be at least 1, got {self.memory_words!r}"
+            )
+
+    @property
+    def compute_io_ratio(self) -> float:
+        """The hardware ratio ``C / IO`` that the computation must match."""
+        return self.compute_bandwidth / self.io_bandwidth
+
+    def with_memory(self, memory_words: int | float) -> "ProcessingElement":
+        """Return a copy of this PE with a different local-memory size."""
+        return replace(self, memory_words=int(math.ceil(memory_words)))
+
+    def with_compute_scaled(self, factor: float) -> "ProcessingElement":
+        """Return a copy with the compute bandwidth multiplied by ``factor``.
+
+        This is the paper's thought experiment: technology (or parallelism)
+        raises ``C`` while ``IO`` stays fixed, increasing ``C/IO`` by
+        ``factor``.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor!r}")
+        return replace(self, compute_bandwidth=self.compute_bandwidth * factor)
+
+    def with_io_scaled(self, factor: float) -> "ProcessingElement":
+        """Return a copy with the I/O bandwidth multiplied by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor!r}")
+        return replace(self, io_bandwidth=self.io_bandwidth * factor)
+
+    def describe(self) -> str:
+        """Return a one-line summary of the PE parameters."""
+        return (
+            f"{self.name}: C={self.compute_bandwidth:g} ops/s, "
+            f"IO={self.io_bandwidth:g} words/s, M={self.memory_words} words "
+            f"(C/IO={self.compute_io_ratio:g})"
+        )
+
+
+@dataclass(frozen=True)
+class ComputationCost:
+    """Total work of one computation: ``C_comp`` operations and ``C_io`` words.
+
+    Instances are produced analytically (closed-form cost models in
+    :mod:`repro.core.registry`) or measured by the instrumented kernels in
+    :mod:`repro.kernels`.
+    """
+
+    compute_ops: float
+    io_words: float
+
+    def __post_init__(self) -> None:
+        if self.compute_ops < 0 or self.io_words < 0:
+            raise ConfigurationError("costs must be non-negative")
+
+    @property
+    def intensity(self) -> float:
+        """``C_comp / C_io``; infinite when no I/O is performed."""
+        if self.io_words == 0:
+            return math.inf
+        return self.compute_ops / self.io_words
+
+    def __add__(self, other: "ComputationCost") -> "ComputationCost":
+        return ComputationCost(
+            compute_ops=self.compute_ops + other.compute_ops,
+            io_words=self.io_words + other.io_words,
+        )
+
+    def scaled(self, factor: float) -> "ComputationCost":
+        """Return the cost multiplied by ``factor`` (e.g. per-iteration to total)."""
+        if factor < 0:
+            raise ConfigurationError(f"scale factor must be non-negative, got {factor!r}")
+        return ComputationCost(self.compute_ops * factor, self.io_words * factor)
+
+
+class BoundKind(str, Enum):
+    """Which resource limits the execution of a computation on a PE."""
+
+    COMPUTE_BOUND = "compute-bound"
+    IO_BOUND = "io-bound"
+    BALANCED = "balanced"
+
+
+@dataclass(frozen=True)
+class BalanceAssessment:
+    """The outcome of running a computation's cost model against a PE.
+
+    ``compute_time`` and ``io_time`` are in seconds (for whatever time unit
+    the PE bandwidths are expressed in).  ``bound`` classifies the execution,
+    with ``BALANCED`` meaning the two times agree within ``tolerance``.
+    """
+
+    pe: ProcessingElement
+    cost: ComputationCost
+    compute_time: float
+    io_time: float
+    bound: BoundKind
+    tolerance: float
+
+    @property
+    def total_time_serial(self) -> float:
+        """Execution time when compute and I/O are not overlapped."""
+        return self.compute_time + self.io_time
+
+    @property
+    def total_time_overlapped(self) -> float:
+        """Execution time with perfect compute/I-O overlap (double buffering)."""
+        return max(self.compute_time, self.io_time)
+
+    @property
+    def imbalance(self) -> float:
+        """Ratio of the longer time to the shorter one (1.0 means balanced)."""
+        lo = min(self.compute_time, self.io_time)
+        hi = max(self.compute_time, self.io_time)
+        if lo == 0:
+            return math.inf if hi > 0 else 1.0
+        return hi / lo
+
+    @property
+    def compute_utilization(self) -> float:
+        """Fraction of overlapped execution time the compute unit is busy."""
+        total = self.total_time_overlapped
+        if total == 0:
+            return 1.0
+        return self.compute_time / total
+
+    @property
+    def io_utilization(self) -> float:
+        """Fraction of overlapped execution time the I/O channel is busy."""
+        total = self.total_time_overlapped
+        if total == 0:
+            return 1.0
+        return self.io_time / total
+
+    def describe(self) -> str:
+        """Return a one-line summary of the assessment."""
+        return (
+            f"{self.pe.name}: compute {self.compute_time:.4g}s, "
+            f"I/O {self.io_time:.4g}s -> {self.bound.value} "
+            f"(imbalance {self.imbalance:.3g}x)"
+        )
+
+
+def assess_balance(
+    pe: ProcessingElement,
+    cost: ComputationCost,
+    *,
+    tolerance: float = 0.05,
+) -> BalanceAssessment:
+    """Classify a PE as compute-bound, I/O-bound or balanced for a computation.
+
+    The PE is balanced (Equation (1)) when ``C_comp / C == C_io / IO`` --
+    equivalently when ``C/IO`` equals the computation's intensity
+    ``C_comp / C_io``.  Times within a relative ``tolerance`` of each other
+    are reported as balanced.
+    """
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be non-negative, got {tolerance!r}")
+    compute_time = cost.compute_ops / pe.compute_bandwidth
+    io_time = cost.io_words / pe.io_bandwidth
+    longer = max(compute_time, io_time)
+    if longer == 0 or abs(compute_time - io_time) <= tolerance * longer:
+        bound = BoundKind.BALANCED
+    elif compute_time > io_time:
+        bound = BoundKind.COMPUTE_BOUND
+    else:
+        bound = BoundKind.IO_BOUND
+    return BalanceAssessment(
+        pe=pe,
+        cost=cost,
+        compute_time=compute_time,
+        io_time=io_time,
+        bound=bound,
+        tolerance=tolerance,
+    )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the balanced-architecture reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A model or simulator was constructed with invalid parameters."""
+
+
+class RebalanceInfeasibleError(ReproError):
+    """Rebalancing is impossible for the requested computation.
+
+    Raised for I/O-bounded computations (Section 3.6 of the paper): once the
+    local memory exceeds a constant, enlarging it further cannot reduce the
+    I/O requirement, so no finite memory restores balance after ``C/IO`` is
+    increased.
+    """
+
+    def __init__(self, message: str, *, computation: str | None = None) -> None:
+        super().__init__(message)
+        self.computation = computation
+
+
+class MemoryCapacityError(ReproError):
+    """A kernel or allocation exceeded the simulated local-memory capacity."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested_words: int | None = None,
+        capacity_words: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.requested_words = requested_words
+        self.capacity_words = capacity_words
+
+
+class UnknownComputationError(ReproError, KeyError):
+    """A computation name was not found in the computation registry."""
+
+
+class PebbleGameError(ReproError):
+    """An illegal move or impossible schedule in the red-blue pebble game."""
+
+
+class SimulationError(ReproError):
+    """A machine or array simulation reached an inconsistent state."""
+
+
+class FittingError(ReproError):
+    """A scaling-law fit could not be performed (e.g. too few points)."""

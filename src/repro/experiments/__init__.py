@@ -1,0 +1,54 @@
+"""Experiment drivers: one module per paper artifact (see DESIGN.md, Section 3)."""
+
+from repro.experiments.arrays_section4 import (
+    ArraySizingExperiment,
+    SystolicExperiment,
+    run_linear_array_experiment,
+    run_mesh_array_experiment,
+    run_systolic_experiment,
+)
+from repro.experiments.fft_figure2 import (
+    Figure2Result,
+    render_decomposition,
+    run_figure2_experiment,
+)
+from repro.experiments.intensity import (
+    DEFAULT_ALPHAS,
+    IntensityExperiment,
+    run_intensity_experiment,
+)
+from repro.experiments.pebble_bounds import (
+    PebbleExperiment,
+    PebblePoint,
+    run_pebble_experiment,
+)
+from repro.experiments.summary import (
+    MeasuredLaw,
+    SummaryExperiment,
+    analytic_summary_table,
+    run_summary_experiment,
+)
+from repro.experiments.warp_study import WarpExperiment, run_warp_experiment
+
+__all__ = [
+    "ArraySizingExperiment",
+    "DEFAULT_ALPHAS",
+    "Figure2Result",
+    "IntensityExperiment",
+    "MeasuredLaw",
+    "PebbleExperiment",
+    "PebblePoint",
+    "SummaryExperiment",
+    "SystolicExperiment",
+    "WarpExperiment",
+    "analytic_summary_table",
+    "render_decomposition",
+    "run_figure2_experiment",
+    "run_intensity_experiment",
+    "run_linear_array_experiment",
+    "run_mesh_array_experiment",
+    "run_pebble_experiment",
+    "run_summary_experiment",
+    "run_systolic_experiment",
+    "run_warp_experiment",
+]

@@ -1,0 +1,237 @@
+"""Experiments E10-E12: parallel processor arrays (Section 4).
+
+* E10 (Fig. 3): for a linear array of ``p`` cells running matmul-class
+  computations, the per-cell memory must grow linearly with ``p``.
+* E11 (Fig. 4): for a square ``p x p`` mesh, per-cell memory can stay
+  constant for matmul-class computations, but must still grow for
+  d-dimensional grid computations with ``d > 2``.
+* E12: the decompositions assumed above are realisable -- cycle-level
+  systolic simulations compute correct results with high utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.fitting import fit_power_law
+from repro.analysis.report import Table
+from repro.arrays.sizing import (
+    ArraySizingResult,
+    linear_array_sizing_sweep,
+    mesh_sizing_sweep,
+)
+from repro.arrays.systolic import LinearMatvecArray, OutputStationaryMatmulArray
+from repro.arrays.triangular_qr import GentlemanKungTriangularArray
+from repro.core.intensity import IntensityFunction, PowerLawIntensity
+from repro.core.model import ProcessingElement
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ArraySizingExperiment",
+    "run_linear_array_experiment",
+    "run_mesh_array_experiment",
+    "SystolicExperiment",
+    "run_systolic_experiment",
+    "DEFAULT_REFERENCE_PE",
+]
+
+#: A reference single PE balanced for matmul at M = 1024 words:
+#: intensity sqrt(1024) = 32, so C/IO = 32.
+DEFAULT_REFERENCE_PE = ProcessingElement(
+    compute_bandwidth=32e6,
+    io_bandwidth=1e6,
+    memory_words=1024,
+    name="reference PE",
+)
+
+
+@dataclass(frozen=True)
+class ArraySizingExperiment:
+    """Per-cell memory requirement as a function of the array size."""
+
+    kind: str
+    computation_label: str
+    array_sizes: tuple[int, ...]
+    results: tuple[ArraySizingResult, ...]
+
+    @property
+    def per_cell_memories(self) -> tuple[float, ...]:
+        return tuple(r.per_cell_memory_words for r in self.results)
+
+    @property
+    def per_cell_growth_exponent(self) -> float:
+        """Fitted exponent of per-cell memory against array size.
+
+        The paper predicts 1 for the linear array with matmul-class
+        computations (E10), 0 for the square mesh with matmul-class
+        computations, and ``d - 2`` for d-dimensional grid computations on
+        the mesh (E11).
+        """
+        sizes = [float(p) for p in self.array_sizes if p > 1]
+        memories = [
+            m for p, m in zip(self.array_sizes, self.per_cell_memories) if p > 1
+        ]
+        if len(sizes) < 2:
+            raise ConfigurationError("need at least two array sizes above 1")
+        fit = fit_power_law(sizes, memories)
+        return fit.exponent
+
+    def table(self) -> Table:
+        table = Table(
+            columns=(
+                "array size p",
+                "cells",
+                "alpha",
+                "total memory (words)",
+                "per-cell memory (words)",
+                "per-cell growth vs reference",
+            ),
+            title=f"{self.kind}: per-cell memory for {self.computation_label}",
+        )
+        for p, result in zip(self.array_sizes, self.results):
+            table.add_row(
+                p,
+                result.cell_count,
+                result.alpha,
+                result.total_memory_words,
+                result.per_cell_memory_words,
+                result.per_cell_growth,
+            )
+        return table
+
+
+def run_linear_array_experiment(
+    lengths: Sequence[int] = (2, 4, 8, 16, 32, 64),
+    *,
+    reference_pe: ProcessingElement = DEFAULT_REFERENCE_PE,
+    intensity: IntensityFunction | None = None,
+    computation_label: str = "matrix multiplication (law alpha^2)",
+) -> ArraySizingExperiment:
+    """E10: linear array of ``p`` cells; per-cell memory should grow like ``p``."""
+    intensity = intensity or PowerLawIntensity(exponent=0.5)
+    results = linear_array_sizing_sweep(intensity, reference_pe, list(lengths))
+    return ArraySizingExperiment(
+        kind="one-dimensional processor array (Fig. 3)",
+        computation_label=computation_label,
+        array_sizes=tuple(int(p) for p in lengths),
+        results=tuple(results),
+    )
+
+
+def run_mesh_array_experiment(
+    sides: Sequence[int] = (2, 4, 8, 16, 32),
+    *,
+    reference_pe: ProcessingElement = DEFAULT_REFERENCE_PE,
+    intensity: IntensityFunction | None = None,
+    computation_label: str = "matrix multiplication (law alpha^2)",
+) -> ArraySizingExperiment:
+    """E11: square mesh of ``p x p`` cells; per-cell memory behaviour depends on the law."""
+    intensity = intensity or PowerLawIntensity(exponent=0.5)
+    results = mesh_sizing_sweep(intensity, reference_pe, list(sides))
+    return ArraySizingExperiment(
+        kind="two-dimensional processor array (Fig. 4)",
+        computation_label=computation_label,
+        array_sizes=tuple(int(p) for p in sides),
+        results=tuple(results),
+    )
+
+
+@dataclass(frozen=True)
+class SystolicExperiment:
+    """Correctness and utilization of the cycle-level systolic simulations."""
+
+    matmul_order: int
+    matmul_batches: int
+    matmul_correct: bool
+    matmul_utilization: float
+    matvec_length: int
+    matvec_batches: int
+    matvec_correct: bool
+    matvec_utilization: float
+    qr_order: int = 0
+    qr_rows: int = 0
+    qr_correct: bool = True
+    qr_utilization: float = 0.0
+
+    def table(self) -> Table:
+        table = Table(
+            columns=("design", "size", "workload", "correct", "utilization"),
+            title="Cycle-level systolic array simulations (Section 4.2 feasibility)",
+        )
+        table.add_row(
+            "output-stationary matmul mesh",
+            f"{self.matmul_order} x {self.matmul_order}",
+            f"{self.matmul_batches} products",
+            "yes" if self.matmul_correct else "NO",
+            self.matmul_utilization,
+        )
+        table.add_row(
+            "linear matvec array",
+            self.matvec_length,
+            f"{self.matvec_batches} products",
+            "yes" if self.matvec_correct else "NO",
+            self.matvec_utilization,
+        )
+        if self.qr_order:
+            table.add_row(
+                "Gentleman-Kung triangular QR array",
+                f"{self.qr_order} columns",
+                f"{self.qr_rows} rows streamed",
+                "yes" if self.qr_correct else "NO",
+                self.qr_utilization,
+            )
+        return table
+
+
+def run_systolic_experiment(
+    *, order: int = 8, batches: int = 24, seed: int = 4
+) -> SystolicExperiment:
+    """E12: run the systolic designs on streams of random problem instances.
+
+    ``batches`` matrix products are streamed through the matmul mesh and the
+    matvec array; the triangular QR array absorbs ``batches * order`` rows.
+    """
+    rng = np.random.default_rng(seed)
+    matmul_problems = [
+        (rng.standard_normal((order, order)), rng.standard_normal((order, order)))
+        for _ in range(batches)
+    ]
+    matmul_array = OutputStationaryMatmulArray(order)
+    matmul_run = matmul_array.run(matmul_problems)
+    matmul_correct = all(
+        np.allclose(c, a @ b) for (a, b), c in zip(matmul_problems, matmul_run.outputs)
+    )
+
+    matvec_problems = [
+        (rng.standard_normal((order, order)), rng.standard_normal(order))
+        for _ in range(batches)
+    ]
+    matvec_array = LinearMatvecArray(order)
+    matvec_run = matvec_array.run(matvec_problems)
+    matvec_correct = all(
+        np.allclose(y, a @ x) for (a, x), y in zip(matvec_problems, matvec_run.outputs)
+    )
+
+    qr_rows = batches * order
+    qr_input = rng.standard_normal((qr_rows, order))
+    qr_array = GentlemanKungTriangularArray(order)
+    qr_run = qr_array.run(qr_input)
+    qr_correct = qr_array.verify(qr_input)
+
+    return SystolicExperiment(
+        matmul_order=order,
+        matmul_batches=batches,
+        matmul_correct=matmul_correct,
+        matmul_utilization=matmul_run.utilization,
+        matvec_length=order,
+        matvec_batches=batches,
+        matvec_correct=matvec_correct,
+        matvec_utilization=matvec_run.utilization,
+        qr_order=order,
+        qr_rows=qr_rows,
+        qr_correct=qr_correct,
+        qr_utilization=qr_run.utilization,
+    )

@@ -1,0 +1,163 @@
+"""I/O-bounded computations (Section 3.6).
+
+Matrix-vector multiplication and the solution of triangular linear systems
+use every matrix element only once, so a local memory cannot reduce the I/O
+requirement beyond a constant factor: the intensity ``F(M)`` saturates at a
+constant, and no finite memory growth can rebalance a PE whose ``C/IO``
+ratio has increased.
+
+Both kernels stream the matrix through the PE exactly once and count their
+operations and word transfers, so a memory sweep exhibits the plateau that
+the rebalancing solver then reports as infeasible.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.model import ComputationCost
+from repro.exceptions import ConfigurationError
+from repro.kernels.base import ExecutionContext, Kernel
+
+__all__ = ["StreamingMatrixVectorProduct", "StreamingTriangularSolve"]
+
+
+class StreamingMatrixVectorProduct(Kernel):
+    """Compute ``y = A @ x`` by streaming ``A`` row-block by row-block."""
+
+    registry_name = "matvec"
+    minimum_memory_words = 4
+
+    def default_problem(self, scale: int) -> dict[str, Any]:
+        rng = np.random.default_rng(scale)
+        n = max(2, int(scale))
+        return {"a": rng.standard_normal((n, n)), "x": rng.standard_normal(n)}
+
+    def reference(self, *, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return np.asarray(a) @ np.asarray(x)
+
+    def analytic_cost(self, memory_words: int, *, a: np.ndarray, x: np.ndarray) -> ComputationCost:
+        n = int(np.asarray(a).shape[0])
+        chunk = max(1, min(n, memory_words // 2))
+        rereads = int(np.ceil(n / chunk))
+        ops = 2.0 * n * n
+        io = float(n * n) + float(n) * rereads + float(n)
+        return ComputationCost(ops, io)
+
+    def _run(self, ctx: ExecutionContext, *, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=float)
+        x = np.asarray(x, dtype=float)
+        if a.ndim != 2:
+            raise ConfigurationError("matrix-vector product requires a 2-D matrix")
+        n_rows, n_cols = a.shape
+        if x.shape != (n_cols,):
+            raise ConfigurationError(
+                f"vector of length {x.shape} incompatible with matrix {a.shape}"
+            )
+        # Half the memory buffers a chunk of x, half buffers a strip of rows.
+        chunk = max(1, min(n_cols, ctx.memory.capacity_words // 2))
+        y = np.zeros(n_rows)
+
+        total_ops = 0.0
+        total_io = 0.0
+        for j0 in range(0, n_cols, chunk):
+            j1 = min(j0 + chunk, n_cols)
+            width = j1 - j0
+            with ctx.memory.buffer("x_chunk", width):
+                ctx.io.read(width)
+                total_io += width
+                x_chunk = x[j0:j1]
+                # Stream all rows against this chunk of x, one row strip at a time.
+                strip_rows = max(1, (ctx.memory.capacity_words - width) // max(1, width))
+                for i0 in range(0, n_rows, strip_rows):
+                    i1 = min(i0 + strip_rows, n_rows)
+                    rows = i1 - i0
+                    with ctx.memory.buffer("row_strip", rows * width):
+                        ctx.io.read(rows * width)
+                        total_io += rows * width
+                        y[i0:i1] += a[i0:i1, j0:j1] @ x_chunk
+                        ops = 2.0 * rows * width
+                        ctx.ops.add(ops)
+                        total_ops += ops
+        ctx.io.write(n_rows)
+        total_io += n_rows
+        ctx.phases.record("stream", total_ops, total_io)
+        return y
+
+
+class StreamingTriangularSolve(Kernel):
+    """Solve ``L y = b`` (unit-free lower-triangular) by blocked forward substitution."""
+
+    registry_name = "triangular_solve"
+    minimum_memory_words = 4
+
+    def default_problem(self, scale: int) -> dict[str, Any]:
+        rng = np.random.default_rng(scale)
+        n = max(2, int(scale))
+        l = np.tril(rng.standard_normal((n, n)))
+        l += np.diag(np.abs(l).sum(axis=1) + 1.0)
+        return {"l": l, "b": rng.standard_normal(n)}
+
+    def reference(self, *, l: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.linalg.solve(np.asarray(l), np.asarray(b))
+
+    def analytic_cost(self, memory_words: int, *, l: np.ndarray, b: np.ndarray) -> ComputationCost:
+        n = int(np.asarray(l).shape[0])
+        ops = float(n * n)
+        io = float(n * (n + 1) / 2) + 2.0 * n + float(n * n) / max(2, memory_words)
+        return ComputationCost(ops, io)
+
+    def _run(self, ctx: ExecutionContext, *, l: np.ndarray, b: np.ndarray) -> np.ndarray:
+        l = np.asarray(l, dtype=float)
+        b = np.asarray(b, dtype=float)
+        n = l.shape[0]
+        if l.shape != (n, n) or b.shape != (n,):
+            raise ConfigurationError("triangular solve requires L (n x n) and b (n)")
+
+        # Block size: a diagonal block plus one solution chunk must fit.
+        block = max(1, min(n, int(np.floor(np.sqrt(ctx.memory.capacity_words / 2)))))
+        y = np.zeros(n)
+
+        total_ops = 0.0
+        total_io = 0.0
+        for i0 in range(0, n, block):
+            i1 = min(i0 + block, n)
+            rows = i1 - i0
+            with ctx.memory.buffer("rhs_chunk", rows):
+                ctx.io.read(rows)
+                total_io += rows
+                rhs = b[i0:i1].copy()
+
+                # Subtract contributions of already-solved chunks, streaming the
+                # corresponding blocks of L (each used exactly once).
+                for j0 in range(0, i0, block):
+                    j1 = min(j0 + block, i0)
+                    cols = j1 - j0
+                    with ctx.memory.buffer("l_block", rows * cols), \
+                            ctx.memory.buffer("y_chunk", cols):
+                        ctx.io.read(rows * cols)
+                        ctx.io.read(cols)
+                        total_io += rows * cols + cols
+                        rhs -= l[i0:i1, j0:j1] @ y[j0:j1]
+                        ops = 2.0 * rows * cols
+                        ctx.ops.add(ops)
+                        total_ops += ops
+
+                # Solve the diagonal block.
+                with ctx.memory.buffer("diag_block", rows * rows):
+                    ctx.io.read(rows * (rows + 1) / 2)
+                    total_io += rows * (rows + 1) / 2
+                    diag = l[i0:i1, i0:i1]
+                    chunk_solution = np.zeros(rows)
+                    for r in range(rows):
+                        acc = rhs[r] - diag[r, :r] @ chunk_solution[:r]
+                        chunk_solution[r] = acc / diag[r, r]
+                        ctx.ops.add(2.0 * r + 1.0)
+                        total_ops += 2.0 * r + 1.0
+                    y[i0:i1] = chunk_solution
+                    ctx.io.write(rows)
+                    total_io += rows
+        ctx.phases.record("forward-substitution", total_ops, total_io)
+        return y

@@ -1,0 +1,32 @@
+"""Machine substrate: simulated PEs, local memories and execution-time models.
+
+This layer turns the counts measured by :mod:`repro.kernels` into times for a
+concrete :class:`~repro.core.model.ProcessingElement`, under serial and
+overlapped (double-buffered) execution, and provides the scratchpad and LRU
+cache local-memory models used by the ablation experiments.
+"""
+
+from repro.machine.dram import ExternalMemory, TransferRecord
+from repro.machine.engine import (
+    PhaseTiming,
+    Schedule,
+    overlapped_schedule,
+    serial_schedule,
+)
+from repro.machine.memory import CacheStatistics, LRUCacheMemory, ScratchpadMemory
+from repro.machine.metrics import ExecutionReport
+from repro.machine.pe import SimulatedPE
+
+__all__ = [
+    "CacheStatistics",
+    "ExecutionReport",
+    "ExternalMemory",
+    "LRUCacheMemory",
+    "PhaseTiming",
+    "Schedule",
+    "ScratchpadMemory",
+    "SimulatedPE",
+    "TransferRecord",
+    "overlapped_schedule",
+    "serial_schedule",
+]

@@ -1,0 +1,86 @@
+"""External ("system") memory model.
+
+In the paper's information model the outside world -- system memory and
+interconnect -- is abstracted into a single I/O channel of ``IO`` words per
+second.  :class:`ExternalMemory` makes that channel explicit: it has a
+bandwidth, an optional fixed per-transfer latency, and it accumulates the
+traffic directed at it so array-level simulations can attribute I/O time to
+the right place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ExternalMemory", "TransferRecord"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One logical transfer between a PE and the external memory."""
+
+    words: float
+    direction: str  # "read" or "write"
+    label: str = ""
+
+
+@dataclass
+class ExternalMemory:
+    """Unbounded external memory reached over a bandwidth-limited channel.
+
+    Parameters
+    ----------
+    bandwidth_words_per_s:
+        Peak words per second the channel can sustain.
+    latency_s:
+        Fixed start-up latency charged once per transfer (0 for the paper's
+        pure-bandwidth model).
+    """
+
+    bandwidth_words_per_s: float
+    latency_s: float = 0.0
+    transfers: list[TransferRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_words_per_s <= 0:
+            raise ConfigurationError("bandwidth_words_per_s must be positive")
+        if self.latency_s < 0:
+            raise ConfigurationError("latency_s must be non-negative")
+
+    def read(self, words: float, *, label: str = "") -> float:
+        """Record a read and return the time it occupies the channel."""
+        return self._transfer(words, "read", label)
+
+    def write(self, words: float, *, label: str = "") -> float:
+        """Record a write and return the time it occupies the channel."""
+        return self._transfer(words, "write", label)
+
+    def _transfer(self, words: float, direction: str, label: str) -> float:
+        if words < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        self.transfers.append(TransferRecord(float(words), direction, label))
+        return self.latency_s + words / self.bandwidth_words_per_s
+
+    @property
+    def total_words(self) -> float:
+        """Total words moved in either direction."""
+        return sum(t.words for t in self.transfers)
+
+    @property
+    def words_read(self) -> float:
+        return sum(t.words for t in self.transfers if t.direction == "read")
+
+    @property
+    def words_written(self) -> float:
+        return sum(t.words for t in self.transfers if t.direction == "write")
+
+    def busy_time(self) -> float:
+        """Total channel-occupancy time of all recorded transfers."""
+        if not self.transfers:
+            return 0.0
+        return (
+            len(self.transfers) * self.latency_s
+            + self.total_words / self.bandwidth_words_per_s
+        )

@@ -1,0 +1,120 @@
+"""Execution-time models: serial and overlapped (double-buffered) schedules.
+
+A kernel execution produces a sequence of phases, each with a compute cost
+(operations) and an I/O cost (words).  Given a PE's bandwidths, two natural
+schedules bound the execution time:
+
+* **serial**: each phase first performs its I/O, then computes -- total time
+  is the sum of all compute times and all I/O times;
+* **overlapped**: with double buffering, the I/O of phase ``i+1`` proceeds
+  while phase ``i`` computes.  The steady-state time per phase is the
+  maximum of its compute and I/O times, plus a pipeline fill of the first
+  phase's I/O and a drain of the last phase's compute.
+
+The paper's balance condition (computing time equals I/O time) is exactly
+the condition under which the overlapped schedule wastes no time on either
+unit; the overlap ablation (A1 in DESIGN.md) quantifies the difference
+between the two schedules on both balanced and imbalanced PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.model import ProcessingElement
+from repro.exceptions import ConfigurationError
+from repro.kernels.counters import Phase
+
+__all__ = ["PhaseTiming", "Schedule", "serial_schedule", "overlapped_schedule"]
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Compute and I/O time of one phase on a particular PE."""
+
+    name: str
+    compute_time: float
+    io_time: float
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """The outcome of scheduling a phase sequence on a PE."""
+
+    kind: str
+    phase_timings: tuple[PhaseTiming, ...]
+    total_time: float
+    compute_busy_time: float
+    io_busy_time: float
+
+    @property
+    def compute_utilization(self) -> float:
+        """Fraction of the schedule during which the compute unit is busy."""
+        if self.total_time == 0:
+            return 1.0
+        return self.compute_busy_time / self.total_time
+
+    @property
+    def io_utilization(self) -> float:
+        """Fraction of the schedule during which the I/O channel is busy."""
+        if self.total_time == 0:
+            return 1.0
+        return self.io_busy_time / self.total_time
+
+
+def _phase_timings(
+    phases: Iterable[Phase], pe: ProcessingElement
+) -> tuple[PhaseTiming, ...]:
+    timings = []
+    for phase in phases:
+        timings.append(
+            PhaseTiming(
+                name=phase.name,
+                compute_time=phase.cost.compute_ops / pe.compute_bandwidth,
+                io_time=phase.cost.io_words / pe.io_bandwidth,
+            )
+        )
+    return tuple(timings)
+
+
+def serial_schedule(phases: Sequence[Phase], pe: ProcessingElement) -> Schedule:
+    """Time the phases with no compute/I-O overlap."""
+    timings = _phase_timings(phases, pe)
+    compute = sum(t.compute_time for t in timings)
+    io = sum(t.io_time for t in timings)
+    return Schedule(
+        kind="serial",
+        phase_timings=timings,
+        total_time=compute + io,
+        compute_busy_time=compute,
+        io_busy_time=io,
+    )
+
+
+def overlapped_schedule(phases: Sequence[Phase], pe: ProcessingElement) -> Schedule:
+    """Time the phases with double buffering (I/O of phase i+1 under compute of i).
+
+    The model is the classical software-pipeline bound: the compute of phase
+    ``i`` can start only after its own I/O has finished, and the I/O channel
+    processes phase I/O in order.  Total time is computed by simulating the
+    two units' ready times phase by phase.
+    """
+    if not phases:
+        raise ConfigurationError("cannot schedule an empty phase list")
+    timings = _phase_timings(phases, pe)
+    io_free = 0.0       # time at which the I/O channel becomes free
+    compute_free = 0.0  # time at which the compute unit becomes free
+    for timing in timings:
+        io_done = io_free + timing.io_time
+        io_free = io_done
+        compute_start = max(io_done, compute_free)
+        compute_free = compute_start + timing.compute_time
+    total = max(compute_free, io_free)
+    return Schedule(
+        kind="overlapped",
+        phase_timings=timings,
+        total_time=total,
+        compute_busy_time=sum(t.compute_time for t in timings),
+        io_busy_time=sum(t.io_time for t in timings),
+    )

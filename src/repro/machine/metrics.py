@@ -1,0 +1,79 @@
+"""Execution reports produced by the simulated PE.
+
+A :class:`ExecutionReport` ties together what the kernel measured (operation
+and word counts, peak residency) with what the machine model derived from it
+(compute time, I/O time, serial and overlapped makespans, balance
+classification).  It is the unit of data every experiment stores and every
+benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import (
+    BalanceAssessment,
+    BoundKind,
+    ComputationCost,
+    ProcessingElement,
+)
+from repro.kernels.base import KernelExecution
+from repro.machine.engine import Schedule
+
+__all__ = ["ExecutionReport"]
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Full record of one kernel execution on one simulated PE."""
+
+    pe: ProcessingElement
+    execution: KernelExecution
+    assessment: BalanceAssessment
+    serial: Schedule
+    overlapped: Schedule
+
+    @property
+    def cost(self) -> ComputationCost:
+        return self.execution.cost
+
+    @property
+    def intensity(self) -> float:
+        """Measured operational intensity of the kernel run."""
+        return self.execution.intensity
+
+    @property
+    def bound(self) -> BoundKind:
+        return self.assessment.bound
+
+    @property
+    def compute_time(self) -> float:
+        return self.assessment.compute_time
+
+    @property
+    def io_time(self) -> float:
+        return self.assessment.io_time
+
+    @property
+    def imbalance(self) -> float:
+        """Ratio of the longer of (compute time, I/O time) to the shorter."""
+        return self.assessment.imbalance
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Serial makespan divided by overlapped makespan (1.0 .. 2.0)."""
+        if self.overlapped.total_time == 0:
+            return 1.0
+        return self.serial.total_time / self.overlapped.total_time
+
+    @property
+    def balanced(self) -> bool:
+        return self.bound is BoundKind.BALANCED
+
+    def describe(self) -> str:
+        return (
+            f"{self.execution.kernel_name} on {self.pe.name}: "
+            f"intensity {self.intensity:.3g}, C/IO {self.pe.compute_io_ratio:.3g}, "
+            f"{self.bound.value}; serial {self.serial.total_time:.4g}s, "
+            f"overlapped {self.overlapped.total_time:.4g}s"
+        )

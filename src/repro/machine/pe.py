@@ -1,0 +1,71 @@
+"""The simulated processing element.
+
+:class:`SimulatedPE` is the executable counterpart of the paper's Fig. 1: a
+PE with a compute bandwidth, an I/O bandwidth and a bounded local memory.
+It runs an instrumented kernel with its own memory capacity, converts the
+measured operation and word counts into compute and I/O time, and reports
+whether the execution was compute-bound, I/O-bound or balanced -- under both
+the serial and the overlapped (double-buffered) execution model.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.model import ProcessingElement, assess_balance
+from repro.exceptions import ConfigurationError
+from repro.kernels.base import Kernel
+from repro.machine.engine import overlapped_schedule, serial_schedule
+from repro.machine.metrics import ExecutionReport
+
+__all__ = ["SimulatedPE"]
+
+
+class SimulatedPE:
+    """Runs kernels against the local memory of a :class:`ProcessingElement`."""
+
+    def __init__(
+        self,
+        pe: ProcessingElement,
+        *,
+        balance_tolerance: float = 0.05,
+    ) -> None:
+        if balance_tolerance < 0:
+            raise ConfigurationError("balance_tolerance must be non-negative")
+        self.pe = pe
+        self.balance_tolerance = balance_tolerance
+
+    def run(self, kernel: Kernel, **problem: Any) -> ExecutionReport:
+        """Execute ``kernel`` on this PE and return the full execution report."""
+        execution = kernel.execute(self.pe.memory_words, **problem)
+        assessment = assess_balance(
+            self.pe, execution.cost, tolerance=self.balance_tolerance
+        )
+        phases = list(execution.phases)
+        serial = serial_schedule(phases, self.pe)
+        overlapped = overlapped_schedule(phases, self.pe)
+        return ExecutionReport(
+            pe=self.pe,
+            execution=execution,
+            assessment=assessment,
+            serial=serial,
+            overlapped=overlapped,
+        )
+
+    def run_default(self, kernel: Kernel, scale: int) -> ExecutionReport:
+        """Run ``kernel`` on its default problem at the given scale."""
+        return self.run(kernel, **kernel.default_problem(scale))
+
+    def with_memory(self, memory_words: int) -> "SimulatedPE":
+        """A copy of this simulated PE with a different local-memory size."""
+        return SimulatedPE(
+            self.pe.with_memory(memory_words),
+            balance_tolerance=self.balance_tolerance,
+        )
+
+    def with_compute_scaled(self, factor: float) -> "SimulatedPE":
+        """A copy with the compute bandwidth multiplied by ``factor``."""
+        return SimulatedPE(
+            self.pe.with_compute_scaled(factor),
+            balance_tolerance=self.balance_tolerance,
+        )

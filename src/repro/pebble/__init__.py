@@ -1,0 +1,50 @@
+"""Red-blue pebble game substrate (Hong & Kung, 1981).
+
+The paper's optimality claims rest on I/O lower bounds derived from the
+red-blue pebble game.  This subpackage builds the relevant computation DAGs,
+plays the game (both with explicit move sequences and with an automatic
+LRU-based strategy), and provides the closed-form lower bounds used to check
+that the measured kernels and the pebble-game upper bounds bracket the truth.
+"""
+
+from repro.pebble.dag import (
+    ComputationDAG,
+    fft_dag,
+    grid_dag,
+    matmul_dag,
+    matvec_dag,
+    reduction_dag,
+)
+from repro.pebble.game import (
+    GameResult,
+    Move,
+    MoveKind,
+    RedBluePebbleGame,
+    play_topological,
+)
+from repro.pebble.partition import (
+    PartitionEstimate,
+    fft_io_lower_bound,
+    greedy_partition_estimate,
+    grid_io_lower_bound,
+    matmul_io_lower_bound,
+)
+
+__all__ = [
+    "ComputationDAG",
+    "GameResult",
+    "Move",
+    "MoveKind",
+    "PartitionEstimate",
+    "RedBluePebbleGame",
+    "fft_dag",
+    "fft_io_lower_bound",
+    "greedy_partition_estimate",
+    "grid_dag",
+    "grid_io_lower_bound",
+    "matmul_dag",
+    "matmul_io_lower_bound",
+    "matvec_dag",
+    "play_topological",
+    "reduction_dag",
+]

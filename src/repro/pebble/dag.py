@@ -1,0 +1,238 @@
+"""Computation DAGs for the red-blue pebble game (Hong & Kung, 1981).
+
+The paper's optimality claims for matrix multiplication and the FFT rest on
+the I/O lower bounds of Hong and Kung's red-blue pebble game, which is played
+on the computation's directed acyclic graph.  This module builds those DAGs:
+
+* :func:`fft_dag` -- the butterfly network of an ``N``-point radix-2 FFT,
+* :func:`matmul_dag` -- the multiply-add DAG of a naive ``n x n x n`` matrix
+  product,
+* :func:`grid_dag` -- ``T`` Jacobi iterations on a 1-D or 2-D grid,
+* :func:`matvec_dag` -- the inner-product DAG of a matrix-vector product,
+* :func:`reduction_dag` -- a binary reduction tree (useful as a sanity case).
+
+Nodes are identified by hashable labels; each DAG records its inputs (nodes
+with no predecessors) and its designated outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ComputationDAG",
+    "fft_dag",
+    "matmul_dag",
+    "grid_dag",
+    "matvec_dag",
+    "reduction_dag",
+]
+
+Node = Hashable
+
+
+@dataclass
+class ComputationDAG:
+    """A directed acyclic graph of a computation.
+
+    ``predecessors[v]`` lists the nodes whose values node ``v`` consumes.
+    Input nodes have no predecessors and are assumed to start in external
+    (blue) memory; ``outputs`` are the nodes whose values must end up in
+    external memory.
+    """
+
+    predecessors: dict[Node, tuple[Node, ...]] = field(default_factory=dict)
+    outputs: tuple[Node, ...] = ()
+    name: str = "dag"
+
+    def add_node(self, node: Node, preds: Iterable[Node] = ()) -> None:
+        """Add ``node`` with the given predecessors (which must already exist)."""
+        if node in self.predecessors:
+            raise ConfigurationError(f"node {node!r} already exists")
+        preds = tuple(preds)
+        for pred in preds:
+            if pred not in self.predecessors:
+                raise ConfigurationError(
+                    f"predecessor {pred!r} of {node!r} has not been added yet"
+                )
+        self.predecessors[node] = preds
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self.predecessors)
+
+    @property
+    def inputs(self) -> list[Node]:
+        """Nodes with no predecessors (initially resident in external memory)."""
+        return [n for n, preds in self.predecessors.items() if not preds]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.predecessors)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(p) for p in self.predecessors.values())
+
+    def successors(self) -> dict[Node, list[Node]]:
+        """Map each node to the nodes that consume its value."""
+        succ: dict[Node, list[Node]] = {n: [] for n in self.predecessors}
+        for node, preds in self.predecessors.items():
+            for pred in preds:
+                succ[pred].append(node)
+        return succ
+
+    def topological_order(self) -> list[Node]:
+        """Kahn topological order; raises if the graph has a cycle."""
+        indegree = {n: len(p) for n, p in self.predecessors.items()}
+        succ = self.successors()
+        ready = [n for n, d in indegree.items() if d == 0]
+        order: list[Node] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for nxt in succ[node]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self.predecessors):
+            raise ConfigurationError(f"DAG {self.name!r} contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants (acyclicity, outputs exist)."""
+        self.topological_order()
+        for out in self.outputs:
+            if out not in self.predecessors:
+                raise ConfigurationError(f"output {out!r} is not a node of the DAG")
+
+
+def fft_dag(n_points: int) -> ComputationDAG:
+    """Butterfly DAG of an ``n_points``-point radix-2 FFT.
+
+    Node ``("x", s, i)`` is the value of line ``i`` after stage ``s``
+    (``s = 0`` are the inputs); after stage ``s`` each line depends on the two
+    lines of stage ``s-1`` that differ in bit ``s-1``.
+    """
+    if n_points < 2 or n_points & (n_points - 1):
+        raise ConfigurationError(f"FFT size must be a power of two, got {n_points}")
+    stages = n_points.bit_length() - 1
+    dag = ComputationDAG(name=f"fft[{n_points}]")
+    for i in range(n_points):
+        dag.add_node(("x", 0, i))
+    for s in range(1, stages + 1):
+        bit = 1 << (s - 1)
+        for i in range(n_points):
+            partner = i ^ bit
+            dag.add_node(("x", s, i), [("x", s - 1, i), ("x", s - 1, partner)])
+    dag.outputs = tuple(("x", stages, i) for i in range(n_points))
+    dag.validate()
+    return dag
+
+
+def matmul_dag(n: int) -> ComputationDAG:
+    """Multiply-add DAG of the classical ``n x n`` matrix product.
+
+    Node ``("c", i, j, k)`` is the partial sum ``sum_{t<=k} A[i,t] * B[t,j]``;
+    it depends on the two input elements and on the previous partial sum.
+    """
+    if n < 1:
+        raise ConfigurationError(f"matrix order must be >= 1, got {n}")
+    dag = ComputationDAG(name=f"matmul[{n}]")
+    for i in range(n):
+        for k in range(n):
+            dag.add_node(("a", i, k))
+    for k in range(n):
+        for j in range(n):
+            dag.add_node(("b", k, j))
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                preds: list[Node] = [("a", i, k), ("b", k, j)]
+                if k > 0:
+                    preds.append(("c", i, j, k - 1))
+                dag.add_node(("c", i, j, k), preds)
+    dag.outputs = tuple(("c", i, j, n - 1) for i in range(n) for j in range(n))
+    dag.validate()
+    return dag
+
+
+def grid_dag(side: int, iterations: int, *, dimension: int = 1) -> ComputationDAG:
+    """DAG of ``iterations`` Jacobi sweeps on a ``side``-wide grid (1-D or 2-D)."""
+    if dimension not in (1, 2):
+        raise ConfigurationError("grid_dag supports dimensions 1 and 2")
+    if side < 1 or iterations < 1:
+        raise ConfigurationError("side and iterations must be >= 1")
+    dag = ComputationDAG(name=f"grid{dimension}d[{side}x{iterations}]")
+
+    if dimension == 1:
+        for i in range(side):
+            dag.add_node(("g", 0, i))
+        for t in range(1, iterations + 1):
+            for i in range(side):
+                preds = [("g", t - 1, j) for j in (i - 1, i, i + 1) if 0 <= j < side]
+                dag.add_node(("g", t, i), preds)
+        dag.outputs = tuple(("g", iterations, i) for i in range(side))
+    else:
+        for i in range(side):
+            for j in range(side):
+                dag.add_node(("g", 0, i, j))
+        for t in range(1, iterations + 1):
+            for i in range(side):
+                for j in range(side):
+                    preds = [("g", t - 1, i, j)]
+                    for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                        ni, nj = i + di, j + dj
+                        if 0 <= ni < side and 0 <= nj < side:
+                            preds.append(("g", t - 1, ni, nj))
+                    dag.add_node(("g", t, i, j), preds)
+        dag.outputs = tuple(
+            ("g", iterations, i, j) for i in range(side) for j in range(side)
+        )
+    dag.validate()
+    return dag
+
+
+def matvec_dag(n: int) -> ComputationDAG:
+    """Inner-product DAG of ``y = A @ x`` for an ``n x n`` matrix."""
+    if n < 1:
+        raise ConfigurationError(f"matrix order must be >= 1, got {n}")
+    dag = ComputationDAG(name=f"matvec[{n}]")
+    for i in range(n):
+        for j in range(n):
+            dag.add_node(("a", i, j))
+    for j in range(n):
+        dag.add_node(("x", j))
+    for i in range(n):
+        for j in range(n):
+            preds: list[Node] = [("a", i, j), ("x", j)]
+            if j > 0:
+                preds.append(("y", i, j - 1))
+            dag.add_node(("y", i, j), preds)
+    dag.outputs = tuple(("y", i, n - 1) for i in range(n))
+    dag.validate()
+    return dag
+
+
+def reduction_dag(n_leaves: int) -> ComputationDAG:
+    """Binary reduction tree over ``n_leaves`` inputs (must be a power of two)."""
+    if n_leaves < 2 or n_leaves & (n_leaves - 1):
+        raise ConfigurationError(f"n_leaves must be a power of two >= 2, got {n_leaves}")
+    dag = ComputationDAG(name=f"reduction[{n_leaves}]")
+    for i in range(n_leaves):
+        dag.add_node(("r", 0, i))
+    level = 0
+    width = n_leaves
+    while width > 1:
+        level += 1
+        width //= 2
+        for i in range(width):
+            dag.add_node(
+                ("r", level, i), [("r", level - 1, 2 * i), ("r", level - 1, 2 * i + 1)]
+            )
+    dag.outputs = (("r", level, 0),)
+    dag.validate()
+    return dag

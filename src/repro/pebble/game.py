@@ -1,0 +1,287 @@
+"""The red-blue pebble game (Hong & Kung, 1981).
+
+The game formalises the I/O complexity of executing a computation DAG with a
+fast memory of ``S`` words:
+
+* a **red** pebble on a node means its value is in fast (local) memory;
+* a **blue** pebble means its value is in slow (external) memory;
+* input nodes start with blue pebbles;
+* the allowed moves are
+
+  1. *load*: place a red pebble on a node carrying a blue pebble (1 I/O),
+  2. *store*: place a blue pebble on a node carrying a red pebble (1 I/O),
+  3. *compute*: place a red pebble on a node all of whose predecessors carry
+     red pebbles,
+  4. *delete*: remove a red pebble;
+
+* at most ``S`` red pebbles may be on the DAG at any time;
+* the game ends when every output node carries a blue pebble.
+
+The minimum number of load/store moves over all strategies is the DAG's I/O
+complexity ``Q(S)``.  :class:`RedBluePebbleGame` validates and scores an
+explicit move sequence; :func:`play_topological` is a reasonable automatic
+strategy (topological order with least-recently-used red-pebble eviction)
+whose I/O count upper-bounds ``Q(S)`` and is compared against the closed-form
+lower bounds of :mod:`repro.pebble.partition` in experiment E9.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from enum import Enum
+from typing import Hashable, Sequence
+
+from repro.exceptions import ConfigurationError, PebbleGameError
+from repro.pebble.dag import ComputationDAG
+
+__all__ = ["MoveKind", "Move", "GameResult", "RedBluePebbleGame", "play_topological"]
+
+Node = Hashable
+
+
+class MoveKind(str, Enum):
+    """The four legal moves of the red-blue pebble game."""
+
+    LOAD = "load"
+    STORE = "store"
+    COMPUTE = "compute"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Move:
+    """One move of the game applied to one node."""
+
+    kind: MoveKind
+    node: Node
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """Outcome of playing a complete game."""
+
+    io_operations: int
+    loads: int
+    stores: int
+    computations: int
+    red_pebble_limit: int
+    peak_red_pebbles: int
+    moves: tuple[Move, ...]
+
+    def describe(self) -> str:
+        return (
+            f"Q(S={self.red_pebble_limit}) <= {self.io_operations} "
+            f"({self.loads} loads + {self.stores} stores, "
+            f"{self.computations} compute steps, peak red {self.peak_red_pebbles})"
+        )
+
+
+class RedBluePebbleGame:
+    """Stateful validator/scorer for red-blue pebble game move sequences."""
+
+    def __init__(self, dag: ComputationDAG, red_pebble_limit: int) -> None:
+        if red_pebble_limit < 1:
+            raise ConfigurationError("red_pebble_limit must be at least 1")
+        dag.validate()
+        self.dag = dag
+        self.red_pebble_limit = int(red_pebble_limit)
+        self.red: set[Node] = set()
+        self.blue: set[Node] = set(dag.inputs)
+        self.computed: set[Node] = set(dag.inputs)
+        self.loads = 0
+        self.stores = 0
+        self.computations = 0
+        self.peak_red = 0
+        self.moves: list[Move] = []
+
+    # -- individual moves ------------------------------------------------
+
+    def load(self, node: Node) -> None:
+        """Move a value from slow to fast memory (costs one I/O)."""
+        if node not in self.blue:
+            raise PebbleGameError(f"cannot load {node!r}: it has no blue pebble")
+        self._place_red(node)
+        self.loads += 1
+        self.moves.append(Move(MoveKind.LOAD, node))
+
+    def store(self, node: Node) -> None:
+        """Move a value from fast to slow memory (costs one I/O)."""
+        if node not in self.red:
+            raise PebbleGameError(f"cannot store {node!r}: it has no red pebble")
+        self.blue.add(node)
+        self.stores += 1
+        self.moves.append(Move(MoveKind.STORE, node))
+
+    def compute(self, node: Node) -> None:
+        """Compute a node whose predecessors are all in fast memory."""
+        preds = self.dag.predecessors.get(node)
+        if preds is None:
+            raise PebbleGameError(f"{node!r} is not a node of the DAG")
+        if not preds:
+            raise PebbleGameError(f"{node!r} is an input and cannot be computed")
+        missing = [p for p in preds if p not in self.red]
+        if missing:
+            raise PebbleGameError(
+                f"cannot compute {node!r}: predecessors {missing!r} lack red pebbles"
+            )
+        self._place_red(node)
+        self.computed.add(node)
+        self.computations += 1
+        self.moves.append(Move(MoveKind.COMPUTE, node))
+
+    def delete(self, node: Node) -> None:
+        """Remove a red pebble (discard the fast-memory copy)."""
+        if node not in self.red:
+            raise PebbleGameError(f"cannot delete {node!r}: it has no red pebble")
+        self.red.remove(node)
+        self.moves.append(Move(MoveKind.DELETE, node))
+
+    def _place_red(self, node: Node) -> None:
+        if node in self.red:
+            return
+        if len(self.red) >= self.red_pebble_limit:
+            raise PebbleGameError(
+                f"red pebble limit of {self.red_pebble_limit} exceeded"
+            )
+        self.red.add(node)
+        self.peak_red = max(self.peak_red, len(self.red))
+
+    # -- game status -----------------------------------------------------
+
+    @property
+    def io_operations(self) -> int:
+        return self.loads + self.stores
+
+    def finished(self) -> bool:
+        """True when every output node carries a blue pebble."""
+        return all(out in self.blue for out in self.dag.outputs)
+
+    def result(self) -> GameResult:
+        """Return the score; raises if the goal has not been reached."""
+        if not self.finished():
+            missing = [o for o in self.dag.outputs if o not in self.blue]
+            raise PebbleGameError(
+                f"game is not finished: outputs without blue pebbles: {missing[:5]!r}"
+            )
+        return GameResult(
+            io_operations=self.io_operations,
+            loads=self.loads,
+            stores=self.stores,
+            computations=self.computations,
+            red_pebble_limit=self.red_pebble_limit,
+            peak_red_pebbles=self.peak_red,
+            moves=tuple(self.moves),
+        )
+
+
+def play_topological(
+    dag: ComputationDAG,
+    red_pebble_limit: int,
+    *,
+    order: Sequence[Node] | None = None,
+) -> GameResult:
+    """Play the game automatically: topological order with LRU eviction.
+
+    Every non-input node is computed in topological order (or in the
+    caller-supplied ``order``, which lets experiments use computation-specific
+    schedules such as the blocked matmul order).  Before computing a node,
+    any predecessor not currently red is loaded (it is guaranteed to be blue:
+    values are stored before being evicted if they still have pending
+    successors).  When the red-pebble budget is full, the least recently used
+    red value is evicted -- stored first if some successor has not been
+    computed yet, discarded otherwise.
+
+    The returned I/O count is an upper bound on the DAG's I/O complexity
+    ``Q(S)`` and, for the matmul and FFT DAGs, lands within a constant factor
+    of the Hong-Kung lower bounds (experiment E9).
+
+    An ``order`` that violates the DAG's dependencies surfaces as a
+    :class:`PebbleGameError` (a predecessor would be neither red nor blue
+    when needed).
+    """
+    if red_pebble_limit < 3:
+        raise ConfigurationError(
+            "the LRU strategy needs at least 3 red pebbles (two operands + result)"
+        )
+    game = RedBluePebbleGame(dag, red_pebble_limit)
+    successors = dag.successors()
+    remaining_uses = {node: len(succs) for node, succs in successors.items()}
+    output_set = set(dag.outputs)
+    lru: OrderedDict[Node, None] = OrderedDict()
+
+    if order is None:
+        schedule = dag.topological_order()
+    else:
+        schedule = list(order)
+        missing = set(dag.predecessors) - set(schedule) - set(dag.inputs)
+        if missing:
+            raise ConfigurationError(
+                f"supplied order omits {len(missing)} non-input nodes"
+            )
+
+    def touch(node: Node) -> None:
+        lru[node] = None
+        lru.move_to_end(node)
+
+    def evict_one(pinned: set[Node]) -> None:
+        for victim in lru:
+            if victim in pinned:
+                continue
+            del lru[victim]
+            if remaining_uses[victim] > 0 or (
+                victim in output_set and victim not in game.blue
+            ):
+                game.store(victim)
+            game.delete(victim)
+            return
+        raise PebbleGameError(
+            f"red pebble limit {red_pebble_limit} is smaller than the working "
+            "set of a single node (its predecessors plus its result)"
+        )
+
+    def make_room(extra: int, pinned: set[Node]) -> None:
+        while len(game.red) + extra > red_pebble_limit:
+            evict_one(pinned)
+
+    for node in schedule:
+        preds = dag.predecessors[node]
+        if not preds:
+            continue  # inputs stay blue until first needed
+        pinned = set(preds)
+        # Ensure all predecessors are red.
+        for pred in preds:
+            if pred not in game.red:
+                make_room(1, pinned)
+                game.load(pred)
+            touch(pred)
+        # Place the result.
+        if node not in game.red:
+            make_room(1, pinned)
+        game.compute(node)
+        touch(node)
+        # Account for the uses just consumed, and discard values that are now
+        # dead (no pending successors and no pending output obligation): they
+        # would otherwise crowd the red-pebble budget and force premature
+        # store/reload pairs of still-live values.
+        for pred in preds:
+            remaining_uses[pred] -= 1
+            if (
+                remaining_uses[pred] == 0
+                and pred in game.red
+                and (pred not in output_set or pred in game.blue)
+            ):
+                lru.pop(pred, None)
+                game.delete(pred)
+
+    # Store any outputs still only in fast memory.
+    for out in dag.outputs:
+        if out not in game.blue:
+            if out not in game.red:
+                # The LRU policy stores evicted values with pending uses or
+                # pending output status, so an output missing from both red
+                # and blue would indicate a bookkeeping bug.
+                raise PebbleGameError(f"output {out!r} was lost before being stored")
+            game.store(out)
+
+    return game.result()

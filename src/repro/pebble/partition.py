@@ -1,0 +1,158 @@
+"""I/O lower bounds from the Hong-Kung 2S-partition argument.
+
+Hong and Kung (1981) show that any execution of a computation DAG with ``S``
+words of fast memory performs at least ``S * (P(2S) - 1)`` I/O operations,
+where ``P(2S)`` is the minimum number of parts in a *2S-partition* of the
+DAG.  Specialising the argument yields the closed-form bounds the paper
+cites:
+
+* matrix multiplication:  ``Q(S) = Omega(n**3 / sqrt(S))``,
+* FFT:                    ``Q(S) = Omega(n log2 n / log2 S)``,
+
+which in turn imply that the decompositions of Sections 3.1 and 3.4 (and the
+resulting ``alpha**2`` and ``M**alpha`` rebalancing laws) are the best
+possible.
+
+Besides the closed forms, :func:`greedy_partition_estimate` computes an
+upper bound on ``P(2S)`` by greedily segmenting a topological order into
+parts whose *dominator and minimum sets* stay within ``2S``; the derived
+quantity ``S * (parts - 1)`` is reported as an *estimate* of the lower bound
+for arbitrary DAGs (it is exact only when the greedy partition is optimal).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.pebble.dag import ComputationDAG
+
+__all__ = [
+    "matmul_io_lower_bound",
+    "fft_io_lower_bound",
+    "grid_io_lower_bound",
+    "PartitionEstimate",
+    "greedy_partition_estimate",
+]
+
+
+def matmul_io_lower_bound(n: int, fast_memory_words: int) -> float:
+    """Hong-Kung lower bound ``n**3 / (8 * sqrt(S))`` for matrix multiplication.
+
+    The constant ``1/8`` is the conservative one derivable from the original
+    2S-partition argument; tighter constants exist but are not needed to
+    check the *shape* of the measured curves.
+    """
+    if n < 1:
+        raise ConfigurationError("matrix order must be >= 1")
+    if fast_memory_words < 1:
+        raise ConfigurationError("fast_memory_words must be >= 1")
+    return float(n) ** 3 / (8.0 * math.sqrt(fast_memory_words))
+
+
+def fft_io_lower_bound(n_points: int, fast_memory_words: int) -> float:
+    """Hong-Kung lower bound ``n log2 n / (2 log2 (2S))`` for the FFT."""
+    if n_points < 2:
+        raise ConfigurationError("FFT size must be >= 2")
+    if fast_memory_words < 1:
+        raise ConfigurationError("fast_memory_words must be >= 1")
+    return (
+        n_points
+        * math.log2(n_points)
+        / (2.0 * math.log2(2.0 * max(2, fast_memory_words)))
+    )
+
+
+def grid_io_lower_bound(
+    side: int, iterations: int, fast_memory_words: int, *, dimension: int = 2
+) -> float:
+    """Lower bound for ``iterations`` sweeps of a d-dimensional grid.
+
+    Each sweep of a grid with ``side**d`` points that does not fit in fast
+    memory must move ``Omega(side**d / S**(1/d))`` words across the memory
+    boundary (the surface-to-volume argument of Section 3.3).
+    """
+    if dimension < 1:
+        raise ConfigurationError("dimension must be >= 1")
+    points = float(side) ** dimension
+    if points <= fast_memory_words:
+        return 0.0
+    per_sweep = points / float(fast_memory_words) ** (1.0 / dimension)
+    return 0.25 * per_sweep * iterations
+
+
+@dataclass(frozen=True)
+class PartitionEstimate:
+    """Result of the greedy 2S-partition construction."""
+
+    parts: int
+    fast_memory_words: int
+    io_lower_bound_estimate: float
+
+    def describe(self) -> str:
+        return (
+            f"greedy 2S-partition: {self.parts} parts at S={self.fast_memory_words} "
+            f"=> Q(S) >~ {self.io_lower_bound_estimate:g}"
+        )
+
+
+def greedy_partition_estimate(
+    dag: ComputationDAG, fast_memory_words: int
+) -> PartitionEstimate:
+    """Estimate the Hong-Kung lower bound via a greedy 2S-partition.
+
+    A part of a 2S-partition must have a dominator set (values entering the
+    part from outside) of at most ``2S`` nodes and a minimum set (values the
+    part exposes to later parts or to the outputs) of at most ``2S`` nodes.
+    The greedy construction scans a topological order and closes the current
+    part as soon as adding the next node would violate either limit.
+
+    The derived quantity ``S * (parts - 1)`` equals the Hong-Kung bound when
+    the greedy partition is optimal and is otherwise an *estimate* (greedy
+    partitions can only have more parts than optimal ones, so the estimate
+    can overshoot the true lower bound; it is reported for qualitative
+    comparison, not as a certified bound).
+    """
+    if fast_memory_words < 1:
+        raise ConfigurationError("fast_memory_words must be >= 1")
+    dag.validate()
+    limit = 2 * fast_memory_words
+    successors = dag.successors()
+    output_set = set(dag.outputs)
+
+    parts = 0
+    current: set = set()
+    dominators: set = set()
+
+    def minimum_set_size(part: set) -> int:
+        exposed = 0
+        for node in part:
+            if node in output_set or any(s not in part for s in successors[node]):
+                exposed += 1
+        return exposed
+
+    for node in dag.topological_order():
+        preds = dag.predecessors[node]
+        new_dominators = {p for p in preds if p not in current}
+        candidate_dominators = dominators | new_dominators
+        candidate_part = current | {node}
+        if (
+            len(candidate_dominators) > limit
+            or minimum_set_size(candidate_part) > limit
+        ) and current:
+            parts += 1
+            current = {node}
+            dominators = set(new_dominators)
+        else:
+            current = candidate_part
+            dominators = candidate_dominators
+    if current:
+        parts += 1
+
+    estimate = float(fast_memory_words) * max(0, parts - 1)
+    return PartitionEstimate(
+        parts=parts,
+        fast_memory_words=int(fast_memory_words),
+        io_lower_bound_estimate=estimate,
+    )

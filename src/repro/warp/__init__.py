@@ -1,0 +1,19 @@
+"""The CMU Warp machine case study (Section 5)."""
+
+from repro.warp.machine import (
+    WARP_CELL,
+    WarpCaseStudy,
+    analyse_cell,
+    compute_bandwidth_sweep,
+    warp_array_sizing,
+    warp_cell,
+)
+
+__all__ = [
+    "WARP_CELL",
+    "WarpCaseStudy",
+    "analyse_cell",
+    "compute_bandwidth_sweep",
+    "warp_array_sizing",
+    "warp_cell",
+]

@@ -1,0 +1,155 @@
+"""The CMU Warp machine case study (Section 5).
+
+The paper closes by observing that the Warp machine -- a one-dimensional
+systolic array of programmable cells, each delivering 10 million 32-bit
+floating-point operations per second, transferring 20 million words per
+second to its neighbours, and equipped with up to 64K 32-bit words of local
+memory -- reflects the paper's results: a relatively large I/O bandwidth and
+a relatively large per-cell memory.
+
+This module encodes those published parameters and provides the analysis the
+paper implies:
+
+* is a single Warp cell balanced (or compute-bound) for the matmul-class
+  kernels at realistic problem sizes?
+* how much per-cell memory does a ``p``-cell Warp-like linear array need for
+  matmul-class computations, and does the actual 64K-word memory cover it?
+* how does the required memory react to hypothetical increases of the cell's
+  compute bandwidth (the ``alpha`` sweep of Section 3)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arrays.aggregate import linear_array
+from repro.arrays.sizing import ArraySizingResult, size_array_memory
+from repro.core.intensity import IntensityFunction, PowerLawIntensity
+from repro.core.model import BoundKind, ComputationCost, ProcessingElement, assess_balance
+from repro.core.rebalance import balanced_memory_for_pe, rebalance_memory
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "WARP_CELL",
+    "WarpCaseStudy",
+    "warp_cell",
+    "warp_array_sizing",
+]
+
+#: Published per-cell parameters of the CMU Warp machine (Arnould et al. 1985).
+WARP_CELL = ProcessingElement(
+    compute_bandwidth=10e6,   # 10 MFLOPS
+    io_bandwidth=20e6,        # 20 Mwords/s to and from neighbouring cells
+    memory_words=64 * 1024,   # up to 64K 32-bit words of local memory
+    name="Warp cell",
+)
+
+
+def warp_cell(
+    *,
+    compute_bandwidth: float = WARP_CELL.compute_bandwidth,
+    io_bandwidth: float = WARP_CELL.io_bandwidth,
+    memory_words: int = WARP_CELL.memory_words,
+) -> ProcessingElement:
+    """A Warp-like cell, with the published values as defaults."""
+    return ProcessingElement(
+        compute_bandwidth=compute_bandwidth,
+        io_bandwidth=io_bandwidth,
+        memory_words=memory_words,
+        name="Warp cell",
+    )
+
+
+@dataclass(frozen=True)
+class WarpCaseStudy:
+    """Results of analysing the Warp cell for one computation."""
+
+    cell: ProcessingElement
+    intensity: IntensityFunction
+    memory_required_for_balance: float
+    memory_headroom: float
+    bound_at_full_memory: BoundKind
+
+    @property
+    def balanced_or_compute_bound(self) -> bool:
+        """The paper's qualitative conclusion: the cell is not I/O starved."""
+        return self.bound_at_full_memory is not BoundKind.IO_BOUND
+
+    def describe(self) -> str:
+        return (
+            f"{self.cell.name}: C/IO={self.cell.compute_io_ratio:g}; balance needs "
+            f"M >= {self.memory_required_for_balance:g} words, available "
+            f"{self.cell.memory_words} words (headroom {self.memory_headroom:g}x); "
+            f"at full memory the cell is {self.bound_at_full_memory.value}"
+        )
+
+
+def analyse_cell(
+    cell: ProcessingElement = WARP_CELL,
+    intensity: IntensityFunction | None = None,
+    *,
+    cost_at_full_memory: ComputationCost | None = None,
+) -> WarpCaseStudy:
+    """Check whether a Warp-like cell is balanced for a matmul-class computation.
+
+    The default intensity is the matrix-multiplication ``F(M) = sqrt(M)``;
+    ``cost_at_full_memory`` (defaults to the analytic intensity at the cell's
+    full memory) determines the bound classification.
+    """
+    intensity = intensity or PowerLawIntensity(exponent=0.5)
+    required = balanced_memory_for_pe(cell, intensity)
+    if cost_at_full_memory is None:
+        achieved_intensity = intensity(cell.memory_words)
+        cost_at_full_memory = ComputationCost(
+            compute_ops=achieved_intensity, io_words=1.0
+        )
+    assessment = assess_balance(cell, cost_at_full_memory)
+    headroom = cell.memory_words / required if required > 0 else float("inf")
+    return WarpCaseStudy(
+        cell=cell,
+        intensity=intensity,
+        memory_required_for_balance=required,
+        memory_headroom=headroom,
+        bound_at_full_memory=assessment.bound,
+    )
+
+
+def warp_array_sizing(
+    lengths: list[int] | tuple[int, ...],
+    *,
+    cell: ProcessingElement = WARP_CELL,
+    intensity: IntensityFunction | None = None,
+) -> list[ArraySizingResult]:
+    """Per-cell memory a Warp-like linear array needs as the array grows (Section 4.1)."""
+    if not lengths:
+        raise ConfigurationError("lengths must not be empty")
+    intensity = intensity or PowerLawIntensity(exponent=0.5)
+    # The reference PE must be balanced for the computation: give it the
+    # memory the balance condition demands at the cell's C/IO ratio.
+    balanced_memory = max(1, int(round(balanced_memory_for_pe(cell, intensity))))
+    reference = cell.with_memory(balanced_memory)
+    results = []
+    for p in lengths:
+        config = linear_array(reference, p, paper_idealization=True)
+        results.append(size_array_memory(config, intensity, reference))
+    return results
+
+
+def compute_bandwidth_sweep(
+    alphas: list[float] | tuple[float, ...],
+    *,
+    cell: ProcessingElement = WARP_CELL,
+    intensity: IntensityFunction | None = None,
+) -> list[tuple[float, float]]:
+    """Required memory when the cell's compute bandwidth is scaled by each ``alpha``.
+
+    Returns ``(alpha, memory_words)`` pairs; the starting point is the memory
+    that balances the unscaled cell.
+    """
+    intensity = intensity or PowerLawIntensity(exponent=0.5)
+    base_memory = balanced_memory_for_pe(cell, intensity)
+    series = []
+    for alpha in alphas:
+        result = rebalance_memory(intensity, base_memory, alpha, allow_infeasible=True)
+        series.append((float(alpha), result.memory_new))
+    return series

@@ -1,0 +1,147 @@
+"""Tests for the scaling-law fitting utilities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fitting import (
+    estimate_growth_exponent,
+    exponential_law_error,
+    fit_log_law,
+    fit_power_law,
+    select_intensity_model,
+)
+from repro.exceptions import FittingError
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law_recovered(self):
+        xs = [2.0**k for k in range(3, 10)]
+        ys = [3.0 * x**0.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_power_law(self):
+        rng = np.random.default_rng(1)
+        xs = [2.0**k for k in range(3, 14)]
+        ys = [x**0.5 * math.exp(rng.normal(0, 0.05)) for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.5, abs=0.07)
+
+    def test_predict(self):
+        fit = fit_power_law([4, 16, 64], [2, 4, 8])
+        assert fit.predict(256) == pytest.approx(16.0)
+
+    def test_describe(self):
+        assert "R^2" in fit_power_law([4, 16], [2, 4]).describe()
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(FittingError):
+            fit_power_law([4], [2])
+
+    def test_non_positive_values_rejected(self):
+        with pytest.raises(FittingError):
+            fit_power_law([4, 16], [0, 4])
+        with pytest.raises(FittingError):
+            fit_power_law([0, 16], [2, 4])
+
+    @given(
+        exponent=st.floats(min_value=-1.0, max_value=2.0),
+        coefficient=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=40)
+    def test_round_trip_property(self, exponent, coefficient):
+        xs = [2.0**k for k in range(2, 12)]
+        ys = [coefficient * x**exponent for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+        assert fit.coefficient == pytest.approx(coefficient, rel=1e-6)
+
+
+class TestFitLogLaw:
+    def test_exact_log_law_recovered(self):
+        xs = [2.0**k for k in range(2, 10)]
+        ys = [1.5 + 2.0 * math.log2(x) for x in xs]
+        fit = fit_log_law(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_log_law([2, 4, 8], [1, 2, 3])
+        assert fit.predict(16) == pytest.approx(4.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(FittingError):
+            fit_log_law([2, 4], [1])
+
+
+class TestSelectIntensityModel:
+    def test_sqrt_data_selects_power_law(self):
+        xs = [2.0**k for k in range(3, 14)]
+        assert select_intensity_model(xs, [x**0.5 for x in xs]) == "power-law"
+
+    def test_log_data_selects_logarithmic(self):
+        xs = [2.0**k for k in range(2, 14)]
+        assert select_intensity_model(xs, [math.log2(x) for x in xs]) == "logarithmic"
+
+    def test_flat_data_selects_constant(self):
+        xs = [2.0**k for k in range(2, 10)]
+        assert select_intensity_model(xs, [2.0] * len(xs)) == "constant"
+
+    def test_saturating_data_selects_constant(self):
+        xs = [2.0**k for k in range(2, 12)]
+        assert select_intensity_model(xs, [2.0 - 1.0 / x for x in xs]) == "constant"
+
+
+class TestEstimateGrowthExponent:
+    def test_quadratic_growth(self):
+        alphas = [1.0, 2.0, 3.0, 4.0]
+        growths = [a**2 for a in alphas]
+        assert estimate_growth_exponent(alphas, growths) == pytest.approx(2.0)
+
+    def test_degree_d_growth(self):
+        alphas = [1.5, 2.0, 3.0]
+        growths = [a**4 for a in alphas]
+        assert estimate_growth_exponent(alphas, growths) == pytest.approx(4.0)
+
+    def test_alpha_one_points_ignored(self):
+        assert estimate_growth_exponent([1.0, 2.0, 4.0], [1.0, 4.0, 16.0]) == pytest.approx(2.0)
+
+    def test_infinite_growth_points_ignored(self):
+        assert estimate_growth_exponent(
+            [2.0, 4.0, 8.0], [4.0, 16.0, math.inf]
+        ) == pytest.approx(2.0)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(FittingError):
+            estimate_growth_exponent([1.0, 2.0], [1.0, 4.0])
+
+
+class TestExponentialLawError:
+    def test_exact_law_has_zero_error(self):
+        memory_old = 16.0
+        alphas = [1.5, 2.0, 3.0]
+        memories = [memory_old**a for a in alphas]
+        assert exponential_law_error(memory_old, alphas, memories) == pytest.approx(0.0)
+
+    def test_polynomial_growth_has_large_error(self):
+        memory_old = 16.0
+        alphas = [2.0, 3.0, 4.0]
+        memories = [memory_old * a**2 for a in alphas]
+        assert exponential_law_error(memory_old, alphas, memories) > 0.3
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(FittingError):
+            exponential_law_error(1.0, [2.0], [4.0])
+        with pytest.raises(FittingError):
+            exponential_law_error(16.0, [2.0], [])
+        with pytest.raises(FittingError):
+            exponential_law_error(16.0, [2.0], [math.inf])

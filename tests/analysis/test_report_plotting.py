@@ -1,0 +1,117 @@
+"""Tests for table rendering, ASCII charts and CSV export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plotting import ascii_chart, save_csv
+from repro.analysis.report import Table
+from repro.exceptions import ConfigurationError
+
+
+class TestTable:
+    def test_add_row_and_render_ascii(self):
+        table = Table(columns=("name", "value"), title="demo")
+        table.add_row("alpha", 1.23456)
+        table.add_row("beta", 7)
+        text = table.render_ascii()
+        assert "demo" in text
+        assert "alpha" in text and "1.235" in text
+        assert text.count("\n") >= 3
+
+    def test_render_markdown_has_header_separator(self):
+        table = Table(columns=("a", "b"))
+        table.add_row(1, 2)
+        markdown = table.render_markdown()
+        assert "| a | b |" in markdown
+        assert "|---|---|" in markdown
+
+    def test_render_csv(self):
+        table = Table(columns=("a", "b"))
+        table.add_row("x,y", 3)
+        csv = table.render_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert "x;y" in csv  # commas inside cells are sanitised
+
+    def test_add_dict_rows_respects_column_order(self):
+        table = Table(columns=("first", "second"))
+        table.add_dict_rows([{"second": 2, "first": 1}])
+        assert table.rows[0] == (1, 2)
+
+    def test_wrong_arity_rejected(self):
+        table = Table(columns=("a", "b"))
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_str_is_ascii_rendering(self):
+        table = Table(columns=("a",))
+        table.add_row(1)
+        assert str(table) == table.render_ascii()
+
+    def test_float_format_override(self):
+        table = Table(columns=("v",), float_format=".1f")
+        table.add_row(3.14159)
+        assert "3.1" in table.render_ascii()
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            {"sqrt": ([1, 4, 16, 64], [1, 2, 4, 8])},
+            title="intensity",
+            x_label="M",
+            y_label="F",
+        )
+        assert "intensity" in chart
+        assert "legend" in chart
+        assert "o" in chart
+
+    def test_log_axes(self):
+        chart = ascii_chart(
+            {"series": ([1, 10, 100], [1, 10, 100])}, log_x=True, log_y=True
+        )
+        assert "log10" in chart
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_chart(
+            {
+                "a": ([1, 2, 3], [1, 2, 3]),
+                "b": ([1, 2, 3], [3, 2, 1]),
+            }
+        )
+        assert "o = a" in chart and "x = b" in chart
+
+    def test_log_axis_with_non_positive_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"bad": ([0, 1], [1, 2])}, log_x=True)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"empty": ([], [])})
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": ([1], [1])}, width=5, height=2)
+
+
+class TestSaveCsv:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = save_csv(tmp_path / "out.csv", ["x", "y"], [[1, 2], [3, 4]])
+        content = path.read_text().splitlines()
+        assert content[0] == "x,y"
+        assert content[1] == "1,2"
+        assert len(content) == 3
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_csv(tmp_path / "nested" / "dir" / "out.csv", ["x"], [[1]])
+        assert path.exists()
+
+    def test_row_arity_checked(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_csv(tmp_path / "out.csv", ["x", "y"], [[1]])
+
+    def test_empty_columns_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_csv(tmp_path / "out.csv", [], [])

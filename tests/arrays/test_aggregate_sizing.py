@@ -1,0 +1,145 @@
+"""Tests for the aggregate-PE view and per-cell memory sizing (Section 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.aggregate import ArrayConfiguration, linear_array, square_mesh
+from repro.arrays.sizing import (
+    linear_array_sizing_sweep,
+    mesh_sizing_sweep,
+    size_array_memory,
+)
+from repro.arrays.topology import LinearArrayTopology
+from repro.core.intensity import (
+    ConstantIntensity,
+    LogarithmicIntensity,
+    PowerLawIntensity,
+)
+from repro.core.model import ProcessingElement
+from repro.exceptions import ConfigurationError
+
+
+REFERENCE = ProcessingElement(
+    compute_bandwidth=32e6, io_bandwidth=1e6, memory_words=1024, name="ref"
+)
+MATMUL = PowerLawIntensity(exponent=0.5)
+
+
+class TestArrayConfiguration:
+    def test_linear_array_aggregate_bandwidths(self):
+        config = linear_array(REFERENCE, 8)
+        assert config.aggregate_compute_bandwidth == pytest.approx(8 * 32e6)
+        assert config.aggregate_io_bandwidth == pytest.approx(1e6)
+        assert config.aggregate_memory_words == 8 * 1024
+
+    def test_linear_array_alpha_is_p(self):
+        """Fig. 3: C/IO of the collection is p times the single PE's."""
+        config = linear_array(REFERENCE, 16)
+        assert config.bandwidth_ratio_increase(REFERENCE) == pytest.approx(16.0)
+
+    def test_mesh_alpha_is_p(self):
+        """Fig. 4: compute grows p^2, I/O grows p, so alpha = p."""
+        config = square_mesh(REFERENCE, 8)
+        assert config.bandwidth_ratio_increase(REFERENCE) == pytest.approx(8.0)
+
+    def test_boundary_io_model(self):
+        config = linear_array(REFERENCE, 8, paper_idealization=False)
+        assert config.aggregate_io_bandwidth == pytest.approx(2e6)
+        mesh = square_mesh(REFERENCE, 8, paper_idealization=False)
+        assert mesh.aggregate_io_bandwidth == pytest.approx((4 * 8 - 4) * 1e6)
+
+    def test_as_processing_element(self):
+        pe = linear_array(REFERENCE, 4).as_processing_element("agg")
+        assert pe.name == "agg"
+        assert pe.compute_io_ratio == pytest.approx(4 * REFERENCE.compute_io_ratio)
+
+    def test_invalid_external_links_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArrayConfiguration(
+                cell=REFERENCE, topology=LinearArrayTopology(4), external_links=0
+            )
+
+    def test_describe(self):
+        assert "mesh" in square_mesh(REFERENCE, 3).describe()
+
+
+class TestSizeArrayMemory:
+    def test_linear_array_total_memory_grows_p_squared(self):
+        result = size_array_memory(linear_array(REFERENCE, 8), MATMUL, REFERENCE)
+        assert result.total_memory_words == pytest.approx(64 * 1024)
+
+    def test_linear_array_per_cell_memory_grows_linearly(self):
+        """Section 4.1's headline: per-cell memory grows linearly with p."""
+        result = size_array_memory(linear_array(REFERENCE, 8), MATMUL, REFERENCE)
+        assert result.per_cell_memory_words == pytest.approx(8 * 1024)
+        assert result.per_cell_growth == pytest.approx(8.0)
+
+    def test_mesh_per_cell_memory_is_constant(self):
+        """Section 4.2's headline: the square mesh is automatically rebalanced."""
+        for side in (2, 8, 32):
+            result = size_array_memory(square_mesh(REFERENCE, side), MATMUL, REFERENCE)
+            assert result.per_cell_memory_words == pytest.approx(REFERENCE.memory_words)
+
+    def test_mesh_with_high_dimensional_grid_still_grows(self):
+        """For d > 2 the mesh cannot be automatically rebalanced (Section 4.2)."""
+        grid4d = PowerLawIntensity(exponent=0.25)
+        small = size_array_memory(square_mesh(REFERENCE, 2), grid4d, REFERENCE)
+        large = size_array_memory(square_mesh(REFERENCE, 8), grid4d, REFERENCE)
+        assert large.per_cell_memory_words > small.per_cell_memory_words
+        # per-cell requirement grows like p^(d-2) = p^2
+        assert large.per_cell_memory_words / small.per_cell_memory_words == pytest.approx(
+            16.0, rel=1e-6
+        )
+
+    def test_fft_on_linear_array_needs_exponential_memory(self):
+        result = size_array_memory(
+            linear_array(REFERENCE, 4), LogarithmicIntensity(), REFERENCE
+        )
+        assert result.total_memory_words == pytest.approx(float(1024) ** 4, rel=1e-6)
+
+    def test_io_bounded_computation_is_infeasible_on_arrays(self):
+        result = size_array_memory(
+            linear_array(REFERENCE, 4), ConstantIntensity(value=2.0), REFERENCE
+        )
+        assert result.feasible is False
+        assert math.isinf(result.per_cell_memory_words)
+        assert "infeasible" in result.describe()
+
+    def test_alpha_below_one_clamped(self):
+        """An array with more relative I/O than the reference needs no extra memory."""
+        config = ArrayConfiguration(
+            cell=REFERENCE, topology=LinearArrayTopology(2), external_links=8
+        )
+        result = size_array_memory(config, MATMUL, REFERENCE)
+        assert result.alpha == 1.0
+        assert result.total_memory_words == pytest.approx(REFERENCE.memory_words)
+
+    @given(p=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=30)
+    def test_linear_vs_mesh_property(self, p):
+        """Property: per-cell memory grows ~p on the line, stays flat on the mesh."""
+        line = size_array_memory(linear_array(REFERENCE, p), MATMUL, REFERENCE)
+        mesh = size_array_memory(square_mesh(REFERENCE, p), MATMUL, REFERENCE)
+        assert line.per_cell_growth == pytest.approx(p, rel=1e-9)
+        assert mesh.per_cell_growth == pytest.approx(1.0, rel=1e-9)
+
+
+class TestSizingSweeps:
+    def test_linear_sweep_lengths(self):
+        results = linear_array_sizing_sweep(MATMUL, REFERENCE, [2, 4, 8])
+        assert [r.cell_count for r in results] == [2, 4, 8]
+
+    def test_mesh_sweep_sides(self):
+        results = mesh_sizing_sweep(MATMUL, REFERENCE, [2, 4])
+        assert [r.cell_count for r in results] == [4, 16]
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            linear_array_sizing_sweep(MATMUL, REFERENCE, [])
+        with pytest.raises(ConfigurationError):
+            mesh_sizing_sweep(MATMUL, REFERENCE, [])

@@ -1,0 +1,149 @@
+"""Tests for the cycle-level systolic-array simulations (Section 4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.systolic import LinearMatvecArray, OutputStationaryMatmulArray
+from repro.exceptions import ConfigurationError
+
+
+class TestOutputStationaryMatmulArray:
+    def test_single_product_is_correct(self, rng):
+        n = 4
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        result = OutputStationaryMatmulArray(n).run([(a, b)])
+        np.testing.assert_allclose(result.outputs[0], a @ b, rtol=1e-10)
+
+    def test_identity_times_matrix(self):
+        n = 3
+        b = np.arange(9.0).reshape(3, 3)
+        result = OutputStationaryMatmulArray(n).run([(np.eye(n), b)])
+        np.testing.assert_allclose(result.outputs[0], b)
+
+    def test_batched_products_are_all_correct(self, rng):
+        n = 5
+        problems = [
+            (rng.standard_normal((n, n)), rng.standard_normal((n, n))) for _ in range(7)
+        ]
+        array = OutputStationaryMatmulArray(n)
+        assert array.verify(problems)
+
+    def test_cycle_count_single_product(self):
+        n = 4
+        a = np.eye(n)
+        result = OutputStationaryMatmulArray(n).run([(a, a)])
+        assert result.cycles == n + 2 * (n - 1)
+
+    def test_utilization_increases_with_batching(self, rng):
+        n = 4
+        array = OutputStationaryMatmulArray(n)
+        single = array.run([(rng.standard_normal((n, n)), rng.standard_normal((n, n)))])
+        many = array.run(
+            [
+                (rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+                for _ in range(20)
+            ]
+        )
+        assert many.utilization > single.utilization
+        assert many.utilization > 0.85
+
+    def test_active_cell_cycles_equal_mac_count(self, rng):
+        n = 3
+        batches = 4
+        problems = [
+            (rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+            for _ in range(batches)
+        ]
+        result = OutputStationaryMatmulArray(n).run(problems)
+        assert result.active_cell_cycles == batches * n**3
+
+    def test_wrong_shape_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            OutputStationaryMatmulArray(4).run(
+                [(rng.standard_normal((3, 3)), rng.standard_normal((3, 3)))]
+            )
+
+    def test_empty_problem_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OutputStationaryMatmulArray(4).run([])
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OutputStationaryMatmulArray(0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        batches=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_correctness_property(self, n, batches, seed):
+        """Property: the systolic dataflow always reproduces numpy's product."""
+        rng = np.random.default_rng(seed)
+        problems = [
+            (rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+            for _ in range(batches)
+        ]
+        result = OutputStationaryMatmulArray(n).run(problems)
+        for (a, b), c in zip(problems, result.outputs):
+            np.testing.assert_allclose(c, a @ b, rtol=1e-9, atol=1e-9)
+
+
+class TestLinearMatvecArray:
+    def test_single_product_is_correct(self, rng):
+        n = 6
+        a = rng.standard_normal((n, n))
+        x = rng.standard_normal(n)
+        result = LinearMatvecArray(n).run([(a, x)])
+        np.testing.assert_allclose(result.outputs[0], a @ x, rtol=1e-10)
+
+    def test_batched_products(self, rng):
+        n = 4
+        problems = [
+            (rng.standard_normal((n, n)), rng.standard_normal(n)) for _ in range(6)
+        ]
+        assert LinearMatvecArray(n).verify(problems)
+
+    def test_utilization_increases_with_batching(self, rng):
+        n = 5
+        array = LinearMatvecArray(n)
+        single = array.run([(rng.standard_normal((n, n)), rng.standard_normal(n))])
+        many = array.run(
+            [(rng.standard_normal((n, n)), rng.standard_normal(n)) for _ in range(20)]
+        )
+        assert many.utilization > single.utilization
+        assert many.utilization > 0.85
+
+    def test_active_cell_cycles_equal_multiply_count(self, rng):
+        n = 4
+        problems = [(rng.standard_normal((n, n)), rng.standard_normal(n)) for _ in range(3)]
+        result = LinearMatvecArray(n).run(problems)
+        assert result.active_cell_cycles == 3 * n * n
+
+    def test_wrong_shape_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            LinearMatvecArray(4).run([(rng.standard_normal((4, 4)), rng.standard_normal(5))])
+
+    def test_empty_problem_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearMatvecArray(3).run([])
+
+    @given(
+        n=st.integers(min_value=1, max_value=8),
+        batches=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_correctness_property(self, n, batches, seed):
+        rng = np.random.default_rng(seed)
+        problems = [
+            (rng.standard_normal((n, n)), rng.standard_normal(n)) for _ in range(batches)
+        ]
+        result = LinearMatvecArray(n).run(problems)
+        for (a, x), y in zip(problems, result.outputs):
+            np.testing.assert_allclose(y, a @ x, rtol=1e-9, atol=1e-9)

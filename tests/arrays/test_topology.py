@@ -1,0 +1,74 @@
+"""Tests for the processor-array topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.topology import LinearArrayTopology, MeshTopology
+from repro.exceptions import ConfigurationError
+
+
+class TestLinearArrayTopology:
+    def test_counts(self):
+        topology = LinearArrayTopology(10)
+        assert topology.cell_count == 10
+        assert topology.boundary_cell_count == 2
+        assert len(topology.cells()) == 10
+
+    def test_single_cell_boundary(self):
+        assert LinearArrayTopology(1).boundary_cell_count == 1
+
+    def test_neighbors_interior_and_ends(self):
+        topology = LinearArrayTopology(5)
+        assert topology.neighbors((2,)) == [(1,), (3,)]
+        assert topology.neighbors((0,)) == [(1,)]
+        assert topology.neighbors((4,)) == [(3,)]
+
+    def test_out_of_range_cell_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearArrayTopology(3).neighbors((5,))
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearArrayTopology(0)
+
+    def test_describe(self):
+        assert "7" in LinearArrayTopology(7).describe()
+
+
+class TestMeshTopology:
+    def test_counts(self):
+        mesh = MeshTopology(4, 6)
+        assert mesh.cell_count == 24
+        assert mesh.boundary_cell_count == 2 * (4 + 6) - 4
+
+    def test_square_constructor(self):
+        mesh = MeshTopology.square(5)
+        assert mesh.rows == mesh.cols == 5
+
+    def test_degenerate_mesh_is_all_boundary(self):
+        assert MeshTopology(1, 8).boundary_cell_count == 8
+
+    def test_neighbors_interior_edge_corner(self):
+        mesh = MeshTopology.square(4)
+        assert len(mesh.neighbors((1, 1))) == 4
+        assert len(mesh.neighbors((0, 1))) == 3
+        assert len(mesh.neighbors((0, 0))) == 2
+
+    def test_is_boundary(self):
+        mesh = MeshTopology.square(4)
+        assert mesh.is_boundary((0, 2))
+        assert not mesh.is_boundary((1, 2))
+
+    def test_boundary_count_matches_is_boundary(self):
+        mesh = MeshTopology.square(6)
+        counted = sum(1 for cell in mesh.cells() if mesh.is_boundary(cell))
+        assert counted == mesh.boundary_cell_count
+
+    def test_out_of_range_cell_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology.square(3).neighbors((3, 0))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology(0, 3)

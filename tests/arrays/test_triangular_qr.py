@@ -1,0 +1,110 @@
+"""Tests for the Gentleman-Kung triangular systolic QR array."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.triangular_qr import (
+    GentlemanKungTriangularArray,
+    givens_rotation,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestGivensRotation:
+    def test_annihilates_second_component(self):
+        c, s = givens_rotation(3.0, 4.0)
+        assert c * 4.0 - s * 3.0 == pytest.approx(0.0)
+        assert c * 3.0 + s * 4.0 == pytest.approx(5.0)
+
+    def test_zero_pair(self):
+        assert givens_rotation(0.0, 0.0) == (1.0, 0.0)
+
+    def test_unit_norm(self):
+        c, s = givens_rotation(-2.0, 7.0)
+        assert c * c + s * s == pytest.approx(1.0)
+
+    @given(a=st.floats(-1e6, 1e6), b=st.floats(-1e6, 1e6))
+    @settings(max_examples=60)
+    def test_rotation_properties(self, a, b):
+        c, s = givens_rotation(a, b)
+        assert c * c + s * s == pytest.approx(1.0, abs=1e-9)
+        r = c * a + s * b
+        assert -s * a + c * b == pytest.approx(0.0, abs=1e-6 * max(1.0, abs(r)))
+        assert r >= -1e-9
+
+
+class TestGentlemanKungTriangularArray:
+    def test_r_factor_matches_lapack_square(self, rng):
+        a = rng.standard_normal((8, 8))
+        assert GentlemanKungTriangularArray(8).verify(a)
+
+    def test_r_factor_matches_lapack_tall(self, rng):
+        a = rng.standard_normal((20, 6))
+        assert GentlemanKungTriangularArray(6).verify(a)
+
+    def test_r_reconstructs_gram_matrix(self, rng):
+        """R^T R == A^T A (Q is orthogonal even though it is never formed)."""
+        a = rng.standard_normal((12, 5))
+        result = GentlemanKungTriangularArray(5).run(a)
+        np.testing.assert_allclose(
+            result.r_factor.T @ result.r_factor, a.T @ a, rtol=1e-8, atol=1e-8
+        )
+
+    def test_diagonal_is_non_negative(self, rng):
+        a = rng.standard_normal((10, 7))
+        result = GentlemanKungTriangularArray(7).run(a)
+        assert np.all(np.diag(result.r_factor) >= -1e-12)
+
+    def test_r_is_upper_triangular(self, rng):
+        a = rng.standard_normal((9, 6))
+        result = GentlemanKungTriangularArray(6).run(a)
+        np.testing.assert_allclose(np.tril(result.r_factor, -1), 0.0, atol=1e-12)
+
+    def test_cell_count_is_triangular_number(self):
+        assert GentlemanKungTriangularArray(6).cell_count == 21
+
+    def test_cycle_count_follows_skewed_schedule(self, rng):
+        a = rng.standard_normal((10, 4))
+        result = GentlemanKungTriangularArray(4).run(a)
+        assert result.cycles == 10 + 2 * 4 - 1
+
+    def test_rotation_count(self, rng):
+        a = rng.standard_normal((10, 4))
+        result = GentlemanKungTriangularArray(4).run(a)
+        assert result.rotations_generated == 10 * 4
+
+    def test_utilization_improves_with_more_rows(self, rng):
+        array = GentlemanKungTriangularArray(6)
+        few = array.run(rng.standard_normal((6, 6)))
+        many = array.run(rng.standard_normal((60, 6)))
+        assert many.utilization > few.utilization
+        assert many.utilization > 0.8
+
+    def test_wrong_width_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            GentlemanKungTriangularArray(4).run(rng.standard_normal((5, 3)))
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GentlemanKungTriangularArray(0)
+
+    @given(
+        m=st.integers(min_value=1, max_value=16),
+        n=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gram_matrix_property(self, m, n, seed):
+        """Property: R^T R == A^T A for any input shape."""
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, n))
+        result = GentlemanKungTriangularArray(n).run(a)
+        np.testing.assert_allclose(
+            result.r_factor.T @ result.r_factor, a.T @ a, rtol=1e-7, atol=1e-7
+        )

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import ProcessingElement
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for test problems."""
+    return np.random.default_rng(20260615)
+
+
+@pytest.fixture
+def balanced_matmul_pe() -> ProcessingElement:
+    """A PE balanced for matrix multiplication at M = 256 (intensity 16)."""
+    return ProcessingElement(
+        compute_bandwidth=16e6,
+        io_bandwidth=1e6,
+        memory_words=256,
+        name="balanced-matmul-PE",
+    )
+
+
+@pytest.fixture
+def small_matrices(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """A pair of small random matrices for multiplication kernels."""
+    return rng.standard_normal((12, 12)), rng.standard_normal((12, 12))

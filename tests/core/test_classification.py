@@ -1,0 +1,127 @@
+"""Tests for the computation-class taxonomy and measured-curve classification."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classification import (
+    ComputationClass,
+    classify_intensity,
+    classify_samples,
+)
+from repro.core.intensity import (
+    ConstantIntensity,
+    LogarithmicIntensity,
+    PowerLawIntensity,
+    TabulatedIntensity,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestClassifyIntensity:
+    def test_matmul_is_polynomial_degree_two(self):
+        result = classify_intensity(PowerLawIntensity(exponent=0.5))
+        assert result.computation_class is ComputationClass.POLYNOMIAL
+        assert result.detail == pytest.approx(2.0)
+
+    def test_grid_d_is_polynomial_degree_d(self):
+        result = classify_intensity(PowerLawIntensity(exponent=0.2))
+        assert result.detail == pytest.approx(5.0)
+
+    def test_fft_is_exponential(self):
+        result = classify_intensity(LogarithmicIntensity())
+        assert result.computation_class is ComputationClass.EXPONENTIAL
+
+    def test_matvec_is_io_bounded(self):
+        result = classify_intensity(ConstantIntensity(value=2.0))
+        assert result.computation_class is ComputationClass.IO_BOUNDED
+        assert result.detail == pytest.approx(2.0)
+
+    def test_io_bounded_is_not_rebalancable(self):
+        assert ComputationClass.IO_BOUNDED.rebalancable is False
+        assert ComputationClass.POLYNOMIAL.rebalancable is True
+        assert ComputationClass.EXPONENTIAL.rebalancable is True
+
+    def test_tabulated_intensity_is_classified_from_samples(self):
+        mems = [2.0**k for k in range(2, 12)]
+        table = TabulatedIntensity(mems, [m**0.5 for m in mems])
+        result = classify_intensity(table)
+        assert result.computation_class is ComputationClass.POLYNOMIAL
+
+    def test_describe_strings(self):
+        assert "alpha^" in classify_intensity(PowerLawIntensity(exponent=0.5)).describe()
+        assert "M_old^alpha" in classify_intensity(LogarithmicIntensity()).describe()
+        assert "I/O bounded" in classify_intensity(ConstantIntensity()).describe()
+
+
+class TestClassifySamples:
+    def test_sqrt_samples_classified_polynomial(self):
+        mems = [2.0**k for k in range(3, 14)]
+        result = classify_samples(mems, [m**0.5 for m in mems])
+        assert result.computation_class is ComputationClass.POLYNOMIAL
+        assert result.detail == pytest.approx(2.0, rel=0.05)
+
+    def test_cube_root_samples_classified_polynomial_degree_three(self):
+        mems = [2.0**k for k in range(3, 16)]
+        result = classify_samples(mems, [m ** (1 / 3) for m in mems])
+        assert result.detail == pytest.approx(3.0, rel=0.05)
+
+    def test_log_samples_classified_exponential(self):
+        mems = [2.0**k for k in range(2, 14)]
+        result = classify_samples(mems, [math.log2(m) for m in mems])
+        assert result.computation_class is ComputationClass.EXPONENTIAL
+
+    def test_flat_samples_classified_io_bounded(self):
+        mems = [2.0**k for k in range(2, 10)]
+        result = classify_samples(mems, [2.0 for _ in mems])
+        assert result.computation_class is ComputationClass.IO_BOUNDED
+        assert result.detail == pytest.approx(2.0)
+
+    def test_saturating_samples_classified_io_bounded(self):
+        """Intensity that plateaus (triangular solve) counts as I/O bounded."""
+        mems = [2.0**k for k in range(2, 12)]
+        values = [2.0 - 1.0 / m for m in mems]
+        result = classify_samples(mems, values)
+        assert result.computation_class is ComputationClass.IO_BOUNDED
+
+    def test_noisy_sqrt_still_polynomial(self):
+        mems = [2.0**k for k in range(3, 14)]
+        values = [m**0.5 * (1.05 if k % 2 else 0.95) for k, m in enumerate(mems)]
+        result = classify_samples(mems, values)
+        assert result.computation_class is ComputationClass.POLYNOMIAL
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_samples([4, 8], [2, 3])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_samples([4, 8, 16], [2, 3])
+
+    def test_non_positive_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_samples([4, 8, 16], [1, -1, 2])
+
+    def test_equal_memories_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_samples([4, 4, 4], [1, 2, 3])
+
+    @given(exponent=st.floats(min_value=0.25, max_value=1.0))
+    @settings(max_examples=30)
+    def test_power_law_samples_recover_exponent(self, exponent):
+        """Property: classification recovers 1/exponent as the law degree."""
+        mems = [2.0**k for k in range(3, 16)]
+        result = classify_samples(mems, [m**exponent for m in mems])
+        assert result.computation_class is ComputationClass.POLYNOMIAL
+        assert result.detail == pytest.approx(1.0 / exponent, rel=0.1)
+
+    @given(coefficient=st.floats(min_value=0.5, max_value=5.0))
+    @settings(max_examples=30)
+    def test_log_law_samples_classified_exponential(self, coefficient):
+        mems = [2.0**k for k in range(2, 16)]
+        result = classify_samples(mems, [coefficient * math.log2(m) for m in mems])
+        assert result.computation_class is ComputationClass.EXPONENTIAL

@@ -1,0 +1,178 @@
+"""Tests for the PE model and the balance condition (Section 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    BoundKind,
+    ComputationCost,
+    ProcessingElement,
+    assess_balance,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestProcessingElement:
+    def test_compute_io_ratio(self):
+        pe = ProcessingElement(compute_bandwidth=10e6, io_bandwidth=2e6, memory_words=100)
+        assert pe.compute_io_ratio == pytest.approx(5.0)
+
+    def test_with_memory_returns_new_pe(self):
+        pe = ProcessingElement(1e6, 1e6, 100)
+        bigger = pe.with_memory(400)
+        assert bigger.memory_words == 400
+        assert pe.memory_words == 100  # original unchanged
+
+    def test_with_memory_rounds_up(self):
+        pe = ProcessingElement(1e6, 1e6, 100)
+        assert pe.with_memory(100.2).memory_words == 101
+
+    def test_with_compute_scaled(self):
+        pe = ProcessingElement(1e6, 1e6, 100)
+        assert pe.with_compute_scaled(4.0).compute_io_ratio == pytest.approx(4.0)
+
+    def test_with_io_scaled(self):
+        pe = ProcessingElement(1e6, 1e6, 100)
+        assert pe.with_io_scaled(2.0).compute_io_ratio == pytest.approx(0.5)
+
+    def test_describe_contains_parameters(self):
+        pe = ProcessingElement(1e6, 2e6, 128, name="cell")
+        text = pe.describe()
+        assert "cell" in text and "128" in text
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"compute_bandwidth": 0, "io_bandwidth": 1e6, "memory_words": 10},
+            {"compute_bandwidth": 1e6, "io_bandwidth": 0, "memory_words": 10},
+            {"compute_bandwidth": 1e6, "io_bandwidth": 1e6, "memory_words": 0},
+            {"compute_bandwidth": -1, "io_bandwidth": 1e6, "memory_words": 10},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ProcessingElement(**kwargs)
+
+    def test_invalid_scale_factor_rejected(self):
+        pe = ProcessingElement(1e6, 1e6, 100)
+        with pytest.raises(ConfigurationError):
+            pe.with_compute_scaled(0)
+        with pytest.raises(ConfigurationError):
+            pe.with_io_scaled(-1)
+
+
+class TestComputationCost:
+    def test_intensity(self):
+        assert ComputationCost(100, 25).intensity == pytest.approx(4.0)
+
+    def test_intensity_with_zero_io_is_infinite(self):
+        assert ComputationCost(100, 0).intensity == math.inf
+
+    def test_addition(self):
+        total = ComputationCost(10, 5) + ComputationCost(20, 15)
+        assert total.compute_ops == 30 and total.io_words == 20
+
+    def test_scaled(self):
+        scaled = ComputationCost(10, 5).scaled(3)
+        assert scaled.compute_ops == 30 and scaled.io_words == 15
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComputationCost(-1, 0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComputationCost(1, 1).scaled(-1)
+
+
+class TestAssessBalance:
+    def test_balanced_when_ratio_matches_intensity(self):
+        """Equation (1): balanced iff C/IO equals C_comp/C_io."""
+        pe = ProcessingElement(compute_bandwidth=4e6, io_bandwidth=1e6, memory_words=16)
+        cost = ComputationCost(compute_ops=4000, io_words=1000)  # intensity 4 = C/IO
+        assessment = assess_balance(pe, cost)
+        assert assessment.bound is BoundKind.BALANCED
+        assert assessment.compute_time == pytest.approx(assessment.io_time)
+
+    def test_io_bound_when_intensity_below_ratio(self):
+        pe = ProcessingElement(compute_bandwidth=10e6, io_bandwidth=1e6, memory_words=16)
+        cost = ComputationCost(compute_ops=1000, io_words=1000)  # intensity 1 << 10
+        assessment = assess_balance(pe, cost)
+        assert assessment.bound is BoundKind.IO_BOUND
+        assert assessment.io_time > assessment.compute_time
+
+    def test_compute_bound_when_intensity_above_ratio(self):
+        pe = ProcessingElement(compute_bandwidth=1e6, io_bandwidth=1e6, memory_words=16)
+        cost = ComputationCost(compute_ops=50_000, io_words=1000)
+        assert assess_balance(pe, cost).bound is BoundKind.COMPUTE_BOUND
+
+    def test_tolerance_widens_balanced_band(self):
+        pe = ProcessingElement(compute_bandwidth=1e6, io_bandwidth=1e6, memory_words=16)
+        cost = ComputationCost(compute_ops=1000, io_words=1080)
+        assert assess_balance(pe, cost, tolerance=0.0).bound is BoundKind.IO_BOUND
+        assert assess_balance(pe, cost, tolerance=0.10).bound is BoundKind.BALANCED
+
+    def test_times_match_bandwidths(self):
+        pe = ProcessingElement(compute_bandwidth=2e6, io_bandwidth=5e5, memory_words=16)
+        cost = ComputationCost(compute_ops=4e6, io_words=1e6)
+        assessment = assess_balance(pe, cost)
+        assert assessment.compute_time == pytest.approx(2.0)
+        assert assessment.io_time == pytest.approx(2.0)
+
+    def test_serial_and_overlapped_totals(self):
+        pe = ProcessingElement(compute_bandwidth=1e6, io_bandwidth=1e6, memory_words=16)
+        cost = ComputationCost(compute_ops=3e6, io_words=1e6)
+        assessment = assess_balance(pe, cost)
+        assert assessment.total_time_serial == pytest.approx(4.0)
+        assert assessment.total_time_overlapped == pytest.approx(3.0)
+
+    def test_imbalance_of_balanced_execution_is_one(self):
+        pe = ProcessingElement(compute_bandwidth=1e6, io_bandwidth=1e6, memory_words=16)
+        cost = ComputationCost(compute_ops=1e6, io_words=1e6)
+        assert assess_balance(pe, cost).imbalance == pytest.approx(1.0)
+
+    def test_utilizations_sum_behaviour(self):
+        pe = ProcessingElement(compute_bandwidth=1e6, io_bandwidth=1e6, memory_words=16)
+        cost = ComputationCost(compute_ops=2e6, io_words=1e6)
+        assessment = assess_balance(pe, cost)
+        assert assessment.compute_utilization == pytest.approx(1.0)
+        assert assessment.io_utilization == pytest.approx(0.5)
+
+    def test_zero_cost_is_balanced(self):
+        pe = ProcessingElement(compute_bandwidth=1e6, io_bandwidth=1e6, memory_words=16)
+        assert assess_balance(pe, ComputationCost(0, 0)).bound is BoundKind.BALANCED
+
+    def test_negative_tolerance_rejected(self):
+        pe = ProcessingElement(1e6, 1e6, 16)
+        with pytest.raises(ConfigurationError):
+            assess_balance(pe, ComputationCost(1, 1), tolerance=-0.1)
+
+    @given(
+        ratio=st.floats(min_value=0.01, max_value=100.0),
+        intensity=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=80)
+    def test_classification_matches_ratio_comparison(self, ratio, intensity):
+        """Property: the bound kind follows the sign of (intensity - C/IO).
+
+        Near-equal values are excluded: with zero tolerance the outcome there
+        is decided by floating-point rounding, and exact equality is covered
+        by the deterministic balanced-case test above.
+        """
+        from hypothesis import assume
+
+        assume(abs(intensity - ratio) / max(intensity, ratio) > 1e-6)
+        pe = ProcessingElement(
+            compute_bandwidth=ratio * 1e6, io_bandwidth=1e6, memory_words=16
+        )
+        cost = ComputationCost(compute_ops=intensity * 1000.0, io_words=1000.0)
+        assessment = assess_balance(pe, cost, tolerance=0.0)
+        if intensity > ratio:
+            assert assessment.bound is BoundKind.COMPUTE_BOUND
+        else:
+            assert assessment.bound is BoundKind.IO_BOUND

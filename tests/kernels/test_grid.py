@@ -1,0 +1,212 @@
+"""Tests for the d-dimensional grid-relaxation kernel (Section 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, MemoryCapacityError
+from repro.kernels.grid import (
+    GridRelaxation,
+    block_side_for_memory,
+    reference_relaxation,
+)
+
+
+class TestBlockSideForMemory:
+    def test_two_dimensional(self):
+        # side t satisfies (t+2)^2 <= M
+        assert block_side_for_memory(100, 2) == 8
+
+    def test_three_dimensional(self):
+        assert block_side_for_memory(1000, 3) == 8
+
+    def test_minimum_side_is_one(self):
+        assert block_side_for_memory(4, 2) == 1
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ConfigurationError):
+            block_side_for_memory(100, 0)
+
+
+class TestReferenceRelaxation:
+    def test_constant_interior_unchanged_without_boundary(self):
+        """A constant grid stays constant away from the zero boundary."""
+        grid = np.ones((9, 9))
+        out = reference_relaxation(grid, 1)
+        assert out[4, 4] == pytest.approx(1.0)
+
+    def test_single_iteration_matches_manual_stencil(self):
+        grid = np.arange(25, dtype=float).reshape(5, 5)
+        out = reference_relaxation(grid, 1)
+        expected_center = (grid[2, 2] + grid[1, 2] + grid[3, 2] + grid[2, 1] + grid[2, 3]) / 5
+        assert out[2, 2] == pytest.approx(expected_center)
+
+    def test_one_dimensional(self):
+        grid = np.array([1.0, 2.0, 3.0])
+        out = reference_relaxation(grid, 1)
+        assert out[1] == pytest.approx(2.0)
+
+
+class TestGridRelaxationCorrectness:
+    @pytest.mark.parametrize("dimension", [1, 2, 3])
+    def test_matches_reference(self, dimension, rng):
+        kernel = GridRelaxation(dimension=dimension)
+        side = {1: 32, 2: 12, 3: 6}[dimension]
+        grid = rng.standard_normal((side,) * dimension)
+        origin = (side // 4,) * dimension
+        shape = (side // 2,) * dimension
+        problem = {
+            "grid": grid,
+            "block_origin": origin,
+            "block_shape": shape,
+            "iterations": 4,
+        }
+        execution = kernel.execute(side**dimension * 4, **problem)
+        np.testing.assert_allclose(
+            execution.output, kernel.reference(**problem), rtol=1e-10, atol=1e-12
+        )
+
+    def test_block_at_grid_corner(self, rng):
+        kernel = GridRelaxation(dimension=2)
+        grid = rng.standard_normal((10, 10))
+        problem = {
+            "grid": grid,
+            "block_origin": (0, 0),
+            "block_shape": (4, 4),
+            "iterations": 3,
+        }
+        execution = kernel.execute(200, **problem)
+        np.testing.assert_allclose(execution.output, kernel.reference(**problem), rtol=1e-10)
+
+    def test_block_outside_grid_rejected(self, rng):
+        kernel = GridRelaxation(dimension=2)
+        with pytest.raises(ConfigurationError):
+            kernel.execute(
+                200,
+                grid=rng.standard_normal((8, 8)),
+                block_origin=(6, 6),
+                block_shape=(4, 4),
+                iterations=1,
+            )
+
+    def test_dimension_mismatch_rejected(self, rng):
+        kernel = GridRelaxation(dimension=2)
+        with pytest.raises(ConfigurationError):
+            kernel.execute(
+                200,
+                grid=rng.standard_normal(8),
+                block_origin=(0,),
+                block_shape=(4,),
+                iterations=1,
+            )
+
+    def test_zero_iterations_rejected(self, rng):
+        kernel = GridRelaxation(dimension=2)
+        with pytest.raises(ConfigurationError):
+            kernel.execute(
+                200,
+                grid=rng.standard_normal((8, 8)),
+                block_origin=(0, 0),
+                block_shape=(4, 4),
+                iterations=0,
+            )
+
+    def test_block_too_large_for_memory_rejected(self, rng):
+        kernel = GridRelaxation(dimension=2)
+        with pytest.raises(MemoryCapacityError):
+            kernel.execute(
+                16,
+                grid=rng.standard_normal((12, 12)),
+                block_origin=(1, 1),
+                block_shape=(8, 8),
+                iterations=1,
+            )
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridRelaxation(dimension=0)
+
+    @given(
+        side=st.integers(min_value=6, max_value=14),
+        block=st.integers(min_value=2, max_value=5),
+        iterations=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_2d_block_always_matches_reference(self, side, block, iterations, seed):
+        """Property: the PE's block agrees with the whole-grid evolution."""
+        rng = np.random.default_rng(seed)
+        kernel = GridRelaxation(dimension=2)
+        grid = rng.standard_normal((side, side))
+        origin = ((side - block) // 2,) * 2
+        problem = {
+            "grid": grid,
+            "block_origin": origin,
+            "block_shape": (block, block),
+            "iterations": iterations,
+        }
+        execution = kernel.execute(4 * side * side, **problem)
+        np.testing.assert_allclose(
+            execution.output, kernel.reference(**problem), rtol=1e-9, atol=1e-11
+        )
+
+
+class TestGridRelaxationCosts:
+    def test_io_is_surface_not_volume(self, rng):
+        """Per-iteration I/O is the halo, far smaller than the block volume."""
+        kernel = GridRelaxation(dimension=2)
+        grid = rng.standard_normal((40, 40))
+        problem = {
+            "grid": grid,
+            "block_origin": (10, 10),
+            "block_shape": (20, 20),
+            "iterations": 10,
+        }
+        execution = kernel.execute(4000, **problem)
+        block_words = 400
+        per_iteration_io = (execution.cost.io_words - block_words) / 10
+        assert per_iteration_io < block_words
+
+    def test_intensity_grows_with_block_side(self):
+        kernel = GridRelaxation(dimension=2)
+        intensities = []
+        for memory in (100, 400, 1600):
+            problem = kernel.problem_for_memory(memory, scale=3)
+            intensities.append(kernel.execute(memory, **problem).intensity)
+        assert intensities[0] < intensities[1] < intensities[2]
+
+    def test_3d_intensity_grows_slower_than_2d(self):
+        """Higher dimension => weaker intensity growth (exponent 1/d).
+
+        The block sides are kept large enough (memories 1728 and 13824 words)
+        that the halo overhead does not mask the surface-to-volume asymptotics.
+        """
+        ratios = {}
+        for dimension in (2, 3):
+            kernel = GridRelaxation(dimension=dimension)
+            small = kernel.execute(1728, **kernel.problem_for_memory(1728, scale=3))
+            large = kernel.execute(13824, **kernel.problem_for_memory(13824, scale=3))
+            ratios[dimension] = large.intensity / small.intensity
+        assert ratios[3] < ratios[2]
+
+    def test_problem_for_memory_fits_in_memory(self):
+        kernel = GridRelaxation(dimension=2)
+        for memory in (64, 256, 1024):
+            problem = kernel.problem_for_memory(memory, scale=1)
+            execution = kernel.execute(memory, **problem)
+            assert execution.peak_memory_words <= memory
+
+    def test_phases_one_per_iteration(self, rng):
+        kernel = GridRelaxation(dimension=2)
+        grid = rng.standard_normal((12, 12))
+        execution = kernel.execute(
+            400,
+            grid=grid,
+            block_origin=(3, 3),
+            block_shape=(6, 6),
+            iterations=7,
+        )
+        assert len(execution.phases) == 7

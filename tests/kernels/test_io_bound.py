@@ -1,0 +1,147 @@
+"""Tests for the I/O-bounded kernels (Section 3.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.kernels.io_bound import (
+    StreamingMatrixVectorProduct,
+    StreamingTriangularSolve,
+)
+
+
+class TestStreamingMatrixVectorProduct:
+    @pytest.mark.parametrize("memory", [4, 16, 64, 1024])
+    def test_matches_numpy(self, memory, rng):
+        a = rng.standard_normal((20, 20))
+        x = rng.standard_normal(20)
+        execution = StreamingMatrixVectorProduct().execute(memory, a=a, x=x)
+        np.testing.assert_allclose(execution.output, a @ x, rtol=1e-10)
+
+    def test_rectangular_matrix(self, rng):
+        a = rng.standard_normal((7, 13))
+        x = rng.standard_normal(13)
+        execution = StreamingMatrixVectorProduct().execute(16, a=a, x=x)
+        np.testing.assert_allclose(execution.output, a @ x, rtol=1e-10)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            StreamingMatrixVectorProduct().execute(
+                16, a=rng.standard_normal((4, 4)), x=rng.standard_normal(5)
+            )
+
+    def test_peak_residency_within_budget(self, rng):
+        a = rng.standard_normal((30, 30))
+        x = rng.standard_normal(30)
+        for memory in (4, 16, 64):
+            execution = StreamingMatrixVectorProduct().execute(memory, a=a, x=x)
+            assert execution.peak_memory_words <= memory
+
+    def test_ops_are_2n_squared(self, rng):
+        n = 25
+        a = rng.standard_normal((n, n))
+        x = rng.standard_normal(n)
+        execution = StreamingMatrixVectorProduct().execute(64, a=a, x=x)
+        assert execution.cost.compute_ops == pytest.approx(2 * n * n)
+
+    def test_intensity_saturates_with_memory(self, rng):
+        """The defining property of an I/O-bounded computation (Section 3.6)."""
+        n = 48
+        a = rng.standard_normal((n, n))
+        x = rng.standard_normal(n)
+        kernel = StreamingMatrixVectorProduct()
+        intensities = [kernel.execute(m, a=a, x=x).intensity for m in (16, 256, 4096)]
+        # Larger memory never pushes the intensity beyond the constant 2.
+        assert intensities[-1] <= 2.0 + 1e-9
+        assert intensities[-1] / intensities[0] < 1.3
+
+    def test_io_never_below_matrix_size(self, rng):
+        """Every matrix element must cross the I/O channel at least once."""
+        n = 20
+        a = rng.standard_normal((n, n))
+        x = rng.standard_normal(n)
+        execution = StreamingMatrixVectorProduct().execute(10_000, a=a, x=x)
+        assert execution.cost.io_words >= n * n
+
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        memory=st.integers(min_value=4, max_value=256),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_correctness_property(self, n, memory, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        x = rng.standard_normal(n)
+        execution = StreamingMatrixVectorProduct().execute(memory, a=a, x=x)
+        np.testing.assert_allclose(execution.output, a @ x, rtol=1e-9, atol=1e-9)
+
+
+class TestStreamingTriangularSolve:
+    @pytest.mark.parametrize("memory", [4, 16, 64, 1024])
+    def test_matches_numpy_solve(self, memory, rng):
+        kernel = StreamingTriangularSolve()
+        problem = kernel.default_problem(20)
+        execution = kernel.execute(memory, **problem)
+        np.testing.assert_allclose(
+            execution.output, np.linalg.solve(problem["l"], problem["b"]), rtol=1e-8
+        )
+
+    def test_identity_matrix(self):
+        n = 10
+        b = np.arange(1.0, n + 1)
+        execution = StreamingTriangularSolve().execute(16, l=np.eye(n), b=b)
+        np.testing.assert_allclose(execution.output, b)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            StreamingTriangularSolve().execute(
+                16, l=rng.standard_normal((4, 4)), b=rng.standard_normal(5)
+            )
+
+    def test_peak_residency_within_budget(self):
+        kernel = StreamingTriangularSolve()
+        problem = kernel.default_problem(30)
+        for memory in (4, 16, 64):
+            execution = kernel.execute(memory, **problem)
+            assert execution.peak_memory_words <= memory
+
+    def test_intensity_saturates_with_memory(self):
+        """Triangular solve is I/O bounded: intensity approaches a constant.
+
+        Once the memory holds the largest diagonal block plus a solution
+        chunk, growing it further cannot raise the intensity at all, and the
+        plateau sits below the constant 2 (one multiply-add per streamed
+        matrix word).
+        """
+        kernel = StreamingTriangularSolve()
+        problem = kernel.default_problem(96)
+        intensities = [
+            kernel.execute(m, **problem).intensity for m in (8, 512, 20000, 40000)
+        ]
+        assert intensities[-1] < 2.5
+        assert intensities[-1] == pytest.approx(intensities[-2], rel=1e-9)
+
+    def test_io_never_below_triangle_size(self):
+        kernel = StreamingTriangularSolve()
+        problem = kernel.default_problem(20)
+        execution = kernel.execute(10_000, **problem)
+        assert execution.cost.io_words >= 20 * 21 / 2
+
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        memory=st.integers(min_value=4, max_value=256),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_correctness_property(self, n, memory, seed):
+        rng = np.random.default_rng(seed)
+        l = np.tril(rng.standard_normal((n, n)))
+        l += np.diag(np.abs(l).sum(axis=1) + 1.0)
+        b = rng.standard_normal(n)
+        execution = StreamingTriangularSolve().execute(memory, l=l, b=b)
+        np.testing.assert_allclose(execution.output, np.linalg.solve(l, b), rtol=1e-8, atol=1e-8)

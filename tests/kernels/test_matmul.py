@@ -1,0 +1,146 @@
+"""Tests for the blocked matrix-multiplication kernel (Section 3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.exceptions import ConfigurationError
+from repro.kernels.matmul import BlockedMatrixMultiply, tile_side_for_memory
+
+
+class TestTileSideForMemory:
+    def test_three_tiles_fit(self):
+        side = tile_side_for_memory(300)
+        assert 3 * side * side <= 300
+
+    def test_small_memory_gives_unit_tile(self):
+        assert tile_side_for_memory(3) == 1
+
+    def test_larger_memory_gives_larger_tile(self):
+        assert tile_side_for_memory(1200) > tile_side_for_memory(300)
+
+    def test_too_small_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tile_side_for_memory(2)
+
+
+class TestBlockedMatrixMultiplyCorrectness:
+    def test_matches_numpy_square(self, small_matrices):
+        a, b = small_matrices
+        kernel = BlockedMatrixMultiply()
+        execution = kernel.execute(48, a=a, b=b)
+        np.testing.assert_allclose(execution.output, a @ b, rtol=1e-10)
+
+    def test_matches_numpy_rectangular(self, rng):
+        a = rng.standard_normal((9, 14))
+        b = rng.standard_normal((14, 5))
+        execution = BlockedMatrixMultiply().execute(27, a=a, b=b)
+        np.testing.assert_allclose(execution.output, a @ b, rtol=1e-10)
+
+    def test_matches_numpy_when_matrix_smaller_than_tile(self, rng):
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((3, 3))
+        execution = BlockedMatrixMultiply().execute(10_000, a=a, b=b)
+        np.testing.assert_allclose(execution.output, a @ b, rtol=1e-10)
+
+    def test_verify_helper(self, small_matrices):
+        a, b = small_matrices
+        kernel = BlockedMatrixMultiply()
+        assert kernel.verify(kernel.execute(48, a=a, b=b))
+
+    def test_incompatible_shapes_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            BlockedMatrixMultiply().execute(
+                48, a=rng.standard_normal((4, 5)), b=rng.standard_normal((4, 5))
+            )
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            BlockedMatrixMultiply().execute(
+                48, a=rng.standard_normal(4), b=rng.standard_normal((4, 4))
+            )
+
+    def test_memory_below_minimum_rejected(self, small_matrices):
+        a, b = small_matrices
+        with pytest.raises(ConfigurationError):
+            BlockedMatrixMultiply().execute(2, a=a, b=b)
+
+    @given(
+        n=st.integers(min_value=2, max_value=10),
+        k=st.integers(min_value=2, max_value=10),
+        m=st.integers(min_value=2, max_value=10),
+        memory=st.integers(min_value=3, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_correct_for_random_shapes_and_memories(self, n, k, m, memory, seed):
+        """Property: blocked result equals numpy for arbitrary shapes/memories."""
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, k))
+        b = rng.standard_normal((k, m))
+        execution = BlockedMatrixMultiply().execute(memory, a=a, b=b)
+        np.testing.assert_allclose(execution.output, a @ b, rtol=1e-9, atol=1e-9)
+
+
+class TestBlockedMatrixMultiplyCosts:
+    def test_peak_residency_within_budget(self, rng):
+        a = rng.standard_normal((20, 20))
+        b = rng.standard_normal((20, 20))
+        for memory in (12, 48, 108, 300):
+            execution = BlockedMatrixMultiply().execute(memory, a=a, b=b)
+            assert execution.peak_memory_words <= memory
+
+    def test_compute_ops_are_2n_cubed(self, rng):
+        n = 16
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        execution = BlockedMatrixMultiply().execute(75, a=a, b=b)
+        assert execution.cost.compute_ops == pytest.approx(2 * n**3)
+
+    def test_io_decreases_as_memory_grows(self, rng):
+        n = 24
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        kernel = BlockedMatrixMultiply()
+        io = [kernel.execute(m, a=a, b=b).cost.io_words for m in (12, 48, 192)]
+        assert io[0] > io[1] > io[2]
+
+    def test_intensity_grows_like_sqrt_memory(self, rng):
+        """Doubling the tile side (4x memory) roughly doubles the intensity."""
+        n = 36
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        kernel = BlockedMatrixMultiply()
+        f_small = kernel.execute(27, a=a, b=b).intensity   # tile side 3
+        f_large = kernel.execute(108, a=a, b=b).intensity  # tile side 6
+        assert f_large / f_small == pytest.approx(2.0, rel=0.25)
+
+    def test_analytic_cost_tracks_measured_cost(self, rng):
+        n = 24
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        kernel = BlockedMatrixMultiply()
+        for memory in (27, 108):
+            measured = kernel.execute(memory, a=a, b=b).cost
+            analytic = kernel.analytic_cost(memory, a=a, b=b)
+            assert measured.compute_ops == pytest.approx(analytic.compute_ops, rel=0.05)
+            assert measured.io_words == pytest.approx(analytic.io_words, rel=0.20)
+
+    def test_phases_sum_to_total_cost(self, rng):
+        a = rng.standard_normal((12, 12))
+        b = rng.standard_normal((12, 12))
+        execution = BlockedMatrixMultiply().execute(48, a=a, b=b)
+        assert execution.phases.total.compute_ops == pytest.approx(
+            execution.cost.compute_ops
+        )
+        assert execution.phases.total.io_words == pytest.approx(execution.cost.io_words)
+
+    def test_default_problem_is_deterministic(self):
+        kernel = BlockedMatrixMultiply()
+        p1 = kernel.default_problem(8)
+        p2 = kernel.default_problem(8)
+        np.testing.assert_array_equal(p1["a"], p2["a"])

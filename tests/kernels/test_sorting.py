@@ -1,0 +1,161 @@
+"""Tests for the external merge-sort kernel (Section 3.5)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.kernels.counters import OperationCounter
+from repro.kernels.sorting import CountingHeap, ExternalMergeSort, merge_sort_counting
+
+
+class TestMergeSortCounting:
+    def test_sorts_correctly(self):
+        ops = OperationCounter()
+        values = [5.0, 1.0, 4.0, 2.0, 3.0]
+        assert merge_sort_counting(values, ops) == sorted(values)
+
+    def test_comparison_count_is_n_log_n(self):
+        ops = OperationCounter()
+        rng = np.random.default_rng(0)
+        values = list(rng.standard_normal(256))
+        merge_sort_counting(values, ops)
+        assert 0.5 * 256 * 8 <= ops.total <= 256 * 8
+
+    def test_empty_and_singleton(self):
+        ops = OperationCounter()
+        assert merge_sort_counting([], ops) == []
+        assert merge_sort_counting([1.0], ops) == [1.0]
+        assert ops.total == 0
+
+    def test_stability_preserves_equal_keys_order(self):
+        ops = OperationCounter()
+        assert merge_sort_counting([2.0, 2.0, 1.0], ops) == [1.0, 2.0, 2.0]
+
+
+class TestCountingHeap:
+    def test_pops_in_sorted_order(self):
+        ops = OperationCounter()
+        heap = CountingHeap(ops)
+        for value in [5, 3, 8, 1, 9, 2]:
+            heap.push(float(value), None)
+        popped = [heap.pop()[0] for _ in range(6)]
+        assert popped == sorted(popped)
+
+    def test_payload_round_trips(self):
+        heap = CountingHeap(OperationCounter())
+        heap.push(2.0, "b")
+        heap.push(1.0, "a")
+        assert heap.pop() == (1.0, "a")
+
+    def test_comparisons_are_counted(self):
+        ops = OperationCounter()
+        heap = CountingHeap(ops)
+        for value in range(32):
+            heap.push(float(value))
+        assert ops.total > 0
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CountingHeap(OperationCounter()).pop()
+
+    @given(values=st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                     min_value=-1e6, max_value=1e6), min_size=1, max_size=64))
+    @settings(max_examples=40)
+    def test_heap_sort_property(self, values):
+        heap = CountingHeap(OperationCounter())
+        for v in values:
+            heap.push(v)
+        popped = [heap.pop()[0] for _ in range(len(values))]
+        assert popped == sorted(values)
+
+
+class TestExternalMergeSortCorrectness:
+    @pytest.mark.parametrize("memory", [4, 8, 32, 128])
+    def test_sorts_random_keys(self, memory, rng):
+        keys = rng.standard_normal(500)
+        execution = ExternalMergeSort().execute(memory, keys=keys)
+        np.testing.assert_allclose(execution.output, np.sort(keys))
+
+    def test_sorts_already_sorted(self):
+        keys = np.arange(100, dtype=float)
+        execution = ExternalMergeSort().execute(8, keys=keys)
+        np.testing.assert_allclose(execution.output, keys)
+
+    def test_sorts_reverse_sorted(self):
+        keys = np.arange(100, dtype=float)[::-1]
+        execution = ExternalMergeSort().execute(8, keys=keys)
+        np.testing.assert_allclose(execution.output, np.sort(keys))
+
+    def test_duplicate_keys(self, rng):
+        keys = rng.integers(0, 5, size=200).astype(float)
+        execution = ExternalMergeSort().execute(16, keys=keys)
+        np.testing.assert_allclose(execution.output, np.sort(keys))
+
+    def test_empty_input(self):
+        execution = ExternalMergeSort().execute(8, keys=[])
+        assert len(execution.output) == 0
+
+    def test_input_smaller_than_memory(self, rng):
+        keys = rng.standard_normal(10)
+        execution = ExternalMergeSort().execute(1024, keys=keys)
+        np.testing.assert_allclose(execution.output, np.sort(keys))
+
+    def test_verify_helper(self):
+        kernel = ExternalMergeSort()
+        problem = kernel.default_problem(300)
+        assert kernel.verify(kernel.execute(16, **problem))
+
+    @given(
+        n=st.integers(min_value=1, max_value=400),
+        memory=st.integers(min_value=4, max_value=64),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sorting_property(self, n, memory, seed):
+        """Property: output is the sorted permutation of the input."""
+        rng = np.random.default_rng(seed)
+        keys = rng.standard_normal(n)
+        execution = ExternalMergeSort().execute(memory, keys=keys)
+        np.testing.assert_allclose(execution.output, np.sort(keys))
+
+
+class TestExternalMergeSortCosts:
+    def test_peak_residency_within_budget(self, rng):
+        keys = rng.standard_normal(2000)
+        for memory in (8, 32, 128):
+            execution = ExternalMergeSort().execute(memory, keys=keys)
+            assert execution.peak_memory_words <= memory
+
+    def test_io_decreases_with_memory_in_multipass_regime(self, rng):
+        keys = rng.standard_normal(4096)
+        kernel = ExternalMergeSort()
+        io = [kernel.execute(m, keys=keys).cost.io_words for m in (8, 32, 128)]
+        assert io[0] > io[1] > io[2]
+
+    def test_comparisons_close_to_information_bound(self, rng):
+        """Total comparisons stay within a small factor of N log2 N."""
+        n = 2048
+        keys = rng.standard_normal(n)
+        execution = ExternalMergeSort().execute(32, keys=keys)
+        lower = n * math.log2(n)
+        assert lower * 0.5 <= execution.cost.compute_ops <= lower * 3.0
+
+    def test_phase_structure(self, rng):
+        keys = rng.standard_normal(1000)
+        execution = ExternalMergeSort().execute(16, keys=keys)
+        names = [p.name for p in execution.phases]
+        assert names[0] == "run-formation"
+        assert any(name.startswith("merge-pass") for name in names[1:])
+
+    def test_intensity_grows_with_memory_in_multipass_regime(self, rng):
+        keys = rng.standard_normal(8192)
+        kernel = ExternalMergeSort()
+        f_small = kernel.execute(8, keys=keys).intensity
+        f_large = kernel.execute(64, keys=keys).intensity
+        assert f_large > f_small

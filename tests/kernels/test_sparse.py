@@ -1,0 +1,128 @@
+"""Tests for the CSR sparse matrix-vector kernel (the Section 4 sparse remark)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classification import ComputationClass
+from repro.core.registry import get as get_spec
+from repro.exceptions import ConfigurationError
+from repro.kernels.sparse import (
+    CSRMatrix,
+    StreamingSparseMatrixVector,
+    random_sparse_matrix,
+)
+
+
+class TestCSRMatrix:
+    def test_from_dense_round_trip(self, rng):
+        dense = rng.standard_normal((6, 8))
+        dense[dense < 0.3] = 0.0
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.to_dense(), dense)
+
+    def test_nnz_counts_stored_elements(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+        assert CSRMatrix.from_dense(dense).nnz == 2
+
+    def test_row_slice(self):
+        dense = np.array([[0.0, 3.0, 0.0], [4.0, 0.0, 5.0]])
+        csr = CSRMatrix.from_dense(dense)
+        values, columns = csr.row_slice(1)
+        np.testing.assert_allclose(values, [4.0, 5.0])
+        np.testing.assert_array_equal(columns, [0, 2])
+
+    def test_invalid_structure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CSRMatrix(np.array([1.0]), np.array([0]), np.array([0, 2]), (1, 1))
+        with pytest.raises(ConfigurationError):
+            CSRMatrix(np.array([1.0]), np.array([5]), np.array([0, 1]), (1, 2))
+        with pytest.raises(ConfigurationError):
+            CSRMatrix(np.array([1.0]), np.array([0, 1]), np.array([0, 1]), (1, 2))
+
+    def test_random_sparse_matrix_density(self):
+        matrix = random_sparse_matrix(50, 50, density=0.1, seed=1)
+        assert 0.02 * 2500 < matrix.nnz < 0.25 * 2500
+
+    def test_random_sparse_matrix_invalid_density(self):
+        with pytest.raises(ConfigurationError):
+            random_sparse_matrix(4, 4, density=0.0)
+
+
+class TestStreamingSparseMatrixVector:
+    @pytest.mark.parametrize("memory", [8, 32, 256, 4096])
+    def test_matches_dense_product(self, memory, rng):
+        kernel = StreamingSparseMatrixVector()
+        problem = kernel.default_problem(40)
+        execution = kernel.execute(memory, **problem)
+        np.testing.assert_allclose(
+            execution.output, kernel.reference(**problem), rtol=1e-10, atol=1e-12
+        )
+
+    def test_empty_rows_are_fine(self):
+        dense = np.zeros((4, 4))
+        dense[1, 2] = 3.0
+        matrix = CSRMatrix.from_dense(dense)
+        x = np.arange(4.0)
+        execution = StreamingSparseMatrixVector().execute(16, matrix=matrix, x=x)
+        np.testing.assert_allclose(execution.output, dense @ x)
+
+    def test_shape_mismatch_rejected(self, rng):
+        matrix = random_sparse_matrix(4, 6, density=0.5)
+        with pytest.raises(ConfigurationError):
+            StreamingSparseMatrixVector().execute(16, matrix=matrix, x=rng.standard_normal(4))
+
+    def test_peak_residency_within_budget(self):
+        kernel = StreamingSparseMatrixVector()
+        problem = kernel.default_problem(60)
+        for memory in (8, 64, 512):
+            execution = kernel.execute(memory, **problem)
+            assert execution.peak_memory_words <= memory
+
+    def test_intensity_bounded_by_constant(self):
+        """The sparse product is I/O bounded: intensity never exceeds ~1."""
+        kernel = StreamingSparseMatrixVector()
+        problem = kernel.default_problem(64)
+        intensities = [kernel.execute(m, **problem).intensity for m in (8, 64, 512, 8192)]
+        assert max(intensities) < 1.0
+        assert intensities[-1] / intensities[0] < 1.8
+
+    def test_io_at_least_two_words_per_nonzero(self):
+        kernel = StreamingSparseMatrixVector()
+        problem = kernel.default_problem(48)
+        execution = kernel.execute(10_000, **problem)
+        assert execution.cost.io_words >= 2 * problem["matrix"].nnz
+
+    def test_ops_are_two_per_nonzero(self):
+        kernel = StreamingSparseMatrixVector()
+        problem = kernel.default_problem(48)
+        execution = kernel.execute(64, **problem)
+        assert execution.cost.compute_ops == pytest.approx(2 * problem["matrix"].nnz)
+
+    def test_registered_as_io_bounded(self):
+        spec = get_spec("spmv")
+        assert spec.computation_class is ComputationClass.IO_BOUNDED
+        assert not spec.law.feasible
+
+    def test_registry_cost_model_runs(self):
+        spec = get_spec("spmv")
+        cost = spec.costs(256, 1024)
+        assert cost.intensity < 1.0
+
+    @given(
+        n=st.integers(min_value=2, max_value=24),
+        memory=st.integers(min_value=8, max_value=512),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_correctness_property(self, n, memory, seed):
+        rng = np.random.default_rng(seed)
+        matrix = random_sparse_matrix(n, n, density=0.3, seed=seed)
+        x = rng.standard_normal(n)
+        execution = StreamingSparseMatrixVector().execute(memory, matrix=matrix, x=x)
+        np.testing.assert_allclose(
+            execution.output, matrix.to_dense() @ x, rtol=1e-9, atol=1e-9
+        )

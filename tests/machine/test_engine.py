@@ -1,0 +1,105 @@
+"""Tests for the serial and overlapped (double-buffered) execution models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import ComputationCost, ProcessingElement
+from repro.exceptions import ConfigurationError
+from repro.kernels.counters import Phase
+from repro.machine.engine import overlapped_schedule, serial_schedule
+
+
+def _pe(compute: float = 1.0, io: float = 1.0) -> ProcessingElement:
+    return ProcessingElement(compute_bandwidth=compute, io_bandwidth=io, memory_words=16)
+
+
+def _phases(costs: list[tuple[float, float]]) -> list[Phase]:
+    return [Phase(f"p{i}", ComputationCost(c, w)) for i, (c, w) in enumerate(costs)]
+
+
+class TestSerialSchedule:
+    def test_total_is_sum_of_compute_and_io(self):
+        schedule = serial_schedule(_phases([(10, 5), (20, 15)]), _pe())
+        assert schedule.total_time == pytest.approx(50.0)
+        assert schedule.compute_busy_time == pytest.approx(30.0)
+        assert schedule.io_busy_time == pytest.approx(20.0)
+
+    def test_bandwidths_scale_times(self):
+        schedule = serial_schedule(_phases([(10, 10)]), _pe(compute=2.0, io=5.0))
+        assert schedule.total_time == pytest.approx(5.0 + 2.0)
+
+    def test_utilizations(self):
+        schedule = serial_schedule(_phases([(30, 10)]), _pe())
+        assert schedule.compute_utilization == pytest.approx(0.75)
+        assert schedule.io_utilization == pytest.approx(0.25)
+
+
+class TestOverlappedSchedule:
+    def test_balanced_phases_hide_io_completely(self):
+        """When compute time == I/O time per phase, only the first I/O is exposed."""
+        phases = _phases([(10, 10)] * 5)
+        schedule = overlapped_schedule(phases, _pe())
+        assert schedule.total_time == pytest.approx(60.0)  # 10 fill + 5 * 10 compute
+
+    def test_io_bound_phases_are_limited_by_io(self):
+        phases = _phases([(1, 10)] * 4)
+        schedule = overlapped_schedule(phases, _pe())
+        assert schedule.total_time == pytest.approx(41.0)  # 40 I/O + last compute
+
+    def test_compute_bound_phases_are_limited_by_compute(self):
+        phases = _phases([(10, 1)] * 4)
+        schedule = overlapped_schedule(phases, _pe())
+        assert schedule.total_time == pytest.approx(41.0)
+
+    def test_single_phase_cannot_overlap(self):
+        phases = _phases([(10, 10)])
+        assert overlapped_schedule(phases, _pe()).total_time == pytest.approx(20.0)
+
+    def test_never_faster_than_either_resource(self):
+        phases = _phases([(5, 3), (7, 9), (2, 4)])
+        schedule = overlapped_schedule(phases, _pe())
+        assert schedule.total_time >= schedule.compute_busy_time
+        assert schedule.total_time >= schedule.io_busy_time
+
+    def test_never_slower_than_serial(self):
+        phases = _phases([(5, 3), (7, 9), (2, 4)])
+        overlapped = overlapped_schedule(phases, _pe())
+        serial = serial_schedule(phases, _pe())
+        assert overlapped.total_time <= serial.total_time + 1e-12
+
+    def test_empty_phase_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            overlapped_schedule([], _pe())
+
+    @given(
+        costs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0),
+                st.floats(min_value=0.0, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        compute_bw=st.floats(min_value=0.1, max_value=10.0),
+        io_bw=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=60)
+    def test_overlap_bounds_property(self, costs, compute_bw, io_bw):
+        """Property: max(busy times) <= overlapped <= serial = sum of busy times."""
+        pe = _pe(compute=compute_bw, io=io_bw)
+        phases = _phases(costs)
+        overlapped = overlapped_schedule(phases, pe)
+        serial = serial_schedule(phases, pe)
+        lower = max(overlapped.compute_busy_time, overlapped.io_busy_time)
+        assert lower - 1e-9 <= overlapped.total_time <= serial.total_time + 1e-9
+
+    def test_balanced_pipeline_has_high_utilization(self):
+        """The balance condition maximises utilization under overlap (the paper's point)."""
+        pe = _pe()
+        balanced = overlapped_schedule(_phases([(10, 10)] * 20), pe)
+        imbalanced = overlapped_schedule(_phases([(10, 30)] * 20), pe)
+        assert balanced.compute_utilization > 0.9
+        assert imbalanced.compute_utilization < 0.5

@@ -1,0 +1,145 @@
+"""Tests for the scratchpad and LRU-cache local-memory models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, MemoryCapacityError
+from repro.machine.memory import LRUCacheMemory, ScratchpadMemory
+
+
+class TestScratchpadMemory:
+    def test_allocate_free_cycle(self):
+        memory = ScratchpadMemory(128)
+        memory.allocate("tile", 100)
+        assert memory.resident_words == 100
+        assert memory.free_words == 28
+        memory.free("tile")
+        assert memory.resident_words == 0
+
+    def test_peak_is_preserved_after_clear(self):
+        memory = ScratchpadMemory(128)
+        memory.allocate("a", 90)
+        memory.clear()
+        assert memory.peak_words == 90
+        assert memory.resident_words == 0
+
+    def test_overflow_raises(self):
+        memory = ScratchpadMemory(64)
+        memory.allocate("a", 60)
+        with pytest.raises(MemoryCapacityError):
+            memory.allocate("b", 10)
+
+    def test_duplicate_buffer_rejected(self):
+        memory = ScratchpadMemory(64)
+        memory.allocate("a", 10)
+        with pytest.raises(ConfigurationError):
+            memory.allocate("a", 10)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScratchpadMemory(64).free("ghost")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScratchpadMemory(0)
+
+
+class TestLRUCacheMemory:
+    def test_first_access_misses_second_hits(self):
+        cache = LRUCacheMemory(4)
+        assert cache.read(0) is False
+        assert cache.read(0) is True
+
+    def test_capacity_eviction_is_lru(self):
+        cache = LRUCacheMemory(2)
+        cache.read(0)
+        cache.read(1)
+        cache.read(0)      # 0 is now most recently used
+        cache.read(2)      # evicts 1
+        assert cache.read(0) is True
+        assert cache.read(1) is False
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = LRUCacheMemory(1)
+        cache.write(0)
+        cache.read(1)  # evicts dirty line 0
+        assert cache.statistics.writebacks == 1
+
+    def test_clean_eviction_has_no_writeback(self):
+        cache = LRUCacheMemory(1)
+        cache.read(0)
+        cache.read(1)
+        assert cache.statistics.writebacks == 0
+
+    def test_flush_writes_back_dirty_lines(self):
+        cache = LRUCacheMemory(4)
+        cache.write(0)
+        cache.write(1)
+        cache.read(2)
+        assert cache.flush() == 2
+        assert cache.read(0) is False  # cache is empty after flush
+
+    def test_line_granularity(self):
+        cache = LRUCacheMemory(8, line_words=4)
+        assert cache.read(0) is False
+        assert cache.read(3) is True       # same line
+        assert cache.read(4) is False      # next line
+
+    def test_statistics_traffic(self):
+        cache = LRUCacheMemory(2, line_words=1)
+        cache.read(0)
+        cache.write(1)
+        cache.read(2)  # evicts 0 (clean)
+        cache.read(3)  # evicts 1 (dirty) -> writeback
+        stats = cache.statistics
+        assert stats.accesses == 4
+        assert stats.misses == 4
+        assert stats.hit_rate == 0.0
+        assert stats.traffic_words == stats.fill_words + stats.writeback_words
+        assert stats.writeback_words == 1
+
+    def test_access_range_counts_misses(self):
+        cache = LRUCacheMemory(16, line_words=4)
+        assert cache.access_range(0, 16) == 4
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUCacheMemory(0)
+        with pytest.raises(ConfigurationError):
+            LRUCacheMemory(4, line_words=0)
+        with pytest.raises(ConfigurationError):
+            LRUCacheMemory(4, line_words=8)
+
+    def test_working_set_within_capacity_always_hits_after_warmup(self):
+        """A loop over a working set that fits never misses after the first pass."""
+        cache = LRUCacheMemory(32)
+        for address in range(32):
+            cache.read(address)
+        misses_before = cache.statistics.misses
+        for _ in range(3):
+            for address in range(32):
+                assert cache.read(address) is True
+        assert cache.statistics.misses == misses_before
+
+    def test_streaming_larger_than_capacity_always_misses(self):
+        """Sequential streaming over a too-large working set defeats LRU entirely."""
+        cache = LRUCacheMemory(8)
+        for _ in range(3):
+            for address in range(16):
+                cache.read(address)
+        assert cache.statistics.hits == 0
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=32),
+        addresses=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200),
+    )
+    @settings(max_examples=40)
+    def test_hits_plus_misses_equals_accesses(self, capacity, addresses):
+        cache = LRUCacheMemory(capacity)
+        for address in addresses:
+            cache.read(address)
+        stats = cache.statistics
+        assert stats.hits + stats.misses == stats.accesses == len(addresses)

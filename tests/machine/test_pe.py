@@ -1,0 +1,114 @@
+"""Tests for the simulated PE, the external-memory model and execution reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import BoundKind, ProcessingElement
+from repro.exceptions import ConfigurationError
+from repro.kernels.matmul import BlockedMatrixMultiply
+from repro.kernels.io_bound import StreamingMatrixVectorProduct
+from repro.machine.dram import ExternalMemory
+from repro.machine.pe import SimulatedPE
+
+
+class TestExternalMemory:
+    def test_transfer_time_from_bandwidth(self):
+        memory = ExternalMemory(bandwidth_words_per_s=100.0)
+        assert memory.read(50) == pytest.approx(0.5)
+
+    def test_latency_added_per_transfer(self):
+        memory = ExternalMemory(bandwidth_words_per_s=100.0, latency_s=0.1)
+        assert memory.write(10) == pytest.approx(0.2)
+
+    def test_traffic_accounting(self):
+        memory = ExternalMemory(bandwidth_words_per_s=10.0)
+        memory.read(5, label="a")
+        memory.write(3, label="b")
+        assert memory.words_read == 5
+        assert memory.words_written == 3
+        assert memory.total_words == 8
+        assert memory.busy_time() == pytest.approx(0.8)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ExternalMemory(bandwidth_words_per_s=0)
+        with pytest.raises(ConfigurationError):
+            ExternalMemory(bandwidth_words_per_s=1.0, latency_s=-1)
+        with pytest.raises(ConfigurationError):
+            ExternalMemory(bandwidth_words_per_s=1.0).read(-5)
+
+
+class TestSimulatedPE:
+    def test_run_produces_consistent_report(self, balanced_matmul_pe, small_matrices):
+        a, b = small_matrices
+        report = SimulatedPE(balanced_matmul_pe).run(BlockedMatrixMultiply(), a=a, b=b)
+        assert report.cost.compute_ops > 0
+        assert report.compute_time == pytest.approx(
+            report.cost.compute_ops / balanced_matmul_pe.compute_bandwidth
+        )
+        assert report.io_time == pytest.approx(
+            report.cost.io_words / balanced_matmul_pe.io_bandwidth
+        )
+
+    def test_matmul_on_io_starved_pe_is_io_bound(self, small_matrices):
+        a, b = small_matrices
+        pe = ProcessingElement(compute_bandwidth=1e9, io_bandwidth=1e3, memory_words=48)
+        report = SimulatedPE(pe).run(BlockedMatrixMultiply(), a=a, b=b)
+        assert report.bound is BoundKind.IO_BOUND
+
+    def test_matmul_on_compute_starved_pe_is_compute_bound(self, small_matrices):
+        a, b = small_matrices
+        pe = ProcessingElement(compute_bandwidth=1e3, io_bandwidth=1e9, memory_words=48)
+        report = SimulatedPE(pe).run(BlockedMatrixMultiply(), a=a, b=b)
+        assert report.bound is BoundKind.COMPUTE_BOUND
+
+    def test_enlarging_memory_rebalances_matmul(self, small_matrices):
+        """The paper's core story on the simulator: more memory fixes an I/O-bound PE."""
+        a, b = small_matrices
+        starved = ProcessingElement(
+            compute_bandwidth=5e6, io_bandwidth=1e6, memory_words=12, name="starved"
+        )
+        report_small = SimulatedPE(starved).run(BlockedMatrixMultiply(), a=a, b=b)
+        assert report_small.bound is BoundKind.IO_BOUND
+        enlarged = starved.with_memory(300)
+        report_large = SimulatedPE(enlarged).run(BlockedMatrixMultiply(), a=a, b=b)
+        assert report_large.intensity > report_small.intensity
+        assert report_large.io_time < report_small.io_time
+
+    def test_enlarging_memory_does_not_help_matvec(self, rng):
+        """Section 3.6 on the simulator: matvec stays I/O bound regardless of M."""
+        a = rng.standard_normal((24, 24))
+        x = rng.standard_normal(24)
+        pe = ProcessingElement(compute_bandwidth=16e6, io_bandwidth=1e6, memory_words=16)
+        kernel = StreamingMatrixVectorProduct()
+        small = SimulatedPE(pe).run(kernel, a=a, x=x)
+        large = SimulatedPE(pe.with_memory(4096)).run(kernel, a=a, x=x)
+        assert small.bound is BoundKind.IO_BOUND
+        assert large.bound is BoundKind.IO_BOUND
+        assert large.intensity == pytest.approx(small.intensity, rel=0.2)
+
+    def test_overlap_speedup_between_one_and_two(self, balanced_matmul_pe, small_matrices):
+        a, b = small_matrices
+        report = SimulatedPE(balanced_matmul_pe).run(BlockedMatrixMultiply(), a=a, b=b)
+        assert 1.0 <= report.overlap_speedup <= 2.0 + 1e-9
+
+    def test_run_default_uses_kernel_default_problem(self, balanced_matmul_pe):
+        report = SimulatedPE(balanced_matmul_pe).run_default(BlockedMatrixMultiply(), 8)
+        assert report.execution.problem["a"].shape == (8, 8)
+
+    def test_with_memory_and_with_compute_scaled(self, balanced_matmul_pe):
+        sim = SimulatedPE(balanced_matmul_pe)
+        assert sim.with_memory(1024).pe.memory_words == 1024
+        assert sim.with_compute_scaled(2.0).pe.compute_bandwidth == pytest.approx(
+            2 * balanced_matmul_pe.compute_bandwidth
+        )
+
+    def test_describe_mentions_bound(self, balanced_matmul_pe, small_matrices):
+        a, b = small_matrices
+        report = SimulatedPE(balanced_matmul_pe).run(BlockedMatrixMultiply(), a=a, b=b)
+        assert report.bound.value in report.describe()
+
+    def test_negative_tolerance_rejected(self, balanced_matmul_pe):
+        with pytest.raises(ConfigurationError):
+            SimulatedPE(balanced_matmul_pe, balance_tolerance=-0.1)

@@ -1,0 +1,75 @@
+"""Tests for custom pebble-game schedules (the blocked matmul order)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.pebble_bounds import blocked_matmul_order
+from repro.pebble.dag import matmul_dag
+from repro.pebble.game import play_topological
+from repro.pebble.partition import matmul_io_lower_bound
+
+
+class TestBlockedMatmulOrder:
+    def test_covers_every_compute_node_once(self):
+        n = 5
+        order = blocked_matmul_order(n, 16)
+        assert len(order) == n**3
+        assert len(set(order)) == n**3
+        assert all(node[0] == "c" for node in order)
+
+    def test_respects_partial_sum_dependencies(self):
+        """Within the order, ('c', i, j, k) always precedes ('c', i, j, k+1)."""
+        order = blocked_matmul_order(4, 16)
+        position = {node: index for index, node in enumerate(order)}
+        for (_, i, j, k), index in position.items():
+            if k > 0:
+                assert position[("c", i, j, k - 1)] < index
+
+    def test_tile_respects_working_set(self):
+        """The chosen tile keeps t^2 + 2t + 1 within the fast memory."""
+        for memory in (8, 16, 32, 64, 256):
+            order = blocked_matmul_order(8, memory)
+            # The schedule of the first tile starts with all of its k = 0
+            # nodes, so the length of that prefix is the tile area.
+            prefix = 0
+            while prefix < len(order) and order[prefix][3] == 0:
+                prefix += 1
+            tile_side = int(round(prefix**0.5))
+            assert tile_side >= 1
+            assert tile_side * tile_side + 2 * tile_side + 1 <= max(8, memory)
+
+    def test_is_a_legal_schedule(self):
+        dag = matmul_dag(4)
+        result = play_topological(dag, 16, order=blocked_matmul_order(4, 16))
+        assert result.computations == 4**3
+
+    def test_beats_generic_topological_order(self):
+        """The blocked schedule moves fewer words than the generic order."""
+        n, memory = 6, 16
+        dag = matmul_dag(n)
+        generic = play_topological(dag, memory).io_operations
+        blocked = play_topological(dag, memory, order=blocked_matmul_order(n, memory))
+        assert blocked.io_operations < generic
+        assert blocked.io_operations >= matmul_io_lower_bound(n, memory)
+
+    def test_incomplete_order_rejected(self):
+        dag = matmul_dag(3)
+        partial = blocked_matmul_order(3, 8)[:-1]
+        with pytest.raises(ConfigurationError):
+            play_topological(dag, 8, order=partial)
+
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        memory=st.integers(min_value=4, max_value=64),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_blocked_schedule_always_legal_and_bounded(self, n, memory):
+        """Property: the blocked schedule finishes legally above the lower bound."""
+        dag = matmul_dag(n)
+        result = play_topological(dag, memory, order=blocked_matmul_order(n, memory))
+        assert result.peak_red_pebbles <= memory
+        assert result.io_operations >= matmul_io_lower_bound(n, memory)

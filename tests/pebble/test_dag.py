@@ -1,0 +1,154 @@
+"""Tests for the computation-DAG builders."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.pebble.dag import (
+    ComputationDAG,
+    fft_dag,
+    grid_dag,
+    matmul_dag,
+    matvec_dag,
+    reduction_dag,
+)
+
+
+class TestComputationDAG:
+    def test_add_node_and_query(self):
+        dag = ComputationDAG()
+        dag.add_node("a")
+        dag.add_node("b", ["a"])
+        assert dag.inputs == ["a"]
+        assert dag.node_count == 2
+        assert dag.edge_count == 1
+        assert dag.successors()["a"] == ["b"]
+
+    def test_duplicate_node_rejected(self):
+        dag = ComputationDAG()
+        dag.add_node("a")
+        with pytest.raises(ConfigurationError):
+            dag.add_node("a")
+
+    def test_unknown_predecessor_rejected(self):
+        dag = ComputationDAG()
+        with pytest.raises(ConfigurationError):
+            dag.add_node("b", ["missing"])
+
+    def test_topological_order_respects_edges(self):
+        dag = ComputationDAG()
+        dag.add_node("a")
+        dag.add_node("b", ["a"])
+        dag.add_node("c", ["a", "b"])
+        order = dag.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_validate_rejects_missing_output(self):
+        dag = ComputationDAG()
+        dag.add_node("a")
+        dag.outputs = ("ghost",)
+        with pytest.raises(ConfigurationError):
+            dag.validate()
+
+
+class TestFFTDag:
+    def test_size_and_structure(self):
+        dag = fft_dag(8)
+        # 8 inputs + 3 stages of 8 nodes each.
+        assert dag.node_count == 8 * 4
+        assert len(dag.inputs) == 8
+        assert len(dag.outputs) == 8
+        # Every non-input node has exactly two predecessors (a butterfly).
+        for node, preds in dag.predecessors.items():
+            if preds:
+                assert len(preds) == 2
+
+    def test_butterfly_partners_differ_in_one_bit(self):
+        dag = fft_dag(16)
+        for node, preds in dag.predecessors.items():
+            if not preds:
+                continue
+            _, stage, index = node
+            partners = {p[2] for p in preds}
+            assert partners == {index, index ^ (1 << (stage - 1))}
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fft_dag(12)
+
+    @given(log_n=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20)
+    def test_node_count_formula(self, log_n):
+        n = 1 << log_n
+        dag = fft_dag(n)
+        assert dag.node_count == n * (log_n + 1)
+        assert dag.edge_count == 2 * n * log_n
+
+
+class TestMatmulDag:
+    def test_size(self):
+        n = 3
+        dag = matmul_dag(n)
+        assert dag.node_count == 2 * n * n + n * n * n
+        assert len(dag.outputs) == n * n
+
+    def test_chain_dependencies(self):
+        dag = matmul_dag(2)
+        preds = dag.predecessors[("c", 1, 1, 1)]
+        assert ("c", 1, 1, 0) in preds
+        assert ("a", 1, 1) in preds and ("b", 1, 1) in preds
+
+    def test_inputs_are_matrix_elements(self):
+        dag = matmul_dag(2)
+        assert all(node[0] in ("a", "b") for node in dag.inputs)
+
+
+class TestGridDag:
+    def test_1d_structure(self):
+        dag = grid_dag(5, 2, dimension=1)
+        assert dag.node_count == 5 * 3
+        # Interior nodes depend on three neighbours.
+        assert len(dag.predecessors[("g", 1, 2)]) == 3
+        # Boundary nodes depend on two.
+        assert len(dag.predecessors[("g", 1, 0)]) == 2
+
+    def test_2d_structure(self):
+        dag = grid_dag(4, 1, dimension=2)
+        assert dag.node_count == 16 * 2
+        assert len(dag.predecessors[("g", 1, 2, 2)]) == 5
+        assert len(dag.predecessors[("g", 1, 0, 0)]) == 3
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_dag(4, 1, dimension=3)
+
+
+class TestMatvecAndReductionDags:
+    def test_matvec_size(self):
+        n = 4
+        dag = matvec_dag(n)
+        assert dag.node_count == n * n + n + n * n
+        assert len(dag.outputs) == n
+
+    def test_reduction_tree(self):
+        dag = reduction_dag(8)
+        assert dag.node_count == 15
+        assert len(dag.outputs) == 1
+        assert len(dag.inputs) == 8
+
+    def test_reduction_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            reduction_dag(6)
+
+    @given(log_n=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=15)
+    def test_all_builders_produce_valid_dags(self, log_n):
+        """Property: every builder yields an acyclic DAG with reachable outputs."""
+        n = 1 << log_n
+        for dag in (fft_dag(n), reduction_dag(n), matvec_dag(min(n, 8)), grid_dag(min(n, 8), 2)):
+            dag.validate()
+            order = dag.topological_order()
+            assert len(order) == dag.node_count

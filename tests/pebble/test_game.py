@@ -1,0 +1,151 @@
+"""Tests for the red-blue pebble game and the automatic LRU strategy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, PebbleGameError
+from repro.pebble.dag import ComputationDAG, fft_dag, matmul_dag, reduction_dag
+from repro.pebble.game import MoveKind, RedBluePebbleGame, play_topological
+from repro.pebble.partition import fft_io_lower_bound, matmul_io_lower_bound
+
+
+def _chain_dag(length: int) -> ComputationDAG:
+    dag = ComputationDAG(name="chain")
+    dag.add_node(0)
+    for i in range(1, length):
+        dag.add_node(i, [i - 1])
+    dag.outputs = (length - 1,)
+    return dag
+
+
+class TestGameRules:
+    def test_manual_play_of_a_chain(self):
+        game = RedBluePebbleGame(_chain_dag(3), red_pebble_limit=2)
+        game.load(0)
+        game.compute(1)
+        game.delete(0)
+        game.compute(2)
+        game.store(2)
+        result = game.result()
+        assert result.io_operations == 2
+        assert result.computations == 2
+        assert result.peak_red_pebbles == 2
+
+    def test_compute_requires_red_predecessors(self):
+        game = RedBluePebbleGame(_chain_dag(3), red_pebble_limit=2)
+        with pytest.raises(PebbleGameError):
+            game.compute(1)
+
+    def test_load_requires_blue_pebble(self):
+        game = RedBluePebbleGame(_chain_dag(3), red_pebble_limit=2)
+        with pytest.raises(PebbleGameError):
+            game.load(1)  # node 1 is not an input and has never been stored
+
+    def test_store_requires_red_pebble(self):
+        game = RedBluePebbleGame(_chain_dag(3), red_pebble_limit=2)
+        with pytest.raises(PebbleGameError):
+            game.store(0)
+
+    def test_inputs_cannot_be_computed(self):
+        game = RedBluePebbleGame(_chain_dag(3), red_pebble_limit=2)
+        with pytest.raises(PebbleGameError):
+            game.compute(0)
+
+    def test_red_pebble_limit_enforced(self):
+        dag = _chain_dag(2)
+        dag.add_node(2, [0, 1])
+        dag.outputs = (2,)
+        game = RedBluePebbleGame(dag, red_pebble_limit=1)
+        game.load(0)
+        with pytest.raises(PebbleGameError):
+            game.compute(1)  # would need a second red pebble
+
+    def test_result_before_goal_rejected(self):
+        game = RedBluePebbleGame(_chain_dag(2), red_pebble_limit=2)
+        with pytest.raises(PebbleGameError):
+            game.result()
+
+    def test_delete_requires_red(self):
+        game = RedBluePebbleGame(_chain_dag(2), red_pebble_limit=2)
+        with pytest.raises(PebbleGameError):
+            game.delete(0)
+
+    def test_moves_are_recorded(self):
+        game = RedBluePebbleGame(_chain_dag(2), red_pebble_limit=2)
+        game.load(0)
+        game.compute(1)
+        game.store(1)
+        kinds = [m.kind for m in game.moves]
+        assert kinds == [MoveKind.LOAD, MoveKind.COMPUTE, MoveKind.STORE]
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RedBluePebbleGame(_chain_dag(2), red_pebble_limit=0)
+
+
+class TestPlayTopological:
+    def test_chain_needs_minimal_io(self):
+        result = play_topological(_chain_dag(50), red_pebble_limit=3)
+        assert result.io_operations == 2  # load the input, store the output
+
+    def test_reduction_tree_with_ample_memory(self):
+        dag = reduction_dag(16)
+        result = play_topological(dag, red_pebble_limit=64)
+        # Just load every leaf and store the root.
+        assert result.io_operations == 16 + 1
+
+    def test_outputs_always_reach_blue(self):
+        for dag in (reduction_dag(8), fft_dag(16), matmul_dag(3)):
+            result = play_topological(dag, red_pebble_limit=8)
+            assert result.computations == dag.node_count - len(dag.inputs)
+
+    def test_io_decreases_with_more_red_pebbles(self):
+        dag = fft_dag(32)
+        io_small = play_topological(dag, red_pebble_limit=4).io_operations
+        io_large = play_topological(dag, red_pebble_limit=32).io_operations
+        assert io_large < io_small
+
+    def test_peak_red_respects_limit(self):
+        dag = matmul_dag(4)
+        for limit in (4, 8, 16):
+            result = play_topological(dag, red_pebble_limit=limit)
+            assert result.peak_red_pebbles <= limit
+
+    def test_io_at_least_inputs_plus_outputs_when_memory_is_small(self):
+        dag = fft_dag(16)
+        result = play_topological(dag, red_pebble_limit=4)
+        assert result.io_operations >= len(dag.inputs) + len(dag.outputs)
+
+    def test_matmul_io_above_hong_kung_lower_bound(self):
+        n = 5
+        dag = matmul_dag(n)
+        for limit in (4, 8, 16):
+            result = play_topological(dag, red_pebble_limit=limit)
+            assert result.io_operations >= matmul_io_lower_bound(n, limit)
+
+    def test_fft_io_above_hong_kung_lower_bound(self):
+        n = 32
+        dag = fft_dag(n)
+        for limit in (4, 8, 16):
+            result = play_topological(dag, red_pebble_limit=limit)
+            assert result.io_operations >= fft_io_lower_bound(n, limit)
+
+    def test_limit_smaller_than_fan_in_rejected(self):
+        with pytest.raises(ConfigurationError):
+            play_topological(fft_dag(8), red_pebble_limit=2)
+
+    def test_describe(self):
+        result = play_topological(reduction_dag(8), red_pebble_limit=8)
+        assert "Q(S=8)" in result.describe()
+
+    @given(log_n=st.integers(min_value=2, max_value=5), limit=st.integers(min_value=4, max_value=32))
+    @settings(max_examples=20, deadline=None)
+    def test_fft_strategy_is_always_legal_and_complete(self, log_n, limit):
+        """Property: the LRU strategy finishes any FFT DAG within the red limit."""
+        dag = fft_dag(1 << log_n)
+        result = play_topological(dag, red_pebble_limit=limit)
+        assert result.peak_red_pebbles <= limit
+        assert result.io_operations >= len(dag.inputs)

@@ -1,0 +1,87 @@
+"""Tests for the Hong-Kung lower bounds and the greedy partition estimate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.pebble.dag import fft_dag, matmul_dag, reduction_dag
+from repro.pebble.game import play_topological
+from repro.pebble.partition import (
+    fft_io_lower_bound,
+    greedy_partition_estimate,
+    grid_io_lower_bound,
+    matmul_io_lower_bound,
+)
+
+
+class TestClosedFormBounds:
+    def test_matmul_bound_scales_as_inverse_sqrt_s(self):
+        assert matmul_io_lower_bound(64, 16) / matmul_io_lower_bound(64, 64) == pytest.approx(2.0)
+
+    def test_matmul_bound_scales_as_n_cubed(self):
+        assert matmul_io_lower_bound(32, 16) / matmul_io_lower_bound(16, 16) == pytest.approx(8.0)
+
+    def test_fft_bound_scales_as_inverse_log_s(self):
+        bound_small = fft_io_lower_bound(2**16, 2**3)
+        bound_large = fft_io_lower_bound(2**16, 2**7)
+        assert bound_small / bound_large == pytest.approx(2.0)
+
+    def test_fft_bound_scales_as_n_log_n(self):
+        assert fft_io_lower_bound(2**12, 64) / fft_io_lower_bound(2**6, 64) == pytest.approx(
+            (2**12 * 12) / (2**6 * 6)
+        )
+
+    def test_grid_bound_zero_when_grid_fits(self):
+        assert grid_io_lower_bound(8, 10, fast_memory_words=1000, dimension=2) == 0.0
+
+    def test_grid_bound_positive_when_grid_does_not_fit(self):
+        assert grid_io_lower_bound(100, 10, fast_memory_words=64, dimension=2) > 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            matmul_io_lower_bound(0, 4)
+        with pytest.raises(ConfigurationError):
+            fft_io_lower_bound(1, 4)
+        with pytest.raises(ConfigurationError):
+            grid_io_lower_bound(4, 1, 4, dimension=0)
+
+    def test_bounds_are_actually_lower_bounds_for_the_lru_strategy(self):
+        """Measured pebble-game I/O dominates the closed-form bounds."""
+        for s in (4, 8, 16):
+            assert play_topological(matmul_dag(5), s).io_operations >= matmul_io_lower_bound(5, s)
+            assert play_topological(fft_dag(32), s).io_operations >= fft_io_lower_bound(32, s)
+
+
+class TestGreedyPartitionEstimate:
+    def test_small_dag_single_part(self):
+        estimate = greedy_partition_estimate(reduction_dag(8), fast_memory_words=32)
+        assert estimate.parts == 1
+        assert estimate.io_lower_bound_estimate == 0.0
+
+    def test_parts_grow_as_memory_shrinks(self):
+        dag = fft_dag(64)
+        parts_small = greedy_partition_estimate(dag, 4).parts
+        parts_large = greedy_partition_estimate(dag, 32).parts
+        assert parts_small > parts_large
+
+    def test_estimate_formula(self):
+        dag = fft_dag(32)
+        estimate = greedy_partition_estimate(dag, 8)
+        assert estimate.io_lower_bound_estimate == 8.0 * (estimate.parts - 1)
+
+    def test_describe(self):
+        estimate = greedy_partition_estimate(fft_dag(16), 4)
+        assert "2S-partition" in estimate.describe()
+
+    def test_invalid_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            greedy_partition_estimate(fft_dag(16), 0)
+
+    def test_lru_strategy_io_tracks_partition_estimate(self):
+        """The LRU upper bound and the greedy estimate move in the same direction."""
+        dag = fft_dag(64)
+        for s in (4, 8, 16):
+            measured = play_topological(dag, s).io_operations
+            estimate = greedy_partition_estimate(dag, s).io_lower_bound_estimate
+            assert measured >= 0.25 * estimate

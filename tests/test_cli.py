@@ -1,0 +1,74 @@
+"""Tests for the command-line interface (``python -m repro ...``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_summary_quick_flag(self):
+        args = build_parser().parse_args(["summary", "--quick"])
+        assert args.command == "summary" and args.quick is True
+
+    def test_figure2_options(self):
+        args = build_parser().parse_args(["figure2", "--points", "32", "--block", "8"])
+        assert args.points == 32 and args.block == 8
+
+
+class TestCommands:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("summary", "figure2", "arrays", "systolic", "pebble", "warp", "matmul"):
+            assert name in output
+
+    def test_figure2_command(self, capsys):
+        assert main(["figure2"]) == 0
+        output = capsys.readouterr().out
+        assert "pass 1" in output and "correct against the direct DFT: True" in output
+
+    def test_kernel_command_matvec(self, capsys):
+        assert main(["matvec"]) == 0
+        output = capsys.readouterr().out
+        assert "infeasible (I/O bounded)" in output
+
+    def test_kernel_command_matmul(self, capsys):
+        assert main(["matmul"]) == 0
+        output = capsys.readouterr().out
+        assert "measured rebalancing curve" in output
+        assert "alpha^2" in output
+
+    def test_arrays_command(self, capsys):
+        assert main(["arrays"]) == 0
+        output = capsys.readouterr().out
+        assert "per-cell memory" in output
+
+    def test_systolic_command(self, capsys):
+        assert main(["systolic", "--order", "4", "--batches", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "Gentleman-Kung" in output
+
+    def test_warp_command(self, capsys):
+        assert main(["warp"]) == 0
+        output = capsys.readouterr().out
+        assert "Warp cell" in output
+
+    def test_pebble_command(self, capsys):
+        assert main(["pebble"]) == 0
+        output = capsys.readouterr().out
+        assert "lower bound" in output.lower()
+
+    def test_summary_quick_command(self, capsys):
+        assert main(["summary", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Section 3 summary" in output

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs to completion and prints its story."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_and_prints(script: Path, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output) > 200, f"{script.name} printed almost nothing"
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLE_SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+def test_quickstart_reports_rebalanced_pe(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "io-bound" in output
+    assert "balanced" in output
+    assert "matches numpy: True" in output
+
+
+def test_warp_sizing_reaches_paper_conclusion(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "warp_sizing.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "64K-word local memory covers it" in output

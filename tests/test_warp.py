@@ -1,0 +1,96 @@
+"""Tests for the Warp machine case study (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.intensity import LogarithmicIntensity, PowerLawIntensity
+from repro.core.model import BoundKind
+from repro.exceptions import ConfigurationError
+from repro.warp.machine import (
+    WARP_CELL,
+    analyse_cell,
+    compute_bandwidth_sweep,
+    warp_array_sizing,
+    warp_cell,
+)
+
+
+class TestWarpCellParameters:
+    def test_published_values(self):
+        assert WARP_CELL.compute_bandwidth == pytest.approx(10e6)
+        assert WARP_CELL.io_bandwidth == pytest.approx(20e6)
+        assert WARP_CELL.memory_words == 64 * 1024
+
+    def test_cell_ratio_is_one_half(self):
+        assert WARP_CELL.compute_io_ratio == pytest.approx(0.5)
+
+    def test_warp_cell_factory_defaults_and_overrides(self):
+        assert warp_cell() == WARP_CELL
+        faster = warp_cell(compute_bandwidth=40e6)
+        assert faster.compute_io_ratio == pytest.approx(2.0)
+
+
+class TestAnalyseCell:
+    def test_cell_is_not_io_starved_for_matmul(self):
+        """The paper's qualitative conclusion about the Warp design point."""
+        study = analyse_cell()
+        assert study.balanced_or_compute_bound
+        assert study.bound_at_full_memory is not BoundKind.IO_BOUND
+
+    def test_memory_headroom_is_enormous(self):
+        """With C/IO = 0.5 the balance condition needs only a tiny memory."""
+        study = analyse_cell()
+        assert study.memory_required_for_balance <= 4
+        assert study.memory_headroom > 1e4
+
+    def test_fft_needs_little_memory_too(self):
+        study = analyse_cell(intensity=LogarithmicIntensity())
+        assert study.memory_required_for_balance <= 2
+
+    def test_describe_mentions_headroom(self):
+        assert "headroom" in analyse_cell().describe()
+
+
+class TestWarpArraySizing:
+    def test_per_cell_memory_grows_linearly(self):
+        results = warp_array_sizing((2, 4, 8, 16))
+        per_cell = [r.per_cell_memory_words for r in results]
+        assert per_cell[1] / per_cell[0] == pytest.approx(2.0)
+        assert per_cell[3] / per_cell[0] == pytest.approx(8.0)
+
+    def test_production_ten_cell_array_fits_in_64k(self):
+        results = warp_array_sizing((10,))
+        assert results[0].per_cell_memory_words <= WARP_CELL.memory_words
+
+    def test_empty_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            warp_array_sizing(())
+
+    def test_break_even_array_size_is_huge(self):
+        """The 64K-word memory covers matmul balance up to very large arrays."""
+        results = warp_array_sizing((1024,))
+        assert results[0].per_cell_memory_words <= WARP_CELL.memory_words
+
+
+class TestComputeBandwidthSweep:
+    def test_memory_grows_quadratically_with_alpha(self):
+        sweep = dict(compute_bandwidth_sweep((1.0, 2.0, 4.0)))
+        assert sweep[2.0] / sweep[1.0] == pytest.approx(4.0)
+        assert sweep[4.0] / sweep[1.0] == pytest.approx(16.0)
+
+    def test_fft_sweep_grows_much_faster(self):
+        matmul = dict(compute_bandwidth_sweep((1.0, 8.0)))
+        fft = dict(
+            compute_bandwidth_sweep((1.0, 8.0), intensity=LogarithmicIntensity())
+        )
+        matmul_growth = matmul[8.0] / matmul[1.0]
+        fft_growth = fft[8.0] / max(fft[1.0], 1.0)
+        assert matmul_growth == pytest.approx(64.0)
+        assert fft_growth < matmul_growth  # tiny base memory: the comparison below matters
+
+    def test_sweep_with_faster_cell(self):
+        """A hypothetical 320-MFLOPS cell (C/IO = 16) needs 256 words for matmul."""
+        cell = warp_cell(compute_bandwidth=320e6)
+        study = analyse_cell(cell, PowerLawIntensity(exponent=0.5))
+        assert study.memory_required_for_balance == pytest.approx(256.0)

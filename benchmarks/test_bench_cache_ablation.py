@@ -16,7 +16,6 @@ like ``sqrt(M)``.
 
 from __future__ import annotations
 
-import pytest
 from conftest import emit
 
 from repro.analysis.report import Table

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 from conftest import emit
 
 from repro.analysis.fitting import fit_log_law, fit_power_law

@@ -9,7 +9,6 @@ three-dimensional case (E5).
 
 from __future__ import annotations
 
-import pytest
 from conftest import emit
 
 from repro.experiments.intensity import run_intensity_experiment

@@ -8,7 +8,6 @@ above the bounds and track their dependence on the fast-memory size.
 
 from __future__ import annotations
 
-import pytest
 from conftest import emit
 
 from repro.experiments.pebble_bounds import run_pebble_experiment

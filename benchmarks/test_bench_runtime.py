@@ -1,0 +1,82 @@
+"""Benchmarks for the scenario-sweep runtime.
+
+Demonstrates the two speedups the runtime exists for:
+
+* the vectorized analytic path evaluates a dense ``(N, M)`` cost grid in one
+  array pass instead of one Python call per point, and
+* a warm result cache replays a whole scenario suite without executing any
+  kernel.
+
+Timing assertions are deliberately loose (faster-than, not a fixed factor):
+absolute ratios vary with core count and machine load, and the exact numbers
+are emitted for the harness to record.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.core import registry
+from repro.runtime.cache import ResultCache
+from repro.runtime.engine import SweepRunner
+from repro.runtime.suites import get_suite, run_suite
+
+
+def test_bench_vectorized_cost_grid_beats_scalar_loop():
+    spec = registry.get("matmul")
+    problem_sizes = np.linspace(64, 8192, 128)
+    memories = np.linspace(16, 4096, 128)
+
+    started = time.perf_counter()
+    batch = spec.batch_costs(problem_sizes.reshape(-1, 1), memories.reshape(1, -1))
+    batch_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    scalar = [
+        [spec.costs(int(n), int(m)) for m in memories.astype(int)]
+        for n in problem_sizes.astype(int)
+    ]
+    scalar_seconds = time.perf_counter() - started
+
+    emit(
+        "Vectorized analytic path: one array pass vs per-point Python calls",
+        f"grid: {batch.shape[0]} x {batch.shape[1]} points\n"
+        f"batch : {batch_seconds * 1e3:8.2f} ms\n"
+        f"scalar: {scalar_seconds * 1e3:8.2f} ms\n"
+        f"speedup: {scalar_seconds / max(batch_seconds, 1e-9):.1f}x",
+    )
+
+    # Same numbers (note the scalar loop truncates the grid to ints).
+    check = spec.batch_costs(
+        problem_sizes.astype(int).reshape(-1, 1),
+        memories.astype(int).reshape(1, -1),
+    )
+    for i in (0, 64, 127):
+        for j in (0, 64, 127):
+            assert check.compute_ops[i, j] == scalar[i][j].compute_ops
+            assert check.io_words[i, j] == scalar[i][j].io_words
+    assert batch_seconds < scalar_seconds
+
+
+def test_bench_suite_warm_cache_replays_without_execution(tmp_path):
+    suite = get_suite("quick")
+    cache = ResultCache(tmp_path / "cache")
+
+    cold = run_suite(suite, SweepRunner(parallel=True, cache=cache))
+    warm = run_suite(suite, SweepRunner(parallel=True, cache=cache))
+
+    emit(
+        "Scenario suite result cache: cold vs warm",
+        f"suite : {suite.name} ({cold.runtime['points']} points)\n"
+        f"cold  : {cold.elapsed_seconds * 1e3:8.1f} ms ({cache.stats.misses} misses)\n"
+        f"warm  : {warm.elapsed_seconds * 1e3:8.1f} ms ({cache.stats.hits} hits)\n"
+        f"speedup: {cold.elapsed_seconds / max(warm.elapsed_seconds, 1e-9):.1f}x",
+    )
+
+    assert cache.stats.hits == cache.stats.misses == cold.runtime["points"]
+    for c, w in zip(cold.results, warm.results):
+        assert w.sweep.intensities == c.sweep.intensities
+    assert warm.elapsed_seconds < cold.elapsed_seconds

@@ -7,7 +7,6 @@ exponential ``M_new = M_old ** alpha`` (Equation (5), optimal per Song 1981).
 
 from __future__ import annotations
 
-import pytest
 from conftest import emit
 
 from repro.analysis.fitting import fit_log_law

@@ -10,7 +10,6 @@ cell utilization.
 
 from __future__ import annotations
 
-import pytest
 from conftest import emit
 
 from repro.experiments.arrays_section4 import run_systolic_experiment

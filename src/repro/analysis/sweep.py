@@ -29,7 +29,30 @@ from repro.core.rebalance import RebalanceResult, rebalance_memory
 from repro.exceptions import ConfigurationError
 from repro.kernels.base import Kernel, KernelExecution
 
-__all__ = ["MemorySweep", "MemorySweepResult", "measured_rebalance_curve"]
+__all__ = [
+    "MemorySweep",
+    "MemorySweepResult",
+    "measured_rebalance_curve",
+    "normalize_memory_sizes",
+]
+
+
+def normalize_memory_sizes(memory_sizes: Sequence[int]) -> tuple[int, ...]:
+    """Validate and sort a sweep's memory grid.
+
+    Returns the sizes as a sorted tuple of ints; rejects an empty grid and
+    duplicated sizes, naming the offending values in the error message.
+    """
+    if not memory_sizes:
+        raise ConfigurationError("memory_sizes must not be empty")
+    sizes = sorted(int(m) for m in memory_sizes)
+    duplicates = sorted({m for m in sizes if sizes.count(m) > 1})
+    if duplicates:
+        raise ConfigurationError(
+            "memory_sizes must be distinct; duplicated values: "
+            + ", ".join(str(m) for m in duplicates)
+        )
+    return tuple(sizes)
 
 
 @dataclass(frozen=True)
@@ -98,23 +121,12 @@ class MemorySweep:
         self, memory_sizes: Sequence[int], **problem: Any
     ) -> MemorySweepResult:
         """Execute the kernel once per memory size and collect the results."""
-        if not memory_sizes:
-            raise ConfigurationError("memory_sizes must not be empty")
-        sizes = sorted(int(m) for m in memory_sizes)
-        if len(set(sizes)) != len(sizes):
-            raise ConfigurationError("memory_sizes must be distinct")
-        executions = []
-        for size in sizes:
-            execution = self.kernel.execute(size, **problem)
-            if self.verify and not self.kernel.verify(execution):
-                raise ConfigurationError(
-                    f"{self.kernel.name} produced an incorrect result at M={size}"
-                )
-            executions.append(execution)
+        sizes = normalize_memory_sizes(memory_sizes)
+        executions = [self._execute_point(size, problem) for size in sizes]
         return MemorySweepResult(
             kernel_name=self.kernel.name,
             problem=dict(problem),
-            memory_sizes=tuple(sizes),
+            memory_sizes=sizes,
             executions=tuple(executions),
         )
 
@@ -128,28 +140,30 @@ class MemorySweep:
         kernels whose decomposition ties the owned partition to the memory
         (the grid relaxation) scale the problem accordingly.
         """
-        if not memory_sizes:
-            raise ConfigurationError("memory_sizes must not be empty")
-        sizes = sorted(int(m) for m in memory_sizes)
-        if len(set(sizes)) != len(sizes):
-            raise ConfigurationError("memory_sizes must be distinct")
+        sizes = normalize_memory_sizes(memory_sizes)
         executions = []
         base_problem: dict[str, Any] = {}
         for size in sizes:
-            problem = self.kernel.problem_for_memory(size, scale)
-            base_problem = problem
-            execution = self.kernel.execute(size, **problem)
-            if self.verify and not self.kernel.verify(execution):
-                raise ConfigurationError(
-                    f"{self.kernel.name} produced an incorrect result at M={size}"
-                )
-            executions.append(execution)
+            base_problem = self.kernel.problem_for_memory(size, scale)
+            executions.append(self._execute_point(size, base_problem))
         return MemorySweepResult(
             kernel_name=self.kernel.name,
             problem=dict(base_problem),
-            memory_sizes=tuple(sizes),
+            memory_sizes=sizes,
             executions=tuple(executions),
         )
+
+    def _execute_point(
+        self, memory_words: int, problem: Mapping[str, Any]
+    ) -> KernelExecution:
+        """Run one sweep point, enforcing ``verify`` if requested."""
+        execution = self.kernel.execute(memory_words, **problem)
+        if self.verify and not self.kernel.verify(execution):
+            raise ConfigurationError(
+                f"{self.kernel.name} produced an incorrect result "
+                f"at M={memory_words}"
+            )
+        return execution
 
 
 def measured_rebalance_curve(

@@ -15,13 +15,22 @@ Examples
     python -m repro systolic                 # E12 cycle-level simulations
     python -m repro pebble                   # E9 pebble game vs lower bounds
     python -m repro warp                     # E13 Warp case study
+    python -m repro sweep fft --jobs 4       # one kernel through the runtime
+    python -m repro suite quick --json out.json   # a whole scenario suite
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
+import json
+import os
+import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.analysis.report import Table
+from repro.analysis.sweep import normalize_memory_sizes
 from repro.core.intensity import PowerLawIntensity
 from repro.experiments.arrays_section4 import (
     run_linear_array_experiment,
@@ -42,6 +51,19 @@ from repro.kernels import (
     StreamingMatrixVectorProduct,
     StreamingTriangularSolve,
 )
+from repro.runtime import (
+    ResultCache,
+    SweepRunner,
+    build_kernel,
+    cost_grid,
+    get_suite,
+    kernel_factories,
+    rebalance_grid,
+    run_suite,
+    suite_names,
+)
+from repro.core.registry import get as get_registry_spec
+from repro.exceptions import ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -57,8 +79,25 @@ _KERNEL_COMMANDS = {
     "triangular_solve": (StreamingTriangularSolve, 64, (8, 32, 128, 512, 2048), None),
 }
 
+#: Default memory grid and scale for `repro sweep KERNEL`, per kernel.
+_DEFAULT_SWEEPS: dict[str, tuple[tuple[int, ...], int]] = {
+    "matmul": ((12, 27, 48, 108, 192, 300, 432), 48),
+    "triangularization": ((12, 27, 48, 108, 192, 300), 48),
+    "grid1d": ((16, 64, 256, 1024), 64),
+    "grid2d": ((100, 256, 576, 1296, 2704), 7),
+    "grid3d": ((512, 1728, 4096, 13824), 7),
+    "grid4d": ((256, 1296, 4096, 20736), 5),
+    "fft": ((4, 8, 16, 32, 128, 8192), 12),
+    "sorting": ((8, 32, 128, 512), 16384),
+    "matvec": ((8, 32, 128, 512, 2048), 64),
+    "triangular_solve": ((8, 32, 128, 512, 2048), 64),
+    "sparse_matvec": ((8, 32, 128, 512, 2048), 64),
+}
+
 _EXPERIMENT_DESCRIPTIONS = {
     "summary": "E1: the Section 3 summary table (analytic and measured)",
+    "sweep": "run one kernel sweep through the scenario runtime (JSON/CSV output)",
+    "suite": "run a named scenario suite through the parallel runtime",
     "figure2": "E6: the Figure 2 FFT decomposition (N=16, M=4)",
     "arrays": "E10/E11: per-cell memory sizing for linear arrays and meshes",
     "systolic": "E12: cycle-level systolic matmul / matvec simulations",
@@ -84,7 +123,8 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 def _cmd_summary(args: argparse.Namespace) -> int:
     _print(analytic_summary_table().render_ascii())
-    experiment = run_summary_experiment(quick=args.quick)
+    runner = SweepRunner(parallel=args.jobs > 1, max_workers=args.jobs)
+    experiment = run_summary_experiment(quick=args.quick, runner=runner)
     _print(experiment.table().render_ascii())
     if not experiment.all_agree:
         print("WARNING: at least one measured classification disagrees with the paper")
@@ -151,6 +191,243 @@ def _cmd_warp(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# The scenario-runtime subcommands (`repro sweep`, `repro suite`).
+# ---------------------------------------------------------------------------
+
+
+def _default_cache_dir() -> Path:
+    return Path(
+        os.environ.get("REPRO_CACHE_DIR", Path.home() / ".cache" / "repro")
+    )
+
+
+def _runner_from_args(args: argparse.Namespace, *, parallel_default: bool) -> SweepRunner:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or _default_cache_dir())
+    parallel = parallel_default
+    if args.serial:
+        parallel = False
+    elif args.jobs is not None:
+        parallel = args.jobs > 1
+    return SweepRunner(
+        parallel=parallel,
+        max_workers=args.jobs,
+        cache=cache,
+        verify=getattr(args, "verify", False),
+    )
+
+
+def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: one per core)"
+    )
+    parser.add_argument(
+        "--serial", action="store_true", help="run every point in-process, one at a time"
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    parser.add_argument("--json", type=Path, default=None, help="write results as JSON")
+    parser.add_argument("--csv", type=Path, default=None, help="write results as CSV")
+
+
+def _parse_memory_list(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated list of integers, got {text!r}"
+        ) from exc
+
+
+def _write_rows_csv(path: Path, rows: list[dict]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    defaults = _DEFAULT_SWEEPS.get(args.kernel)
+    # `--memory ,` (explicit but empty) must not silently fall back to the
+    # default grid; let the runtime reject the empty grid instead.
+    memory_sizes = (
+        args.memory
+        if args.memory is not None
+        else (defaults[0] if defaults else None)
+    )
+    scale = args.scale if args.scale is not None else (defaults[1] if defaults else None)
+    if memory_sizes is None or scale is None:
+        print(f"kernel {args.kernel!r} has no default grid; pass --memory and --scale")
+        return 2
+    memory_sizes = normalize_memory_sizes(memory_sizes)
+
+    if args.analytic:
+        return _cmd_sweep_analytic(args, memory_sizes)
+
+    runner = _runner_from_args(args, parallel_default=False)
+    kernel = build_kernel(args.kernel)
+    sweep = runner.run_default(kernel, memory_sizes, scale)
+    rows = sweep.rows()
+
+    table = Table(
+        columns=("memory_words", "compute_ops", "io_words", "intensity"),
+        title=f"{kernel.name}: measured intensity F(M) [runtime sweep]",
+    )
+    for row in rows:
+        table.add_row(
+            row["memory_words"], row["compute_ops"], row["io_words"], row["intensity"]
+        )
+    _print(table.render_ascii())
+    try:
+        fit = {
+            "power_law_exponent": sweep.power_law_fit().exponent,
+            "best_model": sweep.best_model(),
+            "computation_class": sweep.classification().computation_class.value,
+        }
+    except ReproError as exc:
+        # Law fitting needs three or more points; the measurements themselves
+        # are still worth printing and exporting.
+        fit = None
+        print(f"fit                       : unavailable ({exc})")
+    if fit is not None:
+        print(f"fitted intensity exponent : {fit['power_law_exponent']:.3f}")
+        print(f"best model                : {fit['best_model']}")
+    if runner.cache is not None:
+        stats = runner.cache.stats
+        print(f"cache                     : {stats.hits} hits, {stats.misses} misses")
+
+    payload = {
+        "schema": "repro-sweep-result/v1",
+        "kernel": args.kernel,
+        "scale": scale,
+        "memory_sizes": list(sweep.memory_sizes),
+        "rows": rows,
+        "fit": fit,
+    }
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote JSON to {args.json}")
+    if args.csv:
+        _write_rows_csv(args.csv, rows)
+        print(f"wrote CSV to {args.csv}")
+    return 0
+
+
+def _cmd_sweep_analytic(
+    args: argparse.Namespace, memory_sizes: tuple[int, ...]
+) -> int:
+    # The registry may know a kernel under a different name than the CLI
+    # factory (e.g. sparse_matvec -> spmv); resolve through the kernel class.
+    registry_name = build_kernel(args.kernel).registry_name or args.kernel
+    spec = get_registry_spec(registry_name)
+    costs = cost_grid(spec, [args.problem_size], memory_sizes)
+    intensities = spec.batch_intensity(memory_sizes)
+
+    table = Table(
+        columns=("memory_words", "model F(M)", "cost intensity", "compute_ops", "io_words"),
+        title=f"{spec.title}: analytic cost model at N={args.problem_size} (one array pass)",
+    )
+    for j, memory in enumerate(memory_sizes):
+        table.add_row(
+            memory,
+            float(intensities[j]),
+            float(costs.intensity[0, j]),
+            float(costs.compute_ops[0, j]),
+            float(costs.io_words[0, j]),
+        )
+    _print(table.render_ascii())
+
+    alphas = (1.5, 2.0, 3.0, 4.0)
+    grown = rebalance_grid(spec.law, float(memory_sizes[0]), alphas)
+    law_table = Table(
+        columns=("alpha", "memory_new"),
+        title=f"{spec.title}: {spec.law_label} from M_old={memory_sizes[0]}",
+    )
+    for alpha, memory_new in zip(alphas, grown):
+        law_table.add_row(alpha, float(memory_new))
+    _print(law_table.render_ascii())
+
+    rows = [
+        {
+            "memory_words": float(memory),
+            "model_intensity": float(intensities[j]),
+            "cost_intensity": float(costs.intensity[0, j]),
+            "compute_ops": float(costs.compute_ops[0, j]),
+            "io_words": float(costs.io_words[0, j]),
+        }
+        for j, memory in enumerate(memory_sizes)
+    ]
+    if args.json:
+        payload = {
+            "schema": "repro-sweep-analytic/v1",
+            "kernel": args.kernel,
+            "problem_size": args.problem_size,
+            "rows": rows,
+            "rebalance": [
+                {"alpha": alpha, "memory_new": float(memory_new)}
+                for alpha, memory_new in zip(alphas, grown)
+            ],
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote JSON to {args.json}")
+    if args.csv:
+        _write_rows_csv(args.csv, rows)
+        print(f"wrote CSV to {args.csv}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    if args.list:
+        for name in suite_names():
+            suite = get_suite(name)
+            print(f"  {name:<8s} {len(suite.scenarios):2d} scenarios  {suite.description}")
+        return 0
+    name = "quick" if args.quick else (args.name or "quick")
+    suite = get_suite(name)
+    runner = _runner_from_args(args, parallel_default=True)
+    result = run_suite(suite, runner)
+
+    table = Table(
+        columns=("scenario", "kernel", "points", "exponent", "best model", "class"),
+        title=f"suite {suite.name!r}: {suite.description}",
+    )
+    for scenario_result in result.results:
+        fit = scenario_result.fit()
+        table.add_row(
+            scenario_result.scenario.name,
+            scenario_result.scenario.kernel,
+            len(scenario_result.sweep.memory_sizes),
+            f"{fit['power_law_exponent']:.3f}",
+            fit["best_model"],
+            fit["computation_class"],
+        )
+    _print(table.render_ascii())
+
+    mode = "parallel" if runner.parallel else "serial"
+    print(
+        f"{result.runtime['points']} points in {result.elapsed_seconds:.2f}s "
+        f"({mode}, {runner.max_workers} workers)"
+    )
+    if runner.cache is not None:
+        stats = runner.cache.stats
+        print(f"cache: {stats.hits} hits, {stats.misses} misses ({runner.cache.root})")
+    if args.json:
+        print(f"wrote JSON to {result.write_json(args.json)}")
+    if args.csv:
+        print(f"wrote CSV to {result.write_csv(args.csv)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -165,6 +442,39 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument(
         "--quick", action="store_true", help="smaller problems (seconds instead of tens of seconds)"
     )
+    summary.add_argument(
+        "--jobs", type=int, default=1, help="fan kernel executions across N worker processes"
+    )
+
+    sweep = subparsers.add_parser("sweep", help=_EXPERIMENT_DESCRIPTIONS["sweep"])
+    sweep.add_argument("kernel", choices=sorted(kernel_factories()))
+    sweep.add_argument(
+        "--memory", type=_parse_memory_list, default=None,
+        help="comma-separated memory sizes (default: the kernel's standard grid)",
+    )
+    sweep.add_argument("--scale", type=int, default=None, help="problem scale")
+    sweep.add_argument(
+        "--analytic", action="store_true",
+        help="evaluate the registry cost model over the grid instead of running the kernel",
+    )
+    sweep.add_argument(
+        "--problem-size", type=int, default=4096,
+        help="problem size N for --analytic cost tables",
+    )
+    sweep.add_argument(
+        "--verify", action="store_true",
+        help="check every execution against the reference implementation (disables the cache)",
+    )
+    _add_runtime_options(sweep)
+
+    suite = subparsers.add_parser("suite", help=_EXPERIMENT_DESCRIPTIONS["suite"])
+    suite.add_argument(
+        "name", nargs="?", default=None,
+        help="suite to run (see --list); defaults to 'quick'",
+    )
+    suite.add_argument("--quick", action="store_true", help="shorthand for the 'quick' suite")
+    suite.add_argument("--list", action="store_true", help="list the named suites and exit")
+    _add_runtime_options(suite)
 
     for name in _KERNEL_COMMANDS:
         subparsers.add_parser(name, help=_EXPERIMENT_DESCRIPTIONS[name])
@@ -192,12 +502,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers: dict[str, Callable[[argparse.Namespace], int]] = {
         "list": _cmd_list,
         "summary": _cmd_summary,
+        "sweep": _cmd_sweep,
+        "suite": _cmd_suite,
         "figure2": _cmd_figure2,
         "arrays": _cmd_arrays,
         "systolic": _cmd_systolic,
         "pebble": _cmd_pebble,
         "warp": _cmd_warp,
     }
-    if args.command in _KERNEL_COMMANDS:
-        return _cmd_kernel(args.command, args)
-    return handlers[args.command](args)
+    try:
+        if args.command in _KERNEL_COMMANDS:
+            return _cmd_kernel(args.command, args)
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2

@@ -30,6 +30,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError, RebalanceInfeasibleError
 
 __all__ = [
@@ -72,6 +74,27 @@ class IntensityFunction(ABC):
     def describe(self) -> str:
         """Return a short human-readable formula for the intensity."""
         return repr(self)
+
+    def batch(self, memory_words: np.ndarray | Sequence[float]) -> np.ndarray:
+        """Evaluate ``F(M)`` over a whole numpy grid in one array pass.
+
+        Closed-form subclasses override :meth:`_batch` with a vectorized
+        formula; the fallback loops over the grid, so ``batch`` is always
+        numerically equivalent to calling the function point by point.
+        """
+        grid = np.asarray(memory_words, dtype=float)
+        if grid.size and np.any(grid < _MIN_MEMORY_WORDS):
+            offending = np.min(grid)
+            raise ConfigurationError(
+                f"local memory must be at least {_MIN_MEMORY_WORDS} word, "
+                f"smallest grid value is {offending!r}"
+            )
+        return self._batch(grid)
+
+    def _batch(self, grid: np.ndarray) -> np.ndarray:
+        return np.asarray(
+            [self(value) for value in grid.ravel()], dtype=float
+        ).reshape(grid.shape)
 
     def rebalanced_memory(self, memory_old: float, alpha: float) -> float:
         """Memory needed after ``C/IO`` grows by ``alpha`` (Section 2).
@@ -134,6 +157,9 @@ class PowerLawIntensity(IntensityFunction):
         _validate_memory(memory_words)
         return self.coefficient * float(memory_words) ** self.exponent
 
+    def _batch(self, grid: np.ndarray) -> np.ndarray:
+        return self.coefficient * grid**self.exponent
+
     def invert(self, target_intensity: float) -> float:
         if target_intensity <= 0:
             return _MIN_MEMORY_WORDS
@@ -175,6 +201,9 @@ class LogarithmicIntensity(IntensityFunction):
         _validate_memory(memory_words)
         return self.coefficient * math.log(float(memory_words), self.base)
 
+    def _batch(self, grid: np.ndarray) -> np.ndarray:
+        return self.coefficient * np.log(grid) / math.log(self.base)
+
     def invert(self, target_intensity: float) -> float:
         if target_intensity <= 0:
             return _MIN_MEMORY_WORDS
@@ -210,6 +239,9 @@ class ConstantIntensity(IntensityFunction):
     def __call__(self, memory_words: float) -> float:
         _validate_memory(memory_words)
         return self.value
+
+    def _batch(self, grid: np.ndarray) -> np.ndarray:
+        return np.full(grid.shape, self.value, dtype=float)
 
     def invert(self, target_intensity: float) -> float:
         if target_intensity <= self.value:
@@ -300,6 +332,17 @@ class TabulatedIntensity(IntensityFunction):
                 t = (x - log_m[i]) / (log_m[i + 1] - log_m[i])
                 return math.exp(log_f[i] + t * (log_f[i + 1] - log_f[i]))
         raise AssertionError("unreachable: x within table bounds")  # pragma: no cover
+
+    def _batch(self, grid: np.ndarray) -> np.ndarray:
+        x = np.log(grid)
+        log_m = np.asarray(self._log_m)
+        log_f = np.asarray(self._log_f)
+        interior = np.interp(x, log_m, log_f)
+        head = log_f[0] + self._head_slope() * (x - log_m[0])
+        tail = log_f[-1] + self._tail_slope() * (x - log_m[-1])
+        return np.exp(
+            np.where(x <= log_m[0], head, np.where(x >= log_m[-1], tail, interior))
+        )
 
     @property
     def unbounded(self) -> bool:

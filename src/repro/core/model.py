@@ -16,11 +16,14 @@ import math
 from dataclasses import dataclass, replace
 from enum import Enum
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 
 __all__ = [
     "ProcessingElement",
     "ComputationCost",
+    "BatchCost",
     "BoundKind",
     "BalanceAssessment",
     "assess_balance",
@@ -131,6 +134,47 @@ class ComputationCost:
         if factor < 0:
             raise ConfigurationError(f"scale factor must be non-negative, got {factor!r}")
         return ComputationCost(self.compute_ops * factor, self.io_words * factor)
+
+
+@dataclass(frozen=True)
+class BatchCost:
+    """Costs of one computation evaluated over a whole grid of scenarios.
+
+    The vectorized counterpart of :class:`ComputationCost`: ``compute_ops``
+    and ``io_words`` are numpy arrays of identical shape, one entry per
+    ``(N, M)`` grid point.  Produced by
+    :meth:`repro.core.registry.ComputationSpec.batch_costs`, which evaluates
+    a closed-form cost model over the full grid in one array pass.
+    """
+
+    compute_ops: np.ndarray
+    io_words: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.compute_ops.shape != self.io_words.shape:
+            raise ConfigurationError(
+                "compute_ops and io_words must have the same shape, got "
+                f"{self.compute_ops.shape} and {self.io_words.shape}"
+            )
+        if np.any(self.compute_ops < 0) or np.any(self.io_words < 0):
+            raise ConfigurationError("costs must be non-negative")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.compute_ops.shape
+
+    @property
+    def intensity(self) -> np.ndarray:
+        """Elementwise ``C_comp / C_io``; infinite where no I/O is performed."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.divide(self.compute_ops, self.io_words)
+        return np.where(self.io_words == 0, math.inf, ratio)
+
+    def at(self, index: tuple[int, ...] | int) -> ComputationCost:
+        """The scalar :class:`ComputationCost` at one grid point."""
+        return ComputationCost(
+            float(self.compute_ops[index]), float(self.io_words[index])
+        )
 
 
 class BoundKind(str, Enum):

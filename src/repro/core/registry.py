@@ -17,9 +17,10 @@ their theoretical predictions.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
 
 from repro.core.classification import ComputationClass
 from repro.core.intensity import (
@@ -34,7 +35,7 @@ from repro.core.laws import (
     MemoryLaw,
     PolynomialMemoryLaw,
 )
-from repro.core.model import ComputationCost
+from repro.core.model import BatchCost, ComputationCost
 from repro.exceptions import ConfigurationError, UnknownComputationError
 
 __all__ = [
@@ -44,9 +45,14 @@ __all__ = [
     "names",
     "all_specs",
     "paper_summary_rows",
+    "specs_by_class",
 ]
 
 CostModel = Callable[[int, int], ComputationCost]
+
+#: Vectorized cost model: maps broadcast ``(N, M)`` float arrays to
+#: ``(compute_ops, io_words)`` arrays of the same shape.
+ArrayCostModel = Callable[[np.ndarray, np.ndarray], "tuple[np.ndarray, np.ndarray]"]
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,7 @@ class ComputationSpec:
     description: str
     law_label: str
     parameters: dict = field(default_factory=dict)
+    array_cost_model: ArrayCostModel | None = None
 
     def costs(self, problem_size: int, memory_words: int) -> ComputationCost:
         """Closed-form total ``C_comp`` and ``C_io`` for the paper's decomposition."""
@@ -75,6 +82,47 @@ class ComputationSpec:
                 f"memory_words must be >= 1, got {memory_words!r}"
             )
         return self.cost_model(problem_size, memory_words)
+
+    def batch_costs(
+        self,
+        problem_sizes: np.ndarray | int | Sequence,
+        memory_words: np.ndarray | int | Sequence,
+    ) -> BatchCost:
+        """Evaluate the cost model over broadcast ``(N, M)`` grids in one pass.
+
+        The two arguments are broadcast against each other, so a column of
+        problem sizes against a row of memory sizes yields the full
+        cross-product grid.  Equivalent to calling :meth:`costs` at every
+        grid point, but in a single numpy array pass.
+        """
+        n = np.asarray(problem_sizes, dtype=float)
+        m = np.asarray(memory_words, dtype=float)
+        if n.size and np.min(n) < 1:
+            raise ConfigurationError(
+                f"problem sizes must be >= 1, smallest grid value is {np.min(n)!r}"
+            )
+        if m.size and np.min(m) < 1:
+            raise ConfigurationError(
+                f"memory sizes must be >= 1, smallest grid value is {np.min(m)!r}"
+            )
+        n, m = np.broadcast_arrays(n, m)
+        if self.array_cost_model is not None:
+            ops, io = self.array_cost_model(n, m)
+            return BatchCost(np.asarray(ops, dtype=float), np.asarray(io, dtype=float))
+        flat = [
+            self.cost_model(float(a), float(b))
+            for a, b in zip(n.ravel(), m.ravel())
+        ]
+        return BatchCost(
+            np.asarray([c.compute_ops for c in flat]).reshape(n.shape),
+            np.asarray([c.io_words for c in flat]).reshape(n.shape),
+        )
+
+    def batch_intensity(
+        self, memory_words: np.ndarray | int | Sequence
+    ) -> np.ndarray:
+        """Analytic intensity ``F(M)`` over a numpy grid of memory sizes."""
+        return self.intensity.batch(memory_words)
 
     def intensity_at(self, memory_words: int) -> float:
         """Analytic intensity at a given memory size."""
@@ -115,103 +163,133 @@ def all_specs() -> list[ComputationSpec]:
 
 # ---------------------------------------------------------------------------
 # Cost models for the decomposition schemes used in Section 3.
+#
+# Each model is written once, as a numpy expression over ``(N, M)`` arrays;
+# the scalar ``costs()`` path wraps the same expression via ``_scalarize`` so
+# the point-wise and batched evaluations are numerically identical.
 # ---------------------------------------------------------------------------
 
 
-def _matmul_costs(n: int, m: int) -> ComputationCost:
+def _scalarize(array_model: ArrayCostModel) -> CostModel:
+    """Adapt a vectorized ``(N, M) -> (ops, io)`` model to the scalar API.
+
+    The scalar inputs are wrapped in one-element arrays rather than numpy
+    scalars so both paths run the very same ufunc loops -- numpy's scalar
+    ``**`` can differ from the array version in the last ulp, and the
+    scalar/batch equivalence is meant to be exact.
+    """
+
+    def cost_model(n: int, m: int) -> ComputationCost:
+        ops, io = array_model(
+            np.asarray([float(n)]), np.asarray([float(m)])
+        )
+        return ComputationCost(float(ops[0]), float(io[0]))
+
+    return cost_model
+
+
+def _matmul_ops_io(n: np.ndarray, m: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Blocked N x N matrix multiplication with sqrt(M) x sqrt(M) output tiles.
 
     (N / sqrt(M))**2 steps; each step does Theta(N*M) operations and
     Theta(N*sqrt(M)) I/O (read a sqrt(M) x N panel of A and an N x sqrt(M)
     panel of B, write the M-word output tile).
     """
-    s = max(1.0, math.sqrt(m))
+    s = np.maximum(1.0, np.sqrt(m))
     steps = (n / s) ** 2
     ops_per_step = 2.0 * n * s * s          # multiply-add pairs on an s x s tile
     io_per_step = 2.0 * n * s + s * s       # two panels in, one tile out
-    return ComputationCost(ops_per_step * steps, io_per_step * steps)
+    return ops_per_step * steps, io_per_step * steps
 
 
-def _triangularization_costs(n: int, m: int) -> ComputationCost:
+def _triangularization_ops_io(
+    n: np.ndarray, m: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     """Panel-wise triangularization: N / sqrt(M) steps over the trailing matrix.
 
     Each step annihilates sqrt(M) columns with Theta(N**2 * sqrt(M))
     operations and Theta(N**2) I/O (stream the trailing matrix through the
     PE once).
     """
-    s = max(1.0, math.sqrt(m))
-    steps = max(1.0, n / s)
+    s = np.maximum(1.0, np.sqrt(m))
+    steps = np.maximum(1.0, n / s)
     ops_per_step = 2.0 * n * n * s
     io_per_step = 2.0 * n * n
-    return ComputationCost(ops_per_step * steps, io_per_step * steps)
+    return ops_per_step * steps, io_per_step * steps
 
 
-def _grid_costs_factory(dimension: int) -> CostModel:
-    def _grid_costs(n: int, m: int) -> ComputationCost:
+def _grid_ops_io_factory(dimension: int) -> ArrayCostModel:
+    def _grid_ops_io(n: np.ndarray, m: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """d-dimensional relaxation, one sweep over an N**d grid.
 
         The grid is partitioned into blocks of M points (side M**(1/d));
         updating a block costs Theta(M) operations and Theta(M**((d-1)/d))
         I/O words for its halo.
         """
-        points = float(n) ** dimension
-        blocks = max(1.0, points / m)
-        side = float(m) ** (1.0 / dimension)
-        halo = 2.0 * dimension * (side ** (dimension - 1))
+        points = n**dimension
+        blocks = np.maximum(1.0, points / m)
+        side = m ** (1.0 / dimension)
+        halo = 2.0 * dimension * side ** (dimension - 1)
         ops_per_block = 2.0 * dimension * m
-        return ComputationCost(ops_per_block * blocks, halo * blocks)
+        return ops_per_block * blocks, halo * blocks
 
-    return _grid_costs
+    return _grid_ops_io
 
 
-def _fft_costs(n: int, m: int) -> ComputationCost:
+def _fft_ops_io(n: np.ndarray, m: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Blocked radix-2 FFT of N points with M-point subcomputation blocks.
 
     log2(N)/log2(M) passes; each pass runs N/M independent M-point FFTs,
     each costing Theta(M log2 M) operations and Theta(M) I/O (Figure 2).
     """
-    m = max(2, m)
-    passes = max(1.0, math.log2(max(2, n)) / math.log2(m))
-    blocks_per_pass = max(1.0, n / m)
-    ops_per_block = 5.0 * m * math.log2(m)
+    m = np.maximum(2.0, m)
+    passes = np.maximum(1.0, np.log2(np.maximum(2.0, n)) / np.log2(m))
+    blocks_per_pass = np.maximum(1.0, n / m)
+    ops_per_block = 5.0 * m * np.log2(m)
     io_per_block = 2.0 * m
-    return ComputationCost(
+    return (
         ops_per_block * blocks_per_pass * passes,
         io_per_block * blocks_per_pass * passes,
     )
 
 
-def _sorting_costs(n: int, m: int) -> ComputationCost:
+def _sorting_ops_io(n: np.ndarray, m: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Two-phase external sort: run formation then M-way heap merge.
 
     Phase 1 sorts N/M runs of M keys (Theta(M log2 M) comparisons, Theta(M)
     I/O each).  Phase 2 merges with an M-element heap: Theta(log2 M)
     comparisons per I/O word.
     """
-    m = max(2, m)
-    runs = max(1.0, n / m)
-    phase1_ops = runs * m * math.log2(m)
+    m = np.maximum(2.0, m)
+    runs = np.maximum(1.0, n / m)
+    phase1_ops = runs * m * np.log2(m)
     phase1_io = runs * 2.0 * m
-    merge_passes = max(1.0, math.log(max(2.0, runs), m)) if runs > 1 else 0.0
+    merge_passes = np.where(
+        runs > 1.0,
+        np.maximum(1.0, np.log(np.maximum(2.0, runs)) / np.log(m)),
+        0.0,
+    )
     phase2_io = 2.0 * n * merge_passes
-    phase2_ops = n * math.log2(m) * merge_passes
-    return ComputationCost(phase1_ops + phase2_ops, phase1_io + phase2_io)
+    phase2_ops = n * np.log2(m) * merge_passes
+    return phase1_ops + phase2_ops, phase1_io + phase2_io
 
 
-def _matvec_costs(n: int, m: int) -> ComputationCost:
+def _matvec_ops_io(n: np.ndarray, m: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Matrix-vector product: every matrix element is used exactly once."""
     del m  # the local memory does not reduce the I/O requirement
     ops = 2.0 * n * n
-    io = float(n * n + 2 * n)
-    return ComputationCost(ops, io)
+    io = n * n + 2.0 * n
+    return ops, io
 
 
-def _triangular_solve_costs(n: int, m: int) -> ComputationCost:
+def _triangular_solve_ops_io(
+    n: np.ndarray, m: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     """Solve ``Lx = b`` with a dense triangular matrix streamed once."""
     del m
-    ops = float(n * n)
-    io = float(n * (n + 1) / 2 + 2 * n)
-    return ComputationCost(ops, io)
+    ops = n * n
+    io = n * (n + 1.0) / 2.0 + 2.0 * n
+    return ops, io
 
 
 # ---------------------------------------------------------------------------
@@ -227,7 +305,8 @@ def _register_paper_computations() -> None:
             intensity=PowerLawIntensity(exponent=0.5, coefficient=1.0),
             law=PolynomialMemoryLaw(degree=2),
             computation_class=ComputationClass.POLYNOMIAL,
-            cost_model=_matmul_costs,
+            cost_model=_scalarize(_matmul_ops_io),
+            array_cost_model=_matmul_ops_io,
             paper_section="3.1",
             description=(
                 "N x N matrix multiplication with sqrt(M) x sqrt(M) output tiles; "
@@ -243,7 +322,8 @@ def _register_paper_computations() -> None:
             intensity=PowerLawIntensity(exponent=0.5, coefficient=1.0),
             law=PolynomialMemoryLaw(degree=2),
             computation_class=ComputationClass.POLYNOMIAL,
-            cost_model=_triangularization_costs,
+            cost_model=_scalarize(_triangularization_ops_io),
+            array_cost_model=_triangularization_ops_io,
             paper_section="3.2",
             description=(
                 "Panel-wise elimination of sqrt(M) columns per step; intensity "
@@ -259,7 +339,8 @@ def _register_paper_computations() -> None:
             intensity=PowerLawIntensity(exponent=0.5, coefficient=1.0),
             law=PolynomialMemoryLaw(degree=2),
             computation_class=ComputationClass.POLYNOMIAL,
-            cost_model=_grid_costs_factory(2),
+            cost_model=_scalarize(_grid_ops_io_factory(2)),
+            array_cost_model=_grid_ops_io_factory(2),
             paper_section="3.3",
             description=(
                 "Iterative relaxation on an N x N grid with sqrt(M) x sqrt(M) "
@@ -277,7 +358,8 @@ def _register_paper_computations() -> None:
                 intensity=PowerLawIntensity(exponent=1.0 / d, coefficient=1.0),
                 law=PolynomialMemoryLaw(degree=d),
                 computation_class=ComputationClass.POLYNOMIAL,
-                cost_model=_grid_costs_factory(d),
+                cost_model=_scalarize(_grid_ops_io_factory(d)),
+                array_cost_model=_grid_ops_io_factory(d),
                 paper_section="3.3",
                 description=(
                     f"Relaxation on a {d}-dimensional grid; blocks of M points "
@@ -294,7 +376,8 @@ def _register_paper_computations() -> None:
             intensity=LogarithmicIntensity(coefficient=1.0, base=2.0),
             law=ExponentialMemoryLaw(),
             computation_class=ComputationClass.EXPONENTIAL,
-            cost_model=_fft_costs,
+            cost_model=_scalarize(_fft_ops_io),
+            array_cost_model=_fft_ops_io,
             paper_section="3.4",
             description=(
                 "Radix-2 FFT decomposed into M-point blocks (Figure 2); each "
@@ -310,7 +393,8 @@ def _register_paper_computations() -> None:
             intensity=LogarithmicIntensity(coefficient=1.0, base=2.0),
             law=ExponentialMemoryLaw(),
             computation_class=ComputationClass.EXPONENTIAL,
-            cost_model=_sorting_costs,
+            cost_model=_scalarize(_sorting_ops_io),
+            array_cost_model=_sorting_ops_io,
             paper_section="3.5",
             description=(
                 "Two-phase external sort: M-key run formation followed by "
@@ -326,7 +410,8 @@ def _register_paper_computations() -> None:
             intensity=ConstantIntensity(value=2.0),
             law=InfeasibleMemoryLaw(),
             computation_class=ComputationClass.IO_BOUNDED,
-            cost_model=_matvec_costs,
+            cost_model=_scalarize(_matvec_ops_io),
+            array_cost_model=_matvec_ops_io,
             paper_section="3.6",
             description=(
                 "Every matrix element is used exactly once; local memory cannot "
@@ -342,7 +427,8 @@ def _register_paper_computations() -> None:
             intensity=ConstantIntensity(value=2.0),
             law=InfeasibleMemoryLaw(),
             computation_class=ComputationClass.IO_BOUNDED,
-            cost_model=_triangular_solve_costs,
+            cost_model=_scalarize(_triangular_solve_ops_io),
+            array_cost_model=_triangular_solve_ops_io,
             paper_section="3.6",
             description=(
                 "Forward/back substitution streams the triangular matrix once; "

@@ -16,10 +16,12 @@ from typing import Sequence
 
 from repro.analysis.fitting import estimate_growth_exponent, fit_log_law, fit_power_law
 from repro.analysis.report import Table
-from repro.analysis.sweep import MemorySweep, MemorySweepResult, measured_rebalance_curve
+from repro.analysis.sweep import MemorySweepResult, measured_rebalance_curve
 from repro.core.registry import get as get_spec
 from repro.core.rebalance import RebalanceResult
+from repro.exceptions import ConfigurationError
 from repro.kernels.base import Kernel
+from repro.runtime.engine import SweepRunner
 
 __all__ = ["IntensityExperiment", "run_intensity_experiment", "DEFAULT_ALPHAS"]
 
@@ -122,6 +124,7 @@ def run_intensity_experiment(
     alphas: Sequence[float] = DEFAULT_ALPHAS,
     verify: bool = False,
     base_memory: float | None = None,
+    runner: SweepRunner | None = None,
 ) -> IntensityExperiment:
     """Sweep ``kernel`` over ``memory_sizes`` and derive its rebalancing curve.
 
@@ -130,8 +133,20 @@ def run_intensity_experiment(
     measured range; pass ``base_memory`` to start from a larger balanced
     point (useful for the FFT/sorting laws, whose ``M_old ** alpha`` form is
     asymptotic and distorted by additive constants at very small memories).
+
+    The sweep executes on a :class:`~repro.runtime.engine.SweepRunner`; pass
+    ``runner`` to fan the kernel executions across a process pool or to reuse
+    a result cache.  The default runner is serial and uncached, preserving
+    the historical behaviour.
     """
-    sweep = MemorySweep(kernel, verify=verify).run_default(memory_sizes, scale)
+    if runner is None:
+        runner = SweepRunner(verify=verify)
+    elif verify and not runner.verify:
+        raise ConfigurationError(
+            "verify=True was requested but the supplied runner does not "
+            "verify; construct it with SweepRunner(verify=True)"
+        )
+    sweep = runner.run_default(kernel, memory_sizes, scale)
     memory_old = float(base_memory) if base_memory is not None else float(sweep.memory_sizes[0])
     results = measured_rebalance_curve(sweep, memory_old, alphas)
     return IntensityExperiment(

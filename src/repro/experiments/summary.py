@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import Table
-from repro.analysis.sweep import MemorySweep
 from repro.core.classification import ClassificationResult, ComputationClass
 from repro.core.registry import get as get_spec
 from repro.core.registry import paper_summary_rows
@@ -31,6 +30,7 @@ from repro.kernels import (
     StreamingTriangularSolve,
 )
 from repro.kernels.base import Kernel
+from repro.runtime.engine import SweepPlan, SweepRunner
 
 __all__ = [
     "MeasuredLaw",
@@ -164,11 +164,25 @@ def analytic_summary_table() -> Table:
     return table
 
 
-def run_summary_experiment(*, quick: bool = False) -> SummaryExperiment:
-    """Measure every kernel's intensity curve and classify it (experiment E1)."""
+def run_summary_experiment(
+    *, quick: bool = False, runner: SweepRunner | None = None
+) -> SummaryExperiment:
+    """Measure every kernel's intensity curve and classify it (experiment E1).
+
+    All kernels' sweep points are lowered onto one
+    :class:`~repro.runtime.engine.SweepRunner` batch, so a parallel runner
+    spreads the whole experiment -- not just one kernel -- across its worker
+    pool, and a cached runner skips every previously measured point.
+    """
+    runner = runner or SweepRunner()
+    cases = default_measurement_plan(quick=quick)
+    plans = [
+        SweepPlan(kernel=case.kernel, memory_sizes=case.memory_sizes, scale=case.scale)
+        for case in cases
+    ]
+    sweeps = runner.run_plans(plans)
     laws = []
-    for case in default_measurement_plan(quick=quick):
-        sweep = MemorySweep(case.kernel).run_default(case.memory_sizes, case.scale)
+    for case, sweep in zip(cases, sweeps):
         spec = get_spec(case.kernel.registry_name)
         laws.append(
             MeasuredLaw(

@@ -1,0 +1,63 @@
+"""Scenario-sweep runtime: vectorized, parallel and cached experiment execution.
+
+This package replaces per-point serial experiment loops with three layers:
+
+* :mod:`repro.runtime.vectorized` -- batch-evaluate the registry's closed-form
+  cost models, intensity functions and rebalancing laws over numpy grids of
+  ``(N, M, alpha)`` in single array passes;
+* :mod:`repro.runtime.engine` -- fan instrumented-kernel executions out across
+  a process pool with deterministic result ordering, backed by
+* :mod:`repro.runtime.cache` -- a content-addressed on-disk result cache keyed
+  by kernel code, configuration, problem and memory size;
+* :mod:`repro.runtime.suites` -- declarative, named scenario suites (kernel x
+  problem x memory grid x PE fleet) that lower onto the engine and emit
+  JSON/CSV for the benchmark harness and CI.
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache, execution_key, kernel_code_version
+from repro.runtime.engine import SweepPlan, SweepRunner, default_worker_count, run_sweep
+from repro.runtime.suites import (
+    PEConfig,
+    Scenario,
+    ScenarioResult,
+    ScenarioSuite,
+    SuiteResult,
+    build_kernel,
+    get_suite,
+    kernel_factories,
+    run_suite,
+    suite_names,
+)
+from repro.runtime.vectorized import (
+    analytic_summary_rows,
+    cost_grid,
+    intensity_grid,
+    rebalance_curves,
+    rebalance_grid,
+)
+
+__all__ = [
+    "CacheStats",
+    "PEConfig",
+    "ResultCache",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSuite",
+    "SuiteResult",
+    "SweepPlan",
+    "SweepRunner",
+    "analytic_summary_rows",
+    "build_kernel",
+    "cost_grid",
+    "default_worker_count",
+    "execution_key",
+    "get_suite",
+    "intensity_grid",
+    "kernel_code_version",
+    "kernel_factories",
+    "rebalance_curves",
+    "rebalance_grid",
+    "run_suite",
+    "run_sweep",
+    "suite_names",
+]

@@ -1,0 +1,242 @@
+"""Content-addressed on-disk cache for kernel execution results.
+
+Running an instrumented kernel is deterministic: the measured cost, peak
+residency and intensity depend only on the kernel (code and configuration),
+the problem instance and the local-memory size.  The cache exploits this by
+keying each execution on a SHA-256 digest of
+
+* the kernel's class, configuration and *source code* (so editing a kernel
+  automatically invalidates its cached results),
+* a structural fingerprint of the problem instance (array contents included),
+* and the memory size.
+
+Cached entries store the measured numbers only -- not the numerical output --
+so a cache hit reconstructs a :class:`~repro.kernels.base.KernelExecution`
+with ``output=None``.  Runs that need the output (``verify=True``) bypass
+the cache.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import inspect
+import json
+import os
+import sys
+import tempfile
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.model import ComputationCost
+from repro.exceptions import ConfigurationError
+from repro.kernels.base import Kernel, KernelExecution
+from repro.kernels.counters import PhaseRecorder
+
+__all__ = ["ResultCache", "CacheStats", "execution_key", "kernel_code_version"]
+
+SCHEMA_VERSION = 1
+
+
+def _fingerprint(value: Any) -> Any:
+    """Reduce a problem value to a canonical, JSON-serialisable structure.
+
+    Numpy arrays are replaced by a digest of their raw bytes so two problems
+    with equal array contents produce equal fingerprints, while fingerprints
+    stay small no matter how large the arrays are.
+    """
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()
+        return ["ndarray", value.dtype.str, list(value.shape), digest]
+    if isinstance(value, (np.integer, np.floating)):
+        return _fingerprint(value.item())
+    if isinstance(value, complex):
+        return ["complex", value.real, value.imag]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_fingerprint(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _fingerprint(value[key]) for key in sorted(value)}
+    attributes = getattr(value, "__dict__", None)
+    if attributes:
+        # Structured problem objects (e.g. CSRMatrix): fingerprint their
+        # attributes.  The default repr embeds a memory address, which would
+        # make every run a cache miss.
+        return ["object", type(value).__qualname__, _fingerprint(attributes)]
+    return ["repr", repr(value)]
+
+
+def kernel_code_version(kernel: Kernel) -> str:
+    """A digest of the kernel's implementation, for cache invalidation.
+
+    Hashes the source of every module that defines the kernel's class or a
+    ``Kernel`` base class, plus the shared instrumentation module
+    (:mod:`repro.kernels.counters`).  Hashing whole modules rather than
+    class bodies means edits to module-level helpers the kernel calls also
+    invalidate previously cached measurements; the cost is occasional
+    over-invalidation, which is the safe direction.
+    """
+    return _code_version_for_class(type(kernel))
+
+
+@lru_cache(maxsize=None)
+def _code_version_for_class(kernel_class: type) -> str:
+    modules = {"repro.kernels.counters"}
+    for klass in kernel_class.__mro__:
+        if klass is not object and issubclass(klass, Kernel):
+            modules.add(klass.__module__)
+    hasher = hashlib.sha256()
+    for module_name in sorted(modules):
+        module = sys.modules.get(module_name)
+        try:
+            hasher.update(inspect.getsource(module).encode())
+        except (OSError, TypeError):  # source unavailable (e.g. REPL-defined)
+            hasher.update(module_name.encode())
+    return hasher.hexdigest()[:16]
+
+
+def execution_key(
+    kernel: Kernel, memory_words: int, problem: Mapping[str, Any]
+) -> str:
+    """Content address of one ``kernel.execute(memory_words, **problem)`` call."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kernel_class": type(kernel).__qualname__,
+        "kernel_config": _fingerprint(vars(kernel)),
+        "code_version": kernel_code_version(kernel),
+        "memory_words": int(memory_words),
+        "problem": _fingerprint(dict(problem)),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters accumulated over the lifetime of a cache."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class ResultCache:
+    """Content-addressed store of kernel execution measurements.
+
+    Entries live as one small JSON file each under ``root``, sharded by the
+    first byte of the key.  The cache is safe to share between processes:
+    writes go through a temporary file followed by an atomic rename, and a
+    corrupt or truncated entry is treated as a miss.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def key_for(
+        self, kernel: Kernel, memory_words: int, problem: Mapping[str, Any]
+    ) -> str:
+        return execution_key(kernel, memory_words, problem)
+
+    def load(self, key: str) -> KernelExecution | None:
+        """Return the cached execution for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+            if entry["schema"] != SCHEMA_VERSION:
+                raise ValueError(f"unsupported cache schema {entry['schema']!r}")
+            execution = KernelExecution(
+                kernel_name=entry["kernel_name"],
+                memory_words=int(entry["memory_words"]),
+                problem=entry.get("problem_summary", {}),
+                output=None,
+                cost=ComputationCost(
+                    float(entry["compute_ops"]), float(entry["io_words"])
+                ),
+                peak_memory_words=int(entry["peak_memory_words"]),
+                phases=PhaseRecorder(),
+                from_cache=True,
+            )
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (KeyError, ValueError, TypeError, OSError):
+            # Corrupt entry: drop it and treat the lookup as a miss.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return execution
+
+    def store(self, key: str, execution: KernelExecution) -> None:
+        """Persist one execution's measurements under ``key``."""
+        if execution.output is None and not execution.from_cache:
+            raise ConfigurationError(
+                "refusing to cache an execution without an output; it was not "
+                "produced by a real kernel run"
+            )
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "kernel_name": execution.kernel_name,
+            "memory_words": int(execution.memory_words),
+            "problem_summary": _problem_summary(execution.problem),
+            "compute_ops": float(execution.cost.compute_ops),
+            "io_words": float(execution.cost.io_words),
+            "peak_memory_words": int(execution.peak_memory_words),
+        }
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Unique temp name + atomic rename: concurrent processes storing the
+        # same key each publish a complete entry, last writer wins.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(entry, sort_keys=True))
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+def _problem_summary(problem: Mapping[str, Any]) -> dict[str, Any]:
+    """A human-readable sketch of the problem, stored alongside the numbers."""
+    summary: dict[str, Any] = {}
+    for key, value in problem.items():
+        if isinstance(value, np.ndarray):
+            summary[key] = f"ndarray{tuple(value.shape)}:{value.dtype}"
+        elif isinstance(value, (bool, int, float, str)) or value is None:
+            summary[key] = value
+        else:
+            summary[key] = repr(value)
+    return summary

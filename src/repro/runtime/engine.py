@@ -1,0 +1,253 @@
+"""Parallel, cached execution of memory sweeps.
+
+The serial :class:`~repro.analysis.sweep.MemorySweep` runs one kernel at one
+memory size at a time.  This module generalises it: a :class:`SweepRunner`
+flattens any number of sweeps (one kernel x one problem x a memory grid)
+into a list of independent *points*, resolves as many as it can from a
+:class:`~repro.runtime.cache.ResultCache`, fans the remainder out across a
+``concurrent.futures`` process pool, and reassembles the results in
+deterministic order.  Serial and parallel execution run exactly the same
+kernel code on exactly the same problem instances, so their measured
+numbers are bitwise identical.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.sweep import MemorySweepResult, normalize_memory_sizes
+from repro.exceptions import ConfigurationError
+from repro.kernels.base import Kernel, KernelExecution
+from repro.runtime.cache import ResultCache
+
+__all__ = ["SweepPlan", "SweepRunner", "run_sweep", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """Worker processes to use when the caller does not say: one per core."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """One kernel swept over a memory grid, on a fixed or scaled problem.
+
+    Exactly one of ``problem`` (a fixed problem instance, as for
+    :meth:`MemorySweep.run`) and ``scale`` (the kernel's default problem at
+    that scale, as for :meth:`MemorySweep.run_default`) must be provided.
+    """
+
+    kernel: Kernel
+    memory_sizes: tuple[int, ...]
+    problem: Mapping[str, Any] | None = None
+    scale: int | None = None
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.problem is None) == (self.scale is None):
+            raise ConfigurationError(
+                "a SweepPlan needs exactly one of `problem` and `scale`, got "
+                f"problem={self.problem!r}, scale={self.scale!r}"
+            )
+        object.__setattr__(
+            self, "memory_sizes", normalize_memory_sizes(self.memory_sizes)
+        )
+
+    @property
+    def label(self) -> str:
+        return self.name or self.kernel.name
+
+    def problem_at(self, memory_words: int) -> dict[str, Any]:
+        """The problem instance for one memory size of this sweep."""
+        if self.problem is not None:
+            return dict(self.problem)
+        return self.kernel.problem_for_memory(memory_words, self.scale)
+
+
+@dataclass
+class _Point:
+    """One flattened execution: a kernel, a memory size and its problem."""
+
+    plan_index: int
+    point_index: int
+    kernel: Kernel
+    memory_words: int
+    problem: dict[str, Any]
+    verify: bool
+
+
+def _execute_point(point: _Point) -> KernelExecution:
+    """Worker entry: run one sweep point (picklable, top-level)."""
+    execution = point.kernel.execute(point.memory_words, **point.problem)
+    if point.verify and not point.kernel.verify(execution):
+        raise ConfigurationError(
+            f"{point.kernel.name} produced an incorrect result "
+            f"at M={point.memory_words}"
+        )
+    return execution
+
+
+class SweepRunner:
+    """Executes sweep plans serially or across a process pool, with caching.
+
+    Parameters
+    ----------
+    parallel:
+        Fan kernel executions out across a process pool.  Results are
+        collected back in submission order, so the output is deterministic
+        and identical to a serial run.
+    max_workers:
+        Pool size; defaults to the machine's core count.
+    cache:
+        Optional :class:`ResultCache`.  Points whose key is present are
+        replayed without executing anything; fresh executions are stored
+        back.  Ignored when ``verify`` is set (verification needs the
+        numerical output, which cached entries do not carry).
+    verify:
+        Check every execution's output against the kernel's reference
+        implementation, as in :class:`MemorySweep`.
+    """
+
+    def __init__(
+        self,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        cache: ResultCache | None = None,
+        verify: bool = False,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers!r}"
+            )
+        self.parallel = parallel
+        self.max_workers = max_workers or default_worker_count()
+        self.cache = cache
+        self.verify = verify
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self, kernel: Kernel, memory_sizes: Sequence[int], **problem: Any
+    ) -> MemorySweepResult:
+        """Sweep one kernel over ``memory_sizes`` on a fixed problem."""
+        plan = SweepPlan(
+            kernel=kernel, memory_sizes=tuple(memory_sizes), problem=problem
+        )
+        return self.run_plans([plan])[0]
+
+    def run_default(
+        self, kernel: Kernel, memory_sizes: Sequence[int], scale: int
+    ) -> MemorySweepResult:
+        """Sweep one kernel on its default problem at the given scale."""
+        plan = SweepPlan(
+            kernel=kernel, memory_sizes=tuple(memory_sizes), scale=scale
+        )
+        return self.run_plans([plan])[0]
+
+    def run_plans(self, plans: Sequence[SweepPlan]) -> list[MemorySweepResult]:
+        """Execute any number of sweeps as one flat batch of points.
+
+        All points from all plans share the worker pool, so a multi-kernel
+        suite saturates the machine even when individual sweeps are short.
+        The returned list is ordered like ``plans``.
+        """
+        points: list[_Point] = []
+        last_problems: dict[int, dict[str, Any]] = {}
+        for plan_index, plan in enumerate(plans):
+            for point_index, size in enumerate(plan.memory_sizes):
+                plan.kernel.validate_memory(size)
+                problem = plan.problem_at(size)
+                # run_default semantics: the sweep reports the problem of the
+                # largest memory size, matching MemorySweep.run_default.
+                last_problems[plan_index] = problem
+                points.append(
+                    _Point(
+                        plan_index=plan_index,
+                        point_index=point_index,
+                        kernel=plan.kernel,
+                        memory_words=size,
+                        problem=problem,
+                        verify=self.verify,
+                    )
+                )
+
+        executions = self._execute(points)
+
+        grouped: dict[int, list[KernelExecution]] = {
+            plan_index: [] for plan_index in range(len(plans))
+        }
+        for point, execution in zip(points, executions):
+            grouped[point.plan_index].append(execution)
+
+        return [
+            MemorySweepResult(
+                kernel_name=plan.kernel.name,
+                problem=dict(last_problems[plan_index]),
+                memory_sizes=plan.memory_sizes,
+                executions=tuple(grouped[plan_index]),
+            )
+            for plan_index, plan in enumerate(plans)
+        ]
+
+    # -- internals -----------------------------------------------------------
+
+    def _execute(self, points: list[_Point]) -> list[KernelExecution | None]:
+        """Resolve every point, via cache where possible, preserving order."""
+        executions: list[KernelExecution | None] = [None] * len(points)
+        use_cache = self.cache is not None and not self.verify
+
+        pending: list[tuple[int, _Point, str | None]] = []
+        for i, point in enumerate(points):
+            key = None
+            if use_cache:
+                key = self.cache.key_for(point.kernel, point.memory_words, point.problem)
+                cached = self.cache.load(key)
+                if cached is not None:
+                    executions[i] = cached
+                    continue
+            pending.append((i, point, key))
+
+        fresh = self._run_points([point for _, point, _ in pending])
+
+        for (i, _, key), execution in zip(pending, fresh):
+            executions[i] = execution
+            if use_cache and key is not None:
+                self.cache.store(key, execution)
+        return executions
+
+    def _run_points(self, points: list[_Point]) -> list[KernelExecution]:
+        if not points:
+            return []
+        if not self.parallel or self.max_workers == 1 or len(points) == 1:
+            return [_execute_point(point) for point in points]
+        workers = min(self.max_workers, len(points))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute_point, points))
+
+
+def run_sweep(
+    kernel: Kernel,
+    memory_sizes: Sequence[int],
+    *,
+    problem: Mapping[str, Any] | None = None,
+    scale: int | None = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    cache: ResultCache | None = None,
+    verify: bool = False,
+) -> MemorySweepResult:
+    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    runner = SweepRunner(
+        parallel=parallel, max_workers=max_workers, cache=cache, verify=verify
+    )
+    plan = SweepPlan(
+        kernel=kernel,
+        memory_sizes=tuple(memory_sizes),
+        problem=problem,
+        scale=scale,
+    )
+    return runner.run_plans([plan])[0]

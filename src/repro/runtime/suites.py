@@ -1,0 +1,475 @@
+"""Declarative scenario suites: named batches of sweeps for the runtime.
+
+A :class:`Scenario` names one kernel, one problem scale and one memory grid
+(plus optional rebalancing alphas and a fleet of PE configurations to assess
+balance against).  A :class:`ScenarioSuite` is a named tuple of scenarios;
+:func:`run_suite` lowers a suite onto a :class:`~repro.runtime.engine.SweepRunner`
+as one flat batch of points, so every kernel execution in the suite shares
+the same worker pool and result cache.
+
+The named suites double as the CI benchmark surface: ``repro suite quick``
+emits the machine-readable JSON that the benchmark smoke job uploads as a
+build artifact (``BENCH_suite_<name>.json``).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.analysis.fitting import fit_power_law, select_intensity_model
+from repro.analysis.sweep import MemorySweepResult, measured_rebalance_curve
+from repro.core.model import ProcessingElement, assess_balance
+from repro.exceptions import ConfigurationError
+from repro.kernels import (
+    BlockedFFT,
+    BlockedLUTriangularization,
+    BlockedMatrixMultiply,
+    ExternalMergeSort,
+    GridRelaxation,
+    StreamingMatrixVectorProduct,
+    StreamingSparseMatrixVector,
+    StreamingTriangularSolve,
+)
+from repro.kernels.base import Kernel
+from repro.runtime.engine import SweepPlan, SweepRunner
+
+__all__ = [
+    "PEConfig",
+    "Scenario",
+    "ScenarioSuite",
+    "ScenarioResult",
+    "SuiteResult",
+    "kernel_factories",
+    "build_kernel",
+    "suite_names",
+    "get_suite",
+    "run_suite",
+]
+
+RESULT_SCHEMA = "repro-suite-result/v1"
+
+
+KERNEL_FACTORIES: dict[str, Callable[[], Kernel]] = {
+    "matmul": BlockedMatrixMultiply,
+    "triangularization": BlockedLUTriangularization,
+    "grid1d": lambda: GridRelaxation(dimension=1),
+    "grid2d": lambda: GridRelaxation(dimension=2),
+    "grid3d": lambda: GridRelaxation(dimension=3),
+    "grid4d": lambda: GridRelaxation(dimension=4),
+    "fft": BlockedFFT,
+    "sorting": ExternalMergeSort,
+    "matvec": StreamingMatrixVectorProduct,
+    "triangular_solve": StreamingTriangularSolve,
+    "sparse_matvec": StreamingSparseMatrixVector,
+}
+
+
+def kernel_factories() -> dict[str, Callable[[], Kernel]]:
+    """Name -> factory for every kernel a scenario can reference."""
+    return dict(KERNEL_FACTORIES)
+
+
+def build_kernel(name: str) -> Kernel:
+    """Instantiate a scenario kernel by name."""
+    try:
+        factory = KERNEL_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNEL_FACTORIES))
+        raise ConfigurationError(
+            f"unknown scenario kernel {name!r}; known kernels: {known}"
+        ) from None
+    return factory()
+
+
+@dataclass(frozen=True)
+class PEConfig:
+    """One processing element of a scenario's fleet (memory comes per point)."""
+
+    name: str
+    compute_bandwidth: float
+    io_bandwidth: float
+
+    def processing_element(self, memory_words: int) -> ProcessingElement:
+        return ProcessingElement(
+            compute_bandwidth=self.compute_bandwidth,
+            io_bandwidth=self.io_bandwidth,
+            memory_words=memory_words,
+            name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One kernel x one problem scale x one memory grid (+ optional extras)."""
+
+    name: str
+    kernel: str
+    memory_sizes: tuple[int, ...]
+    scale: int
+    alphas: tuple[float, ...] = ()
+    pes: tuple[PEConfig, ...] = ()
+
+    def plan(self) -> SweepPlan:
+        return SweepPlan(
+            kernel=build_kernel(self.kernel),
+            memory_sizes=self.memory_sizes,
+            scale=self.scale,
+            name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSuite:
+    """A named, ordered collection of scenarios."""
+
+    name: str
+    description: str
+    scenarios: tuple[Scenario, ...]
+
+    def __post_init__(self) -> None:
+        names = [scenario.name for scenario in self.scenarios]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ConfigurationError(
+                f"suite {self.name!r} has duplicate scenario names: "
+                + ", ".join(duplicates)
+            )
+
+
+def scenario_grid(
+    prefix: str,
+    kernels: Sequence[str],
+    memory_sizes: Sequence[int],
+    scales: dict[str, int],
+    *,
+    alphas: Sequence[float] = (),
+    pes: Sequence[PEConfig] = (),
+) -> tuple[Scenario, ...]:
+    """Cross-product helper: one scenario per kernel over a shared grid."""
+    return tuple(
+        Scenario(
+            name=f"{prefix}-{kernel}",
+            kernel=kernel,
+            memory_sizes=tuple(memory_sizes),
+            scale=scales[kernel],
+            alphas=tuple(alphas),
+            pes=tuple(pes),
+        )
+        for kernel in kernels
+    )
+
+
+# ---------------------------------------------------------------------------
+# The named suites.
+# ---------------------------------------------------------------------------
+
+_DEFAULT_ALPHAS = (1.5, 2.0, 3.0)
+
+#: A small fleet spanning the balance spectrum: the baseline PE, one with a
+#: 4x compute upgrade (the paper's rebalancing thought experiment), and one
+#: with the I/O bandwidth doubled instead.
+_FLEET = (
+    PEConfig("baseline", compute_bandwidth=8e6, io_bandwidth=1e6),
+    PEConfig("compute-4x", compute_bandwidth=32e6, io_bandwidth=1e6),
+    PEConfig("io-2x", compute_bandwidth=8e6, io_bandwidth=2e6),
+)
+
+
+def _quick_suite() -> ScenarioSuite:
+    return ScenarioSuite(
+        name="quick",
+        description=(
+            "Small instances of every paper kernel; the CI benchmark smoke "
+            "suite (seconds, not minutes)."
+        ),
+        scenarios=(
+            Scenario("quick-matmul", "matmul", (12, 27, 48, 75, 108), 24, _DEFAULT_ALPHAS),
+            Scenario(
+                "quick-triangularization",
+                "triangularization",
+                (12, 27, 48, 75, 108),
+                24,
+                _DEFAULT_ALPHAS,
+            ),
+            Scenario("quick-grid2d", "grid2d", (36, 100, 256, 576), 7, _DEFAULT_ALPHAS),
+            Scenario("quick-fft", "fft", (4, 8, 64, 2048), 10, _DEFAULT_ALPHAS),
+            Scenario("quick-sorting", "sorting", (8, 32, 128, 512), 16384, _DEFAULT_ALPHAS),
+            Scenario("quick-matvec", "matvec", (8, 16, 32, 64, 128), 32),
+            Scenario(
+                "quick-triangular-solve", "triangular_solve", (8, 16, 32, 64, 128), 32
+            ),
+            Scenario("quick-sparse-matvec", "sparse_matvec", (8, 32, 128, 512), 48),
+        ),
+    )
+
+
+def _full_suite() -> ScenarioSuite:
+    return ScenarioSuite(
+        name="full",
+        description=(
+            "The benchmark-harness problem sizes for every paper kernel; the "
+            "grids behind experiments E1-E8."
+        ),
+        scenarios=(
+            Scenario(
+                "full-matmul", "matmul", (12, 27, 48, 108, 192, 300, 432), 48, _DEFAULT_ALPHAS
+            ),
+            Scenario(
+                "full-triangularization",
+                "triangularization",
+                (12, 27, 48, 108, 192, 300, 432),
+                48,
+                _DEFAULT_ALPHAS,
+            ),
+            Scenario(
+                "full-grid2d", "grid2d", (36, 100, 256, 576, 1296, 2704), 7, _DEFAULT_ALPHAS
+            ),
+            Scenario(
+                "full-grid3d", "grid3d", (64, 216, 512, 1728, 4096), 7, _DEFAULT_ALPHAS
+            ),
+            Scenario("full-fft", "fft", (4, 8, 16, 32, 128, 8192), 12, _DEFAULT_ALPHAS),
+            Scenario("full-sorting", "sorting", (8, 32, 128, 512), 16384, _DEFAULT_ALPHAS),
+            Scenario("full-matvec", "matvec", (8, 16, 32, 64, 128, 256), 64),
+            Scenario(
+                "full-triangular-solve",
+                "triangular_solve",
+                (8, 16, 32, 64, 128, 256),
+                64,
+            ),
+            Scenario("full-sparse-matvec", "sparse_matvec", (8, 32, 128, 512, 2048), 64),
+        ),
+    )
+
+
+def _fleet_suite() -> ScenarioSuite:
+    scales = {"matmul": 24, "fft": 10, "grid2d": 7, "matvec": 32}
+    return ScenarioSuite(
+        name="fleet",
+        description=(
+            "One computation of each class assessed against a fleet of PE "
+            "configurations (baseline, compute-upgraded, I/O-upgraded)."
+        ),
+        scenarios=scenario_grid(
+            "fleet",
+            ("matmul", "grid2d", "fft", "matvec"),
+            (16, 64, 256),
+            scales,
+            alphas=_DEFAULT_ALPHAS,
+            pes=_FLEET,
+        ),
+    )
+
+
+def _mixed_suite() -> ScenarioSuite:
+    scales = {
+        "matmul": 24,
+        "fft": 10,
+        "sorting": 16384,
+        "matvec": 32,
+        "triangular_solve": 32,
+    }
+    return ScenarioSuite(
+        name="mixed",
+        description=(
+            "A mixed workload: compute-bound, exponential-law and I/O-bounded "
+            "kernels interleaved over one shared memory grid."
+        ),
+        scenarios=scenario_grid(
+            "mixed",
+            ("matmul", "fft", "sorting", "matvec", "triangular_solve"),
+            (8, 32, 128),
+            scales,
+        ),
+    )
+
+
+_SUITES: dict[str, Callable[[], ScenarioSuite]] = {
+    "quick": _quick_suite,
+    "full": _full_suite,
+    "fleet": _fleet_suite,
+    "mixed": _mixed_suite,
+}
+
+
+def suite_names() -> list[str]:
+    """Names of every registered scenario suite."""
+    return list(_SUITES)
+
+
+def get_suite(name: str) -> ScenarioSuite:
+    """Look up a named suite."""
+    try:
+        return _SUITES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_SUITES))
+        raise ConfigurationError(
+            f"unknown scenario suite {name!r}; known suites: {known}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Running a suite and serialising the result.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's measurements plus the derived analysis."""
+
+    scenario: Scenario
+    sweep: MemorySweepResult
+
+    def rows(self) -> list[dict[str, float]]:
+        return self.sweep.rows()
+
+    def fit(self) -> dict[str, object]:
+        sizes = self.sweep.memory_sizes
+        intensities = self.sweep.intensities
+        return {
+            "power_law_exponent": fit_power_law(sizes, intensities).exponent,
+            "best_model": select_intensity_model(sizes, intensities),
+            "computation_class": self.sweep.classification().computation_class.value,
+        }
+
+    def rebalance_rows(self) -> list[dict[str, object]]:
+        if not self.scenario.alphas:
+            return []
+        memory_old = float(self.sweep.memory_sizes[0])
+        curve = measured_rebalance_curve(self.sweep, memory_old, self.scenario.alphas)
+        return [
+            {
+                "alpha": result.alpha,
+                "memory_new": result.memory_new,
+                "growth_factor": result.growth_factor,
+                "feasible": result.feasible,
+            }
+            for result in curve
+        ]
+
+    def balance_rows(self) -> list[dict[str, object]]:
+        rows: list[dict[str, object]] = []
+        for pe_config in self.scenario.pes:
+            for memory, execution in zip(
+                self.sweep.memory_sizes, self.sweep.executions
+            ):
+                pe = pe_config.processing_element(memory)
+                assessment = assess_balance(pe, execution.cost)
+                rows.append(
+                    {
+                        "pe": pe_config.name,
+                        "memory_words": memory,
+                        "bound": assessment.bound.value,
+                        "compute_time": assessment.compute_time,
+                        "io_time": assessment.io_time,
+                        "imbalance": assessment.imbalance,
+                    }
+                )
+        return rows
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "scenario": self.scenario.name,
+            "kernel": self.scenario.kernel,
+            "scale": self.scenario.scale,
+            "memory_sizes": list(self.sweep.memory_sizes),
+            "rows": self.rows(),
+            "fit": self.fit(),
+            "rebalance": self.rebalance_rows(),
+            "balance": self.balance_rows(),
+        }
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """Everything one suite run produced, ready for JSON/CSV emission."""
+
+    suite: ScenarioSuite
+    results: tuple[ScenarioResult, ...]
+    elapsed_seconds: float
+    runtime: dict[str, object] = field(default_factory=dict)
+
+    def scenario(self, name: str) -> ScenarioResult:
+        for result in self.results:
+            if result.scenario.name == name:
+                return result
+        known = ", ".join(r.scenario.name for r in self.results)
+        raise ConfigurationError(
+            f"no scenario {name!r} in suite {self.suite.name!r}; ran: {known}"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "schema": RESULT_SCHEMA,
+            "suite": self.suite.name,
+            "description": self.suite.description,
+            "elapsed_seconds": self.elapsed_seconds,
+            "runtime": dict(self.runtime),
+            "scenarios": [result.as_dict() for result in self.results],
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def csv_rows(self) -> Iterable[dict[str, object]]:
+        for result in self.results:
+            for row in result.rows():
+                yield {
+                    "suite": self.suite.name,
+                    "scenario": result.scenario.name,
+                    "kernel": result.scenario.kernel,
+                    **row,
+                }
+
+    def write_csv(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        rows = list(self.csv_rows())
+        if not rows:
+            raise ConfigurationError(
+                f"suite {self.suite.name!r} produced no rows to write"
+            )
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+
+def run_suite(
+    suite: ScenarioSuite | str,
+    runner: SweepRunner | None = None,
+) -> SuiteResult:
+    """Execute every scenario of a suite as one flat batch of sweep points."""
+    if isinstance(suite, str):
+        suite = get_suite(suite)
+    runner = runner or SweepRunner()
+    plans = [scenario.plan() for scenario in suite.scenarios]
+    started = time.perf_counter()
+    sweeps = runner.run_plans(plans)
+    elapsed = time.perf_counter() - started
+    runtime_info: dict[str, object] = {
+        "parallel": runner.parallel,
+        "max_workers": runner.max_workers,
+        "cache": runner.cache.stats.as_dict() if runner.cache else None,
+        "points": sum(len(plan.memory_sizes) for plan in plans),
+    }
+    return SuiteResult(
+        suite=suite,
+        results=tuple(
+            ScenarioResult(scenario=scenario, sweep=sweep)
+            for scenario, sweep in zip(suite.scenarios, sweeps)
+        ),
+        elapsed_seconds=elapsed,
+        runtime=runtime_info,
+    )

@@ -1,0 +1,172 @@
+"""Vectorized analytic evaluation over ``(N, M, alpha)`` grids.
+
+The paper's analytic artifacts -- intensity curves ``F(M)``, cost tables
+``(C_comp, C_io)(N, M)`` and rebalancing laws ``M_new(M_old, alpha)`` -- are
+all closed forms.  Evaluating them point by point through the scalar registry
+API costs one Python call per grid point; this module batch-evaluates each
+of them over numpy grids in a single array pass, which is what makes dense
+summary tables and rebalancing curve fans cheap enough to regenerate on
+every CI run.
+
+Numerical equivalence with the scalar path is guaranteed by construction:
+the registry's scalar cost models are thin wrappers around the same numpy
+expressions (see ``repro.core.registry._scalarize``), and the intensity
+classes implement ``batch`` with the same formulas as ``__call__``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.laws import (
+    ExponentialMemoryLaw,
+    InfeasibleMemoryLaw,
+    MemoryLaw,
+    PolynomialMemoryLaw,
+)
+from repro.core.model import BatchCost
+from repro.core.registry import ComputationSpec, all_specs, get
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "intensity_grid",
+    "cost_grid",
+    "rebalance_grid",
+    "rebalance_curves",
+    "analytic_summary_rows",
+]
+
+
+def _spec_of(computation: str | ComputationSpec) -> ComputationSpec:
+    if isinstance(computation, ComputationSpec):
+        return computation
+    return get(computation)
+
+
+def intensity_grid(
+    computations: Sequence[str | ComputationSpec],
+    memory_words: np.ndarray | Sequence[float],
+) -> dict[str, np.ndarray]:
+    """``F(M)`` for several computations over one memory grid, one pass each."""
+    grid = np.asarray(memory_words, dtype=float)
+    return {
+        _spec_of(c).name: _spec_of(c).batch_intensity(grid) for c in computations
+    }
+
+
+def cost_grid(
+    computation: str | ComputationSpec,
+    problem_sizes: np.ndarray | Sequence[float],
+    memory_words: np.ndarray | Sequence[float],
+) -> BatchCost:
+    """Cost model over the full ``N x M`` cross-product grid.
+
+    ``problem_sizes`` become the rows and ``memory_words`` the columns of the
+    returned arrays.
+    """
+    n = np.asarray(problem_sizes, dtype=float).reshape(-1, 1)
+    m = np.asarray(memory_words, dtype=float).reshape(1, -1)
+    return _spec_of(computation).batch_costs(n, m)
+
+
+def rebalance_grid(
+    law: MemoryLaw,
+    memory_old: np.ndarray | float,
+    alphas: np.ndarray | Sequence[float],
+) -> np.ndarray:
+    """``M_new`` for broadcast grids of ``M_old`` and ``alpha``, vectorized.
+
+    Closed forms of the paper's three law families:
+
+    * polynomial: ``M_new = alpha**degree * M_old``,
+    * exponential: ``M_new = M_old ** alpha``,
+    * infeasible:  ``M_new = inf`` for any ``alpha > 1``.
+
+    ``inf`` entries (rather than an exception) mark infeasible points so a
+    whole fan of curves can be computed in one call.
+    """
+    m = np.asarray(memory_old, dtype=float)
+    a = np.asarray(alphas, dtype=float)
+    if m.size and np.min(m) < 1:
+        raise ConfigurationError(
+            f"memory_old must be >= 1 word, smallest grid value is {np.min(m)!r}"
+        )
+    if a.size and np.min(a) < 1:
+        raise ConfigurationError(
+            f"alpha must be >= 1, smallest grid value is {np.min(a)!r}"
+        )
+    m, a = np.broadcast_arrays(m, a)
+    if isinstance(law, PolynomialMemoryLaw):
+        return m * a**law.degree
+    if isinstance(law, ExponentialMemoryLaw):
+        # Matches ExponentialMemoryLaw.required_memory: a one-word memory has
+        # zero logarithmic intensity, so the minimum meaningful base is 2.
+        return np.maximum(m, 2.0) ** a
+    if isinstance(law, InfeasibleMemoryLaw):
+        return np.where(a == 1.0, m.astype(float), math.inf)
+    # Unknown closed form: fall back to the scalar law, point by point.
+    out = np.empty(m.shape, dtype=float)
+    flat = out.ravel()
+    for i, (mi, ai) in enumerate(zip(m.ravel(), a.ravel())):
+        flat[i] = law.required_memory(float(mi), float(ai))
+    return out
+
+
+def rebalance_curves(
+    computations: Sequence[str | ComputationSpec],
+    memory_old: float,
+    alphas: np.ndarray | Sequence[float],
+) -> dict[str, np.ndarray]:
+    """The fan of ``M_new(alpha)`` curves for several computations at once."""
+    a = np.asarray(alphas, dtype=float)
+    return {
+        _spec_of(c).name: rebalance_grid(_spec_of(c).law, memory_old, a)
+        for c in computations
+    }
+
+
+def analytic_summary_rows(
+    problem_size: int,
+    memory_words: np.ndarray | Sequence[float],
+    computations: Sequence[str | ComputationSpec] | None = None,
+) -> list[dict[str, object]]:
+    """The Section 3 summary with numbers, from one array pass per entry.
+
+    For every computation this evaluates the cost model and the analytic
+    intensity over the whole memory grid at once and reports the grid
+    endpoints, replacing the thousands of scalar calls a per-point table
+    would need.
+    """
+    grid = np.asarray(memory_words, dtype=float)
+    if grid.ndim != 1 or grid.size < 1:
+        raise ConfigurationError(
+            f"memory_words must be a non-empty 1-d grid, got shape {grid.shape}"
+        )
+    specs = [_spec_of(c) for c in (computations or all_specs())]
+    rows: list[dict[str, object]] = []
+    for spec in specs:
+        costs = spec.batch_costs(float(problem_size), grid)
+        intensities = spec.batch_intensity(grid)
+        rows.append(
+            {
+                "computation": spec.name,
+                "title": spec.title,
+                "section": spec.paper_section,
+                "class": spec.computation_class.value,
+                "law": spec.law_label,
+                "memory_words": grid.tolist(),
+                "model_intensity": intensities.tolist(),
+                "cost_intensity": costs.intensity.tolist(),
+                "compute_ops": costs.compute_ops.tolist(),
+                "io_words": costs.io_words.tolist(),
+            }
+        )
+    return rows
+
+
+def summary_mapping(rows: Sequence[Mapping[str, object]]) -> dict[str, dict]:
+    """Index summary rows by computation name, for JSON emission."""
+    return {str(row["computation"]): dict(row) for row in rows}

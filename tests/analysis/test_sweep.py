@@ -6,7 +6,11 @@ import math
 
 import pytest
 
-from repro.analysis.sweep import MemorySweep, measured_rebalance_curve
+from repro.analysis.sweep import (
+    MemorySweep,
+    measured_rebalance_curve,
+    normalize_memory_sizes,
+)
 from repro.core.classification import ComputationClass
 from repro.exceptions import ConfigurationError
 from repro.kernels.fft import BlockedFFT
@@ -32,10 +36,36 @@ class TestMemorySweep:
         with pytest.raises(ConfigurationError):
             MemorySweep(BlockedMatrixMultiply()).run((12, 12), a=a, b=b)
 
+    def test_duplicate_sizes_error_names_offending_values(self, small_matrices):
+        a, b = small_matrices
+        with pytest.raises(ConfigurationError, match=r"duplicated values: 12, 48"):
+            MemorySweep(BlockedMatrixMultiply()).run((12, 48, 12, 48, 27), a=a, b=b)
+
+    def test_run_default_duplicate_sizes_error_names_values(self):
+        with pytest.raises(ConfigurationError, match=r"duplicated values: 27"):
+            MemorySweep(BlockedMatrixMultiply()).run_default((27, 12, 27), scale=10)
+
     def test_empty_sizes_rejected(self, small_matrices):
         a, b = small_matrices
         with pytest.raises(ConfigurationError):
             MemorySweep(BlockedMatrixMultiply()).run((), a=a, b=b)
+
+    def test_run_default_empty_sizes_rejected(self):
+        with pytest.raises(ConfigurationError, match="must not be empty"):
+            MemorySweep(BlockedMatrixMultiply()).run_default((), scale=10)
+
+
+class TestNormalizeMemorySizes:
+    def test_sorts_and_coerces_to_int_tuple(self):
+        assert normalize_memory_sizes([48.0, 12, 27]) == (12, 27, 48)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="must not be empty"):
+            normalize_memory_sizes([])
+
+    def test_duplicates_after_coercion_detected(self):
+        with pytest.raises(ConfigurationError, match="duplicated values: 12"):
+            normalize_memory_sizes([12, 12.0])
 
     def test_verify_flag_checks_outputs(self, small_matrices):
         a, b = small_matrices

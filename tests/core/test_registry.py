@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.core.classification import ComputationClass
-from repro.core.intensity import ConstantIntensity, PowerLawIntensity
+from repro.core.intensity import PowerLawIntensity
 from repro.core.laws import (
     ExponentialMemoryLaw,
     InfeasibleMemoryLaw,
@@ -70,6 +68,29 @@ class TestRegistryContents:
     def test_unknown_name_raises(self):
         with pytest.raises(UnknownComputationError):
             registry.get("quicksort-on-gpu")
+
+    def test_unknown_name_error_lists_known_computations(self):
+        with pytest.raises(UnknownComputationError, match="matmul"):
+            registry.get("quicksort-on-gpu")
+
+    def test_unknown_computation_error_is_a_key_error(self):
+        """Callers using dict-style except KeyError keep working."""
+        with pytest.raises(KeyError):
+            registry.get("quicksort-on-gpu")
+
+    def test_specs_by_class_covers_each_class(self):
+        names_by_class = {
+            computation_class: {
+                s.name for s in registry.specs_by_class(computation_class)
+            }
+            for computation_class in ComputationClass
+        }
+        assert "matmul" in names_by_class[ComputationClass.POLYNOMIAL]
+        assert "fft" in names_by_class[ComputationClass.EXPONENTIAL]
+        assert "matvec" in names_by_class[ComputationClass.IO_BOUNDED]
+        # The classes partition the registry.
+        all_names = set().union(*names_by_class.values())
+        assert all_names == set(registry.names())
 
     def test_law_and_intensity_are_consistent(self):
         """For every rebalancable entry, the law matches the intensity inversion."""

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra import numpy as npst
 
 from repro.exceptions import ConfigurationError
 from repro.kernels.matmul import BlockedMatrixMultiply, tile_side_for_memory

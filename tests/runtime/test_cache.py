@@ -1,0 +1,129 @@
+"""Tests for the content-addressed result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.kernels.grid import GridRelaxation
+from repro.kernels.matmul import BlockedMatrixMultiply
+from repro.runtime.cache import (
+    ResultCache,
+    execution_key,
+    kernel_code_version,
+)
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+def _one_execution(kernel=None, memory=27, scale=12):
+    kernel = kernel or BlockedMatrixMultiply()
+    problem = kernel.problem_for_memory(memory, scale)
+    return kernel, problem, kernel.execute(memory, **problem)
+
+
+class TestExecutionKey:
+    def test_key_is_deterministic_across_instances(self):
+        kernel_a = BlockedMatrixMultiply()
+        kernel_b = BlockedMatrixMultiply()
+        problem_a = kernel_a.problem_for_memory(27, 12)
+        problem_b = kernel_b.problem_for_memory(27, 12)
+        assert execution_key(kernel_a, 27, problem_a) == execution_key(
+            kernel_b, 27, problem_b
+        )
+
+    def test_key_depends_on_memory_size(self):
+        kernel = BlockedMatrixMultiply()
+        problem = kernel.problem_for_memory(27, 12)
+        assert execution_key(kernel, 27, problem) != execution_key(kernel, 48, problem)
+
+    def test_key_depends_on_problem_contents(self):
+        kernel = BlockedMatrixMultiply()
+        problem_small = kernel.problem_for_memory(27, 12)
+        problem_large = kernel.problem_for_memory(27, 16)
+        assert execution_key(kernel, 27, problem_small) != execution_key(
+            kernel, 27, problem_large
+        )
+
+    def test_key_depends_on_kernel_configuration(self):
+        """Two GridRelaxation instances share source but not configuration."""
+        grid2 = GridRelaxation(dimension=2)
+        grid3 = GridRelaxation(dimension=3)
+        problem = {"n": 64}
+        assert execution_key(grid2, 512, problem) != execution_key(grid3, 512, problem)
+
+    def test_code_version_differs_between_kernel_classes(self):
+        assert kernel_code_version(BlockedMatrixMultiply()) != kernel_code_version(
+            GridRelaxation(dimension=2)
+        )
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, cache):
+        kernel, problem, execution = _one_execution()
+        key = cache.key_for(kernel, 27, problem)
+        assert cache.load(key) is None
+        cache.store(key, execution)
+        cached = cache.load(key)
+        assert cached is not None
+        assert cached.from_cache
+        assert cached.output is None
+        assert cached.cost.compute_ops == execution.cost.compute_ops
+        assert cached.cost.io_words == execution.cost.io_words
+        assert cached.intensity == execution.intensity
+        assert cached.peak_memory_words == execution.peak_memory_words
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_len_and_clear_invalidate_everything(self, cache):
+        kernel, problem, execution = _one_execution()
+        for memory in (12, 27, 48):
+            run = kernel.execute(memory, **problem)
+            cache.store(cache.key_for(kernel, memory, problem), run)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert cache.load(cache.key_for(kernel, 12, problem)) is None
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, cache):
+        kernel, problem, execution = _one_execution()
+        key = cache.key_for(kernel, 27, problem)
+        cache.store(key, execution)
+        path = cache._path(key)
+        path.write_text("{not json")
+        assert cache.load(key) is None
+        assert not path.exists()
+
+    def test_wrong_schema_is_a_miss(self, cache):
+        kernel, problem, execution = _one_execution()
+        key = cache.key_for(kernel, 27, problem)
+        cache.store(key, execution)
+        path = cache._path(key)
+        entry = json.loads(path.read_text())
+        entry["schema"] = 999
+        path.write_text(json.dumps(entry))
+        assert cache.load(key) is None
+
+    def test_refuses_to_store_cached_replay_without_output(self, cache):
+        kernel, problem, execution = _one_execution()
+        key = cache.key_for(kernel, 27, problem)
+        cache.store(key, execution)
+        replay = cache.load(key)
+        fake = type(replay)(
+            kernel_name=replay.kernel_name,
+            memory_words=replay.memory_words,
+            problem=replay.problem,
+            output=None,
+            cost=replay.cost,
+            peak_memory_words=replay.peak_memory_words,
+            phases=replay.phases,
+            from_cache=False,
+        )
+        with pytest.raises(ConfigurationError):
+            cache.store(key, fake)

@@ -1,0 +1,129 @@
+"""Tests for the declarative scenario-suite layer."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.cache import ResultCache
+from repro.runtime.engine import SweepRunner
+from repro.runtime.suites import (
+    RESULT_SCHEMA,
+    PEConfig,
+    Scenario,
+    ScenarioSuite,
+    build_kernel,
+    get_suite,
+    kernel_factories,
+    run_suite,
+    suite_names,
+)
+
+
+@pytest.fixture
+def mini_suite() -> ScenarioSuite:
+    """Two tiny scenarios spanning a rebalancable and an I/O-bounded kernel."""
+    return ScenarioSuite(
+        name="mini",
+        description="two-scenario test suite",
+        scenarios=(
+            Scenario(
+                "mini-matmul",
+                "matmul",
+                (12, 27, 48),
+                12,
+                alphas=(1.5, 2.0),
+                pes=(PEConfig("baseline", 8e6, 1e6),),
+            ),
+            Scenario("mini-matvec", "matvec", (8, 16, 32), 16),
+        ),
+    )
+
+
+class TestSuiteRegistry:
+    def test_named_suites_resolve(self):
+        for name in suite_names():
+            suite = get_suite(name)
+            assert suite.name == name
+            assert suite.scenarios
+
+    def test_unknown_suite_names_known_ones(self):
+        with pytest.raises(ConfigurationError, match="quick"):
+            get_suite("nonexistent")
+
+    def test_unknown_kernel_names_known_ones(self):
+        with pytest.raises(ConfigurationError, match="matmul"):
+            build_kernel("quantum-annealer")
+
+    def test_every_factory_builds(self):
+        for name in kernel_factories():
+            kernel = build_kernel(name)
+            assert kernel.minimum_memory_words >= 1
+
+    def test_duplicate_scenario_names_rejected(self):
+        scenario = Scenario("dup", "matmul", (12, 27), 12)
+        with pytest.raises(ConfigurationError, match="dup"):
+            ScenarioSuite(name="bad", description="", scenarios=(scenario, scenario))
+
+    def test_quick_suite_is_multi_kernel(self):
+        kernels = {s.kernel for s in get_suite("quick").scenarios}
+        assert {"matmul", "fft", "sorting", "matvec"} <= kernels
+
+
+class TestRunSuite:
+    def test_parallel_equals_serial_bitwise(self, mini_suite):
+        serial = run_suite(mini_suite, SweepRunner())
+        parallel = run_suite(mini_suite, SweepRunner(parallel=True, max_workers=2))
+        for s, p in zip(serial.results, parallel.results):
+            assert p.sweep.intensities == s.sweep.intensities
+
+    def test_scenario_lookup_and_analysis(self, mini_suite):
+        result = run_suite(mini_suite)
+        matmul = result.scenario("mini-matmul")
+        fit = matmul.fit()
+        assert fit["best_model"] == "power-law"
+        assert fit["power_law_exponent"] == pytest.approx(0.5, abs=0.2)
+        assert len(matmul.rebalance_rows()) == 2
+        assert len(matmul.balance_rows()) == 3  # one PE x three memory sizes
+        matvec = result.scenario("mini-matvec")
+        assert matvec.fit()["computation_class"] == "io-bounded"
+        assert matvec.rebalance_rows() == []
+        with pytest.raises(ConfigurationError):
+            result.scenario("missing")
+
+    def test_cached_rerun_replays_every_point(self, mini_suite, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_suite(mini_suite, SweepRunner(cache=cache))
+        warm = run_suite(mini_suite, SweepRunner(cache=cache))
+        assert cache.stats.hits == cache.stats.misses == 6
+        for c, w in zip(cold.results, warm.results):
+            assert w.sweep.intensities == c.sweep.intensities
+
+    def test_json_schema(self, mini_suite, tmp_path):
+        result = run_suite(mini_suite, SweepRunner(parallel=True))
+        path = result.write_json(tmp_path / "BENCH_suite_mini.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == RESULT_SCHEMA
+        assert payload["suite"] == "mini"
+        assert payload["elapsed_seconds"] >= 0
+        assert payload["runtime"]["points"] == 6
+        assert len(payload["scenarios"]) == 2
+        scenario = payload["scenarios"][0]
+        assert {"scenario", "kernel", "rows", "fit", "rebalance", "balance"} <= set(
+            scenario
+        )
+        assert {"memory_words", "intensity", "compute_ops", "io_words"} <= set(
+            scenario["rows"][0]
+        )
+
+    def test_csv_rows(self, mini_suite, tmp_path):
+        result = run_suite(mini_suite)
+        path = result.write_csv(tmp_path / "mini.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 6
+        assert rows[0]["suite"] == "mini"
+        assert {"scenario", "kernel", "memory_words", "intensity"} <= set(rows[0])

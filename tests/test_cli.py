@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -72,3 +74,100 @@ class TestCommands:
         assert main(["summary", "--quick"]) == 0
         output = capsys.readouterr().out
         assert "Section 3 summary" in output
+
+
+class TestSweepCommand:
+    def test_parser_accepts_runtime_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "matmul", "--memory", "12,27,48", "--scale", "16", "--jobs", "2"]
+        )
+        assert args.kernel == "matmul"
+        assert args.memory == (12, 27, 48)
+        assert args.scale == 16 and args.jobs == 2
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "frobnicate"])
+
+    def test_measured_sweep_writes_json_and_csv(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        csv_path = tmp_path / "sweep.csv"
+        assert (
+            main(
+                [
+                    "sweep", "matmul", "--memory", "12,27,48", "--scale", "12",
+                    "--no-cache", "--json", str(json_path), "--csv", str(csv_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "measured intensity" in output
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == "repro-sweep-result/v1"
+        assert payload["kernel"] == "matmul"
+        assert len(payload["rows"]) == 3
+        assert csv_path.read_text().startswith("memory_words")
+
+    def test_sweep_uses_cache_across_invocations(self, capsys, tmp_path):
+        argv = [
+            "sweep", "fft", "--memory", "4,8,64", "--scale", "10",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        assert "3 misses" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "3 hits" in capsys.readouterr().out
+
+    def test_analytic_sweep_resolves_divergent_registry_name(self, capsys):
+        """sparse_matvec is registered as 'spmv'; the CLI must map it."""
+        assert main(["sweep", "sparse_matvec", "--analytic"]) == 0
+        assert "analytic cost model" in capsys.readouterr().out
+
+    def test_explicit_empty_memory_list_rejected(self, capsys):
+        assert main(["sweep", "fft", "--memory", ",", "--no-cache"]) == 2
+        assert "must not be empty" in capsys.readouterr().err
+
+    def test_analytic_sweep(self, capsys, tmp_path):
+        json_path = tmp_path / "analytic.json"
+        assert (
+            main(["sweep", "matmul", "--analytic", "--json", str(json_path)]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "analytic cost model" in output
+        assert "alpha^2" in output
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == "repro-sweep-analytic/v1"
+        assert payload["rebalance"]
+
+
+class TestSuiteCommand:
+    def test_list_names_every_suite(self, capsys):
+        assert main(["suite", "--list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("quick", "full", "fleet", "mixed"):
+            assert name in output
+
+    def test_unknown_suite_fails_cleanly(self, capsys):
+        assert main(["suite", "frobnicate", "--no-cache"]) == 2
+        assert "known suites" in capsys.readouterr().err
+
+    def test_quick_suite_runs_and_writes_artifacts(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_suite_quick.json"
+        csv_path = tmp_path / "BENCH_suite_quick.csv"
+        assert (
+            main(
+                [
+                    "suite", "--quick", "--serial", "--no-cache",
+                    "--json", str(json_path), "--csv", str(csv_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "suite 'quick'" in output
+        assert "points in" in output
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == "repro-suite-result/v1"
+        assert len(payload["scenarios"]) == 8
+        assert csv_path.exists()

@@ -37,11 +37,23 @@ __all__ = ["TriangularQRResult", "GentlemanKungTriangularArray", "givens_rotatio
 
 
 def givens_rotation(a: float, b: float) -> tuple[float, float]:
-    """Return ``(c, s)`` with ``[[c, s], [-s, c]] @ [a, b] = [r, 0]`` and ``r >= 0``."""
-    if b == 0.0 and a == 0.0:
+    """Return ``(c, s)`` with ``[[c, s], [-s, c]] @ [a, b] = [r, 0]`` and ``r >= 0``.
+
+    The inputs are scaled by ``max(|a|, |b|)`` before normalizing (LAPACK's
+    ``dlartg`` approach): dividing subnormal inputs by their own tiny norm
+    loses most of the quotient's precision (``hypot(5e-324, 5e-324)`` rounds
+    to a neighbouring subnormal, so the naive ``a / r`` is far from
+    ``1/sqrt(2)``), and squaring huge inputs overflows.  After scaling, both
+    components lie in ``[-1, 1]`` and the normalization is exact to working
+    precision for any finite, representable inputs.
+    """
+    scale = max(abs(a), abs(b))
+    if scale == 0.0:
         return 1.0, 0.0
-    r = math.hypot(a, b)
-    return a / r, b / r
+    an = a / scale
+    bn = b / scale
+    h = math.hypot(an, bn)
+    return an / h, bn / h
 
 
 @dataclass(frozen=True)

@@ -33,15 +33,15 @@ from repro.analysis.report import Table
 from repro.analysis.sweep import normalize_memory_sizes
 from repro.core.intensity import PowerLawIntensity
 from repro.experiments.arrays_section4 import (
-    run_linear_array_experiment,
-    run_mesh_array_experiment,
-    run_systolic_experiment,
+    linear_array_task,
+    mesh_array_task,
+    systolic_task,
 )
-from repro.experiments.fft_figure2 import render_decomposition, run_figure2_experiment
+from repro.experiments.fft_figure2 import figure2_task, render_decomposition
 from repro.experiments.intensity import run_intensity_experiment
 from repro.experiments.pebble_bounds import run_pebble_experiment
 from repro.experiments.summary import analytic_summary_table, run_summary_experiment
-from repro.experiments.warp_study import run_warp_experiment
+from repro.experiments.warp_study import warp_task
 from repro.kernels import (
     BlockedFFT,
     BlockedLUTriangularization,
@@ -54,6 +54,8 @@ from repro.kernels import (
 from repro.runtime import (
     ResultCache,
     SweepRunner,
+    TaskCache,
+    TaskRunner,
     build_kernel,
     cost_grid,
     get_suite,
@@ -95,6 +97,7 @@ _DEFAULT_SWEEPS: dict[str, tuple[tuple[int, ...], int]] = {
 }
 
 _EXPERIMENT_DESCRIPTIONS = {
+    "list": "list every experiment and subcommand",
     "summary": "E1: the Section 3 summary table (analytic and measured)",
     "sweep": "run one kernel sweep through the scenario runtime (JSON/CSV output)",
     "suite": "run a named scenario suite through the parallel runtime",
@@ -150,44 +153,58 @@ def _cmd_kernel(name: str, args: argparse.Namespace) -> int:
 
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
-    result = run_figure2_experiment(n_points=args.points, block_points=args.block)
+    runner = _task_runner_from_args(args)
+    result = runner.run_one(figure2_task(n_points=args.points, block_points=args.block))
     _print(render_decomposition(result))
     _print(result.table().render_ascii())
     print(f"correct against the direct DFT: {result.correct}")
+    _print_task_cache(runner)
     return 0 if result.correct else 1
 
 
 def _cmd_arrays(args: argparse.Namespace) -> int:
-    _print(run_linear_array_experiment().table().render_ascii())
-    _print(run_mesh_array_experiment().table().render_ascii())
-    _print(
-        run_mesh_array_experiment(
-            intensity=PowerLawIntensity(exponent=0.25),
-            computation_label="4-d grid relaxation (law alpha^4)",
-        )
-        .table()
-        .render_ascii()
+    runner = _task_runner_from_args(args)
+    experiments = runner.run(
+        [
+            linear_array_task(),
+            mesh_array_task(),
+            mesh_array_task(
+                intensity=PowerLawIntensity(exponent=0.25),
+                computation_label="4-d grid relaxation (law alpha^4)",
+            ),
+        ]
     )
+    for experiment in experiments:
+        _print(experiment.table().render_ascii())
+    _print_task_cache(runner)
     return 0
 
 
 def _cmd_systolic(args: argparse.Namespace) -> int:
-    experiment = run_systolic_experiment(order=args.order, batches=args.batches)
+    runner = _task_runner_from_args(args)
+    experiment = runner.run_one(systolic_task(order=args.order, batches=args.batches))
     _print(experiment.table().render_ascii())
+    _print_task_cache(runner)
     return 0 if (experiment.matmul_correct and experiment.matvec_correct) else 1
 
 
 def _cmd_pebble(args: argparse.Namespace) -> int:
-    experiment = run_pebble_experiment()
+    runner = _task_runner_from_args(args)
+    experiment = run_pebble_experiment(
+        matmul_order=args.matmul_order, fft_points=args.fft_points, runner=runner
+    )
     _print(experiment.table().render_ascii())
+    _print_task_cache(runner)
     return 0 if experiment.all_above_lower_bound else 1
 
 
 def _cmd_warp(args: argparse.Namespace) -> int:
-    experiment = run_warp_experiment()
+    runner = _task_runner_from_args(args)
+    experiment = runner.run_one(warp_task())
     _print(experiment.cell_table().render_ascii())
     _print(experiment.array_table().render_ascii())
     _print(experiment.alpha_table().render_ascii())
+    _print_task_cache(runner)
     return 0
 
 
@@ -219,20 +236,50 @@ def _runner_from_args(args: argparse.Namespace, *, parallel_default: bool) -> Sw
     )
 
 
-def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
+def _task_runner_from_args(
+    args: argparse.Namespace, *, parallel_default: bool = True
+) -> TaskRunner:
+    """A :class:`TaskRunner` for the experiment subcommands.
+
+    The experiment-task cache lives under the ``tasks/`` subdirectory of the
+    shared cache root, mirroring :func:`repro.runtime.task_runner_for`.
+    """
+    cache = None
+    if not args.no_cache:
+        root = Path(args.cache_dir or _default_cache_dir())
+        cache = TaskCache(root / "tasks")
+    parallel = parallel_default
+    if args.serial:
+        parallel = False
+    elif args.jobs is not None:
+        parallel = args.jobs > 1
+    return TaskRunner(parallel=parallel, max_workers=args.jobs, cache=cache)
+
+
+def _print_task_cache(runner: TaskRunner) -> None:
+    if runner.cache is not None:
+        stats = runner.cache.stats
+        print(f"cache: {stats.hits} hits, {stats.misses} misses ({runner.cache.root})")
+
+
+def _add_task_runtime_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=None, help="worker processes (default: one per core)"
     )
     parser.add_argument(
-        "--serial", action="store_true", help="run every point in-process, one at a time"
+        "--serial", action="store_true", help="run every task in-process, one at a time"
     )
     parser.add_argument(
         "--cache-dir", type=Path, default=None,
-        help="result-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk result cache"
     )
+
+
+def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
+    _add_task_runtime_options(parser)
     parser.add_argument("--json", type=Path, default=None, help="write results as JSON")
     parser.add_argument("--csv", type=Path, default=None, help="write results as CSV")
 
@@ -413,14 +460,34 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         )
     _print(table.render_ascii())
 
+    if result.experiments:
+        experiments_table = Table(
+            columns=("experiment", "kind", "tasks", "headline"),
+            title=f"suite {suite.name!r}: experiment tasks",
+        )
+        for experiment_result in result.experiments:
+            experiments_table.add_row(
+                experiment_result.scenario.name,
+                experiment_result.scenario.experiment,
+                len(experiment_result.results),
+                experiment_result.headline(),
+            )
+        _print(experiments_table.render_ascii())
+
     mode = "parallel" if runner.parallel else "serial"
     print(
-        f"{result.runtime['points']} points in {result.elapsed_seconds:.2f}s "
-        f"({mode}, {runner.max_workers} workers)"
+        f"{result.runtime['points']} points + "
+        f"{result.runtime['experiment_tasks']} experiment tasks "
+        f"in {result.elapsed_seconds:.2f}s ({mode}, {runner.max_workers} workers)"
     )
     if runner.cache is not None:
         stats = runner.cache.stats
         print(f"cache: {stats.hits} hits, {stats.misses} misses ({runner.cache.root})")
+    if result.runtime.get("task_cache"):
+        task_stats = result.runtime["task_cache"]
+        print(
+            f"task cache: {task_stats['hits']} hits, {task_stats['misses']} misses"
+        )
     if args.json:
         print(f"wrote JSON to {result.write_json(args.json)}")
     if args.csv:
@@ -436,7 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help=_EXPERIMENT_DESCRIPTIONS["summary"] and "list experiments")
+    subparsers.add_parser("list", help=_EXPERIMENT_DESCRIPTIONS["list"])
 
     summary = subparsers.add_parser("summary", help=_EXPERIMENT_DESCRIPTIONS["summary"])
     summary.add_argument(
@@ -482,15 +549,27 @@ def build_parser() -> argparse.ArgumentParser:
     figure2 = subparsers.add_parser("figure2", help=_EXPERIMENT_DESCRIPTIONS["figure2"])
     figure2.add_argument("--points", type=int, default=16, help="FFT size N (power of two)")
     figure2.add_argument("--block", type=int, default=4, help="block size in complex points")
+    _add_task_runtime_options(figure2)
 
-    subparsers.add_parser("arrays", help=_EXPERIMENT_DESCRIPTIONS["arrays"])
+    arrays = subparsers.add_parser("arrays", help=_EXPERIMENT_DESCRIPTIONS["arrays"])
+    _add_task_runtime_options(arrays)
 
     systolic = subparsers.add_parser("systolic", help=_EXPERIMENT_DESCRIPTIONS["systolic"])
     systolic.add_argument("--order", type=int, default=8)
     systolic.add_argument("--batches", type=int, default=24)
+    _add_task_runtime_options(systolic)
 
-    subparsers.add_parser("pebble", help=_EXPERIMENT_DESCRIPTIONS["pebble"])
-    subparsers.add_parser("warp", help=_EXPERIMENT_DESCRIPTIONS["warp"])
+    pebble = subparsers.add_parser("pebble", help=_EXPERIMENT_DESCRIPTIONS["pebble"])
+    pebble.add_argument(
+        "--matmul-order", type=int, default=6, help="matrix order of the matmul DAG"
+    )
+    pebble.add_argument(
+        "--fft-points", type=int, default=64, help="points of the FFT DAG (power of two)"
+    )
+    _add_task_runtime_options(pebble)
+
+    warp = subparsers.add_parser("warp", help=_EXPERIMENT_DESCRIPTIONS["warp"])
+    _add_task_runtime_options(warp)
     return parser
 
 

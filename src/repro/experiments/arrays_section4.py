@@ -28,6 +28,7 @@ from repro.arrays.triangular_qr import GentlemanKungTriangularArray
 from repro.core.intensity import IntensityFunction, PowerLawIntensity
 from repro.core.model import ProcessingElement
 from repro.exceptions import ConfigurationError
+from repro.runtime.tasks import Task
 
 __all__ = [
     "ArraySizingExperiment",
@@ -35,8 +36,24 @@ __all__ = [
     "run_mesh_array_experiment",
     "SystolicExperiment",
     "run_systolic_experiment",
+    "linear_array_task",
+    "mesh_array_task",
+    "systolic_task",
     "DEFAULT_REFERENCE_PE",
 ]
+
+#: Modules whose source participates in the cache keys of Section 4 tasks:
+#: the sizing derivation and the cycle-level array simulations are the
+#: algorithms the experiments measure.
+ARRAY_TASK_MODULES = (
+    "repro.arrays.aggregate",
+    "repro.arrays.sizing",
+    "repro.arrays.systolic",
+    "repro.arrays.triangular_qr",
+    "repro.core.intensity",
+    "repro.core.model",
+    "repro.core.rebalance",
+)
 
 #: A reference single PE balanced for matmul at M = 1024 words:
 #: intensity sqrt(1024) = 32, so C/IO = 32.
@@ -234,4 +251,59 @@ def run_systolic_experiment(
         qr_rows=qr_rows,
         qr_correct=qr_correct,
         qr_utilization=qr_run.utilization,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Runtime tasks: E10-E12 as cacheable, pool-schedulable units.
+# ---------------------------------------------------------------------------
+
+
+def linear_array_task(
+    lengths: Sequence[int] = (2, 4, 8, 16, 32, 64),
+    *,
+    intensity: IntensityFunction | None = None,
+    computation_label: str | None = None,
+) -> Task:
+    """Experiment E10 as a runtime task (defaults match the direct driver)."""
+    params: dict = {"lengths": tuple(int(p) for p in lengths)}
+    if intensity is not None:
+        params["intensity"] = intensity
+    if computation_label is not None:
+        params["computation_label"] = computation_label
+    return Task(
+        fn=run_linear_array_experiment,
+        params=params,
+        name=f"arrays-linear[p={max(lengths)}]",
+        modules=ARRAY_TASK_MODULES,
+    )
+
+
+def mesh_array_task(
+    sides: Sequence[int] = (2, 4, 8, 16, 32),
+    *,
+    intensity: IntensityFunction | None = None,
+    computation_label: str | None = None,
+) -> Task:
+    """Experiment E11 as a runtime task (defaults match the direct driver)."""
+    params: dict = {"sides": tuple(int(p) for p in sides)}
+    if intensity is not None:
+        params["intensity"] = intensity
+    if computation_label is not None:
+        params["computation_label"] = computation_label
+    return Task(
+        fn=run_mesh_array_experiment,
+        params=params,
+        name=f"arrays-mesh[p={max(sides)}]",
+        modules=ARRAY_TASK_MODULES,
+    )
+
+
+def systolic_task(*, order: int = 8, batches: int = 24, seed: int = 4) -> Task:
+    """Experiment E12 as a runtime task (seeded, hence deterministic)."""
+    return Task(
+        fn=run_systolic_experiment,
+        params={"order": int(order), "batches": int(batches), "seed": int(seed)},
+        name=f"systolic[order={order},batches={batches}]",
+        modules=ARRAY_TASK_MODULES,
     )

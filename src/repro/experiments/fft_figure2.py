@@ -18,8 +18,14 @@ import numpy as np
 from repro.analysis.report import Table
 from repro.exceptions import ConfigurationError
 from repro.kernels.fft import WORDS_PER_COMPLEX, BlockedFFT, FFTPass, decomposition_plan
+from repro.runtime.tasks import Task
 
-__all__ = ["Figure2Result", "run_figure2_experiment", "render_decomposition"]
+__all__ = [
+    "Figure2Result",
+    "figure2_task",
+    "run_figure2_experiment",
+    "render_decomposition",
+]
 
 
 @dataclass(frozen=True)
@@ -99,4 +105,18 @@ def run_figure2_experiment(
         block_points=block_points,
         passes=passes,
         max_output_error=max_error,
+    )
+
+
+def figure2_task(n_points: int = 16, block_points: int = 4) -> Task:
+    """Experiment E6 as a cacheable runtime task.
+
+    The cache key covers this module and the blocked-FFT kernel, so editing
+    either the experiment or the decomposition planner invalidates replays.
+    """
+    return Task(
+        fn=run_figure2_experiment,
+        params={"n_points": int(n_points), "block_points": int(block_points)},
+        name=f"figure2[N={n_points},M={block_points}]",
+        modules=("repro.kernels.fft",),
     )

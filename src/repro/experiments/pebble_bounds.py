@@ -11,6 +11,15 @@ which are *upper* bounds on the I/O complexity -- against the closed-form
 * the measured I/O tracks the lower bound's dependence on the fast-memory
   size ``S`` (``1/sqrt(S)`` for matmul, ``1/log S`` for the FFT) to within a
   modest constant factor.
+
+Each (DAG, fast-memory size) measurement is an independent
+:class:`~repro.runtime.tasks.Task` (:func:`measure_pebble_point`), so a
+pooled :class:`~repro.runtime.tasks.TaskRunner` plays the games in parallel
+and a warm :class:`~repro.runtime.cache.TaskCache` replays whole experiments
+without touching the game engine.  The larger DAG scenarios (order-10+
+matmul, 256-point+ FFT) are the heaviest pure-Python path in the repository;
+they run on the game's trusted fast engine
+(:func:`repro.pebble.game.play_topological`).
 """
 
 from __future__ import annotations
@@ -20,16 +29,28 @@ from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 from repro.analysis.report import Table
-from repro.pebble.dag import ComputationDAG, fft_dag, matmul_dag
+from repro.exceptions import ConfigurationError
+from repro.pebble.dag import fft_dag, matmul_dag
 from repro.pebble.game import play_topological
 from repro.pebble.partition import fft_io_lower_bound, matmul_io_lower_bound
+from repro.runtime.tasks import Task, TaskRunner
 
 __all__ = [
     "PebblePoint",
     "PebbleExperiment",
     "blocked_matmul_order",
+    "measure_pebble_point",
+    "pebble_point_tasks",
     "run_pebble_experiment",
 ]
+
+#: Modules whose source participates in the cache key of pebble tasks: the
+#: game engine, the DAG builders and the lower bounds are the algorithm.
+PEBBLE_TASK_MODULES = (
+    "repro.pebble.dag",
+    "repro.pebble.game",
+    "repro.pebble.partition",
+)
 
 
 def blocked_matmul_order(order: int, fast_memory_words: int) -> list[Hashable]:
@@ -48,14 +69,22 @@ def blocked_matmul_order(order: int, fast_memory_words: int) -> list[Hashable]:
     tile = max(1, int(math.floor(math.sqrt(fast_memory_words + 2) - 1)))
     while tile > 1 and tile * tile + 2 * tile + 1 > fast_memory_words:
         tile -= 1
-    schedule: list[Hashable] = []
-    for i0 in range(0, order, tile):
-        for j0 in range(0, order, tile):
-            for k in range(order):
-                for i in range(i0, min(i0 + tile, order)):
-                    for j in range(j0, min(j0 + tile, order)):
-                        schedule.append(("c", i, j, k))
-    return schedule
+    # The tile ranges are materialised once per block; the flat comprehension
+    # keeps the quadruply-nested schedule construction out of interpreted
+    # append calls (this list has order**3 entries and is rebuilt per memory
+    # size, so it is on the experiment's hot path).
+    blocks = [
+        (range(i0, min(i0 + tile, order)), range(j0, min(j0 + tile, order)))
+        for i0 in range(0, order, tile)
+        for j0 in range(0, order, tile)
+    ]
+    return [
+        ("c", i, j, k)
+        for rows, cols in blocks
+        for k in range(order)
+        for i in rows
+        for j in cols
+    ]
 
 
 @dataclass(frozen=True)
@@ -112,25 +141,77 @@ class PebbleExperiment:
         return table
 
 
-def _measure(
-    dag: ComputationDAG,
-    sizes: Sequence[int],
-    lower_bound,
-    order_for_size=None,
-) -> list[PebblePoint]:
-    points = []
-    for size in sizes:
-        order = order_for_size(size) if order_for_size is not None else None
-        result = play_topological(dag, size, order=order)
-        points.append(
-            PebblePoint(
-                dag_name=dag.name,
-                fast_memory_words=int(size),
-                measured_io=result.io_operations,
-                lower_bound=float(lower_bound(size)),
+def measure_pebble_point(
+    *, dag_kind: str, size: int, fast_memory_words: int, blocked: bool = False
+) -> PebblePoint:
+    """Play one game: one DAG at one fast-memory size (picklable, top-level).
+
+    ``dag_kind`` selects the DAG family (``"matmul"`` with ``size`` the
+    matrix order, or ``"fft"`` with ``size`` the point count); ``blocked``
+    plays the matmul DAG in the paper's blocked schedule instead of a generic
+    topological order.  The DAG is rebuilt inside the worker, which costs far
+    less than playing the game and keeps the task parameters tiny.
+    """
+    if dag_kind == "matmul":
+        dag = matmul_dag(size)
+        lower_bound = matmul_io_lower_bound(size, fast_memory_words)
+        order = blocked_matmul_order(size, fast_memory_words) if blocked else None
+    elif dag_kind == "fft":
+        if blocked:
+            raise ConfigurationError("the blocked schedule applies to matmul only")
+        dag = fft_dag(size)
+        lower_bound = fft_io_lower_bound(size, fast_memory_words)
+        order = None
+    else:
+        raise ConfigurationError(
+            f"unknown pebble DAG kind {dag_kind!r}; known kinds: fft, matmul"
+        )
+    result = play_topological(dag, fast_memory_words, order=order)
+    return PebblePoint(
+        dag_name=dag.name,
+        fast_memory_words=int(fast_memory_words),
+        measured_io=result.io_operations,
+        lower_bound=float(lower_bound),
+    )
+
+
+def pebble_point_tasks(
+    *,
+    matmul_order: int = 6,
+    fft_points: int = 64,
+    matmul_memories: Sequence[int] = (4, 8, 16, 32),
+    fft_memories: Sequence[int] = (4, 8, 16, 32),
+) -> list[Task]:
+    """One task per (DAG, fast-memory size) point of experiment E9."""
+    tasks = []
+    for memory in matmul_memories:
+        tasks.append(
+            Task(
+                fn=measure_pebble_point,
+                params={
+                    "dag_kind": "matmul",
+                    "size": int(matmul_order),
+                    "fast_memory_words": int(memory),
+                    "blocked": True,
+                },
+                name=f"pebble-matmul[{matmul_order}]-S{memory}",
+                modules=PEBBLE_TASK_MODULES,
             )
         )
-    return points
+    for memory in fft_memories:
+        tasks.append(
+            Task(
+                fn=measure_pebble_point,
+                params={
+                    "dag_kind": "fft",
+                    "size": int(fft_points),
+                    "fast_memory_words": int(memory),
+                },
+                name=f"pebble-fft[{fft_points}]-S{memory}",
+                modules=PEBBLE_TASK_MODULES,
+            )
+        )
+    return tasks
 
 
 def run_pebble_experiment(
@@ -139,27 +220,25 @@ def run_pebble_experiment(
     fft_points: int = 64,
     matmul_memories: Sequence[int] = (4, 8, 16, 32),
     fft_memories: Sequence[int] = (4, 8, 16, 32),
+    runner: TaskRunner | None = None,
 ) -> PebbleExperiment:
     """Play the game on the matmul and FFT DAGs across fast-memory sizes.
 
     The matmul DAG is played in the paper's blocked schedule
     (:func:`blocked_matmul_order`); the FFT DAG uses the generic topological
-    order, which already groups whole butterfly stages.
+    order, which already groups whole butterfly stages.  Every point is an
+    independent task, so a parallel ``runner`` plays the games concurrently
+    and a cached one replays previously measured points; the point order in
+    the result is deterministic either way.
     """
-    points: list[PebblePoint] = []
-    mm_dag = matmul_dag(matmul_order)
-    points.extend(
-        _measure(
-            mm_dag,
-            matmul_memories,
-            lambda s: matmul_io_lower_bound(matmul_order, s),
-            order_for_size=lambda s: blocked_matmul_order(matmul_order, s),
-        )
+    runner = runner or TaskRunner()
+    tasks = pebble_point_tasks(
+        matmul_order=matmul_order,
+        fft_points=fft_points,
+        matmul_memories=matmul_memories,
+        fft_memories=fft_memories,
     )
-    f_dag = fft_dag(fft_points)
-    points.extend(
-        _measure(f_dag, fft_memories, lambda s: fft_io_lower_bound(fft_points, s))
-    )
+    points = runner.run(tasks)
     return PebbleExperiment(
         matmul_order=matmul_order,
         fft_points=fft_points,

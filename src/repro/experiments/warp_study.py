@@ -23,6 +23,7 @@ from typing import Sequence
 from repro.analysis.report import Table
 from repro.arrays.sizing import ArraySizingResult
 from repro.core.model import BoundKind
+from repro.runtime.tasks import Task
 from repro.warp.machine import (
     WARP_CELL,
     WarpCaseStudy,
@@ -31,7 +32,17 @@ from repro.warp.machine import (
     warp_array_sizing,
 )
 
-__all__ = ["WarpExperiment", "run_warp_experiment"]
+__all__ = ["WarpExperiment", "run_warp_experiment", "warp_task"]
+
+#: Modules whose source participates in the cache key of the Warp task.
+WARP_TASK_MODULES = (
+    "repro.arrays.aggregate",
+    "repro.arrays.sizing",
+    "repro.core.intensity",
+    "repro.core.model",
+    "repro.core.rebalance",
+    "repro.warp.machine",
+)
 
 
 @dataclass(frozen=True)
@@ -118,4 +129,21 @@ def run_warp_experiment(
         array_lengths=tuple(int(p) for p in array_lengths),
         array_sizing=tuple(sizing),
         alpha_sweep=tuple(sweep),
+    )
+
+
+def warp_task(
+    *,
+    array_lengths: Sequence[int] = (2, 4, 8, 10, 16, 32, 64),
+    alphas: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0),
+) -> Task:
+    """Experiment E13 as a runtime task (defaults match the direct driver)."""
+    return Task(
+        fn=run_warp_experiment,
+        params={
+            "array_lengths": tuple(int(p) for p in array_lengths),
+            "alphas": tuple(float(a) for a in alphas),
+        },
+        name=f"warp[p<={max(array_lengths)}]",
+        modules=WARP_TASK_MODULES,
     )

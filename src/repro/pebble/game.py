@@ -27,6 +27,7 @@ lower bounds of :mod:`repro.pebble.partition` in experiment E9.
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
@@ -180,6 +181,7 @@ def play_topological(
     red_pebble_limit: int,
     *,
     order: Sequence[Node] | None = None,
+    record_moves: bool = False,
 ) -> GameResult:
     """Play the game automatically: topological order with LRU eviction.
 
@@ -196,6 +198,14 @@ def play_topological(
     ``Q(S)`` and, for the matmul and FFT DAGs, lands within a constant factor
     of the Hong-Kung lower bounds (experiment E9).
 
+    By default the strategy runs on a trusted fast engine (integer-indexed
+    state, precomputed successor counts, an array-backed lazy-deletion LRU
+    heap) that produces the exact same move sequence -- and therefore the
+    same load/store/compute counts -- as the validating
+    :class:`RedBluePebbleGame`, without per-move legality checks or
+    :class:`Move` allocation.  Pass ``record_moves=True`` to play through the
+    validator instead and get the full move list in the result.
+
     An ``order`` that violates the DAG's dependencies surfaces as a
     :class:`PebbleGameError` (a predecessor would be neither red nor blue
     when needed).
@@ -204,12 +214,6 @@ def play_topological(
         raise ConfigurationError(
             "the LRU strategy needs at least 3 red pebbles (two operands + result)"
         )
-    game = RedBluePebbleGame(dag, red_pebble_limit)
-    successors = dag.successors()
-    remaining_uses = {node: len(succs) for node, succs in successors.items()}
-    output_set = set(dag.outputs)
-    lru: OrderedDict[Node, None] = OrderedDict()
-
     if order is None:
         schedule = dag.topological_order()
     else:
@@ -219,6 +223,20 @@ def play_topological(
             raise ConfigurationError(
                 f"supplied order omits {len(missing)} non-input nodes"
             )
+    if record_moves:
+        return _play_validated(dag, red_pebble_limit, schedule)
+    return _play_fast(dag, red_pebble_limit, schedule)
+
+
+def _play_validated(
+    dag: ComputationDAG, red_pebble_limit: int, schedule: Sequence[Node]
+) -> GameResult:
+    """The LRU strategy through the validating game (records every move)."""
+    game = RedBluePebbleGame(dag, red_pebble_limit)
+    successors = dag.successors()
+    remaining_uses = {node: len(succs) for node, succs in successors.items()}
+    output_set = set(dag.outputs)
+    lru: OrderedDict[Node, None] = OrderedDict()
 
     def touch(node: Node) -> None:
         lru[node] = None
@@ -285,3 +303,145 @@ def play_topological(
             game.store(out)
 
     return game.result()
+
+
+def _play_fast(
+    dag: ComputationDAG, red_pebble_limit: int, schedule: Sequence[Node]
+) -> GameResult:
+    """Trusted fast engine for the LRU strategy (counts only, no Move objects).
+
+    Mirrors :func:`_play_validated` move for move, but on integer-indexed
+    arrays:
+
+    * nodes are mapped to dense indices once, so pebble state is a
+      ``bytearray`` lookup instead of hash-set membership;
+    * successor counts are accumulated directly from the predecessor lists
+      (no successor-list materialisation);
+    * recency is an integer stamp per node plus a lazy-deletion min-heap --
+      the heap's minimum valid entry is exactly the ``OrderedDict`` head the
+      validated engine would scan to, so both engines always evict the same
+      victim and produce identical load/store counts (asserted by the tier-1
+      equivalence tests).
+
+    This is the hot path of experiment E9: the larger pebble-game scenarios
+    play hundreds of thousands of scheduled nodes, where per-move legality
+    validation and ``Move`` allocation dominate the runtime.
+
+    Unlike the validated engine it does not re-run ``dag.validate()``: the
+    schedule either came from ``dag.topological_order()`` (which already
+    proves acyclicity) or is checked move-by-move below (a cyclic or
+    dependency-violating order surfaces as a load of a non-blue node), and
+    unknown output nodes surface in the final store loop.
+    """
+    nodes = list(dag.predecessors)
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    preds_of = [tuple(index[p] for p in dag.predecessors[node]) for node in nodes]
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    remaining_uses = [0] * n
+    for preds in preds_of:
+        for p in preds:
+            remaining_uses[p] += 1
+
+    is_output = bytearray(n)
+    for out in dag.outputs:
+        is_output[index[out]] = 1
+    red = bytearray(n)
+    blue = bytearray(n)
+    for node, preds in dag.predecessors.items():
+        if not preds:
+            blue[index[node]] = 1
+
+    red_count = 0
+    peak_red = 0
+    loads = stores = computations = 0
+    stamp = [0] * n  # last-touch time; 0 = never in the LRU structure
+    clock = 0
+    heap: list[tuple[int, int]] = []  # (stamp, node index), lazily invalidated
+
+    def evict_one(pinned: tuple[int, ...]) -> None:
+        nonlocal red_count, stores
+        stash: list[tuple[int, int]] = []
+        while heap:
+            when, victim = heappop(heap)
+            if not red[victim] or stamp[victim] != when:
+                continue  # stale entry: evicted, deleted or re-touched since
+            if victim in pinned:
+                stash.append((when, victim))
+                continue
+            for entry in stash:
+                heappush(heap, entry)
+            if remaining_uses[victim] > 0 or (is_output[victim] and not blue[victim]):
+                blue[victim] = 1
+                stores += 1
+            red[victim] = 0
+            red_count -= 1
+            return
+        raise PebbleGameError(
+            f"red pebble limit {red_pebble_limit} is smaller than the working "
+            "set of a single node (its predecessors plus its result)"
+        )
+
+    for node in schedule:
+        i = index[node]
+        preds = preds_of[i]
+        if not preds:
+            continue  # inputs stay blue until first needed
+        # Ensure all predecessors are red.
+        for p in preds:
+            if not red[p]:
+                while red_count + 1 > red_pebble_limit:
+                    evict_one(preds)
+                if not blue[p]:
+                    raise PebbleGameError(
+                        f"cannot load {nodes[p]!r}: it has no blue pebble"
+                    )
+                red[p] = 1
+                red_count += 1
+                if red_count > peak_red:
+                    peak_red = red_count
+                loads += 1
+            clock += 1
+            stamp[p] = clock
+            heappush(heap, (clock, p))
+        # Place the result.
+        if not red[i]:
+            while red_count + 1 > red_pebble_limit:
+                evict_one(preds)
+            red[i] = 1
+            red_count += 1
+            if red_count > peak_red:
+                peak_red = red_count
+        computations += 1
+        clock += 1
+        stamp[i] = clock
+        heappush(heap, (clock, i))
+        # Discard values that are now dead (their heap entries go stale).
+        for p in preds:
+            remaining_uses[p] -= 1
+            if remaining_uses[p] == 0 and red[p] and (not is_output[p] or blue[p]):
+                red[p] = 0
+                red_count -= 1
+
+    # Store any outputs still only in fast memory.
+    for out in dag.outputs:
+        i = index.get(out)
+        if i is None:
+            raise ConfigurationError(f"output {out!r} is not a node of the DAG")
+        if not blue[i]:
+            if not red[i]:
+                raise PebbleGameError(f"output {out!r} was lost before being stored")
+            blue[i] = 1
+            stores += 1
+
+    return GameResult(
+        io_operations=loads + stores,
+        loads=loads,
+        stores=stores,
+        computations=computations,
+        red_pebble_limit=red_pebble_limit,
+        peak_red_pebbles=peak_red,
+        moves=(),
+    )

@@ -1,32 +1,56 @@
-"""Scenario-sweep runtime: vectorized, parallel and cached experiment execution.
+"""Experiment-task runtime: vectorized, parallel and cached execution.
 
-This package replaces per-point serial experiment loops with three layers:
+This package replaces per-point serial experiment loops with four layers:
 
 * :mod:`repro.runtime.vectorized` -- batch-evaluate the registry's closed-form
   cost models, intensity functions and rebalancing laws over numpy grids of
   ``(N, M, alpha)`` in single array passes;
-* :mod:`repro.runtime.engine` -- fan instrumented-kernel executions out across
-  a process pool with deterministic result ordering, backed by
-* :mod:`repro.runtime.cache` -- a content-addressed on-disk result cache keyed
-  by kernel code, configuration, problem and memory size;
-* :mod:`repro.runtime.suites` -- declarative, named scenario suites (kernel x
-  problem x memory grid x PE fleet) that lower onto the engine and emit
+* :mod:`repro.runtime.tasks` -- the generic task abstraction: any top-level
+  callable plus parameters, content-addressed by module source, executed
+  serially or across a process pool with deterministic ordering;
+* :mod:`repro.runtime.engine` -- the memory-sweep client of the task layer,
+  fanning instrumented-kernel executions out with per-point caching via
+* :mod:`repro.runtime.cache` -- content-addressed on-disk caches (measured
+  sweep points in :class:`ResultCache`, whole experiment results in
+  :class:`TaskCache`);
+* :mod:`repro.runtime.suites` -- declarative, named scenario suites (kernel
+  sweeps plus experiment tasks) that lower onto the engines and emit
   JSON/CSV for the benchmark harness and CI.
 """
 
-from repro.runtime.cache import CacheStats, ResultCache, execution_key, kernel_code_version
-from repro.runtime.engine import SweepPlan, SweepRunner, default_worker_count, run_sweep
+from repro.runtime.cache import (
+    MISS,
+    CacheStats,
+    ResultCache,
+    TaskCache,
+    execution_key,
+    kernel_code_version,
+)
+from repro.runtime.engine import SweepPlan, SweepRunner, run_sweep
 from repro.runtime.suites import (
+    ExperimentScenario,
+    ExperimentScenarioResult,
     PEConfig,
     Scenario,
     ScenarioResult,
     ScenarioSuite,
     SuiteResult,
     build_kernel,
+    experiment_kinds,
     get_suite,
     kernel_factories,
     run_suite,
     suite_names,
+    task_runner_for,
+)
+from repro.runtime.tasks import (
+    Task,
+    TaskRunner,
+    callable_code_version,
+    default_worker_count,
+    execute_tasks,
+    run_tasks,
+    task_key,
 )
 from repro.runtime.vectorized import (
     analytic_summary_rows,
@@ -37,7 +61,10 @@ from repro.runtime.vectorized import (
 )
 
 __all__ = [
+    "MISS",
     "CacheStats",
+    "ExperimentScenario",
+    "ExperimentScenarioResult",
     "PEConfig",
     "ResultCache",
     "Scenario",
@@ -46,11 +73,17 @@ __all__ = [
     "SuiteResult",
     "SweepPlan",
     "SweepRunner",
+    "Task",
+    "TaskCache",
+    "TaskRunner",
     "analytic_summary_rows",
     "build_kernel",
+    "callable_code_version",
     "cost_grid",
     "default_worker_count",
+    "execute_tasks",
     "execution_key",
+    "experiment_kinds",
     "get_suite",
     "intensity_grid",
     "kernel_code_version",
@@ -59,5 +92,8 @@ __all__ = [
     "rebalance_grid",
     "run_suite",
     "run_sweep",
+    "run_tasks",
     "suite_names",
+    "task_key",
+    "task_runner_for",
 ]

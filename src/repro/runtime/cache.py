@@ -1,19 +1,29 @@
-"""Content-addressed on-disk cache for kernel execution results.
+"""Content-addressed on-disk caches for deterministic computations.
 
-Running an instrumented kernel is deterministic: the measured cost, peak
-residency and intensity depend only on the kernel (code and configuration),
-the problem instance and the local-memory size.  The cache exploits this by
-keying each execution on a SHA-256 digest of
+Two stores live here:
 
-* the kernel's class, configuration and *source code* (so editing a kernel
-  automatically invalidates its cached results),
-* a structural fingerprint of the problem instance (array contents included),
-* and the memory size.
+* :class:`ResultCache` -- kernel execution measurements.  Running an
+  instrumented kernel is deterministic: the measured cost, peak residency and
+  intensity depend only on the kernel (code and configuration), the problem
+  instance and the local-memory size.  The cache exploits this by keying each
+  execution on a SHA-256 digest of
 
-Cached entries store the measured numbers only -- not the numerical output --
-so a cache hit reconstructs a :class:`~repro.kernels.base.KernelExecution`
-with ``output=None``.  Runs that need the output (``verify=True``) bypass
-the cache.
+  - the kernel's class, configuration and *source code* (so editing a kernel
+    automatically invalidates its cached results),
+  - a structural fingerprint of the problem instance (array contents
+    included),
+  - and the memory size.
+
+  Cached entries store the measured numbers only -- not the numerical output
+  -- so a cache hit reconstructs a :class:`~repro.kernels.base.KernelExecution`
+  with ``output=None``.  Runs that need the output (``verify=True``) bypass
+  the cache.
+
+* :class:`TaskCache` -- arbitrary picklable results of
+  :class:`~repro.runtime.tasks.Task` executions, keyed by the task's
+  content address (callable identity, module source, parameters).  Entries
+  hold the complete result object, so a hit is indistinguishable from a
+  fresh run.
 """
 
 from __future__ import annotations
@@ -23,6 +33,7 @@ import hashlib
 import inspect
 import json
 import os
+import pickle
 import sys
 import tempfile
 from dataclasses import dataclass
@@ -37,9 +48,17 @@ from repro.exceptions import ConfigurationError
 from repro.kernels.base import Kernel, KernelExecution
 from repro.kernels.counters import PhaseRecorder
 
-__all__ = ["ResultCache", "CacheStats", "execution_key", "kernel_code_version"]
+__all__ = [
+    "MISS",
+    "ResultCache",
+    "TaskCache",
+    "CacheStats",
+    "execution_key",
+    "kernel_code_version",
+]
 
 SCHEMA_VERSION = 1
+TASK_SCHEMA_VERSION = 1
 
 
 def _fingerprint(value: Any) -> Any:
@@ -203,27 +222,100 @@ class ResultCache:
             "io_words": float(execution.cost.io_words),
             "peak_memory_words": int(execution.peak_memory_words),
         }
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Unique temp name + atomic rename: concurrent processes storing the
-        # same key each publish a complete entry, last writer wins.
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f"{key[:8]}-", suffix=".tmp", dir=path.parent
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(json.dumps(entry, sort_keys=True))
-            os.replace(tmp_name, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
+        _atomic_write(self._path(key), json.dumps(entry, sort_keys=True).encode())
         self.stats.stores += 1
 
     def clear(self) -> int:
         """Delete every entry; returns the number of entries removed."""
         removed = 0
         for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Publish ``data`` at ``path`` atomically (unique temp file + rename).
+
+    Concurrent processes storing the same key each publish a complete entry,
+    last writer wins; readers never observe a truncated file.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f"{path.stem[:8]}-", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
+class _Miss:
+    """Sentinel type distinguishing a cache miss from a cached ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<cache miss>"
+
+
+#: Returned by :meth:`TaskCache.load` when the key has no usable entry.
+MISS = _Miss()
+
+
+class TaskCache:
+    """Content-addressed store of arbitrary picklable task results.
+
+    Entries live as one pickle file each under ``root``, sharded by the first
+    byte of the key, written atomically; a corrupt or truncated entry is
+    treated as a miss and removed.  Unlike :class:`ResultCache`, entries hold
+    the complete result object, so replayed results are bitwise identical to
+    fresh ones (pickling round-trips floats and numpy arrays exactly).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def load(self, key: str) -> Any:
+        """Return the cached value for ``key``, or :data:`MISS`."""
+        path = self._path(key)
+        try:
+            entry = pickle.loads(path.read_bytes())
+            if entry["schema"] != TASK_SCHEMA_VERSION:
+                raise ValueError(f"unsupported task schema {entry['schema']!r}")
+            value = entry["value"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return MISS
+        except Exception:
+            # Corrupt/unreadable entry (bad pickle, missing key, stale class
+            # definition, ...): drop it and treat the lookup as a miss.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return MISS
+        self.stats.hits += 1
+        return value
+
+    def store(self, key: str, value: Any, *, label: str | None = None) -> None:
+        """Persist one task's result under ``key``."""
+        entry = {"schema": TASK_SCHEMA_VERSION, "label": label, "value": value}
+        _atomic_write(self._path(key), pickle.dumps(entry))
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for path in self.root.glob("*/*.pkl"):
             path.unlink(missing_ok=True)
             removed += 1
         return removed

@@ -4,17 +4,21 @@ The serial :class:`~repro.analysis.sweep.MemorySweep` runs one kernel at one
 memory size at a time.  This module generalises it: a :class:`SweepRunner`
 flattens any number of sweeps (one kernel x one problem x a memory grid)
 into a list of independent *points*, resolves as many as it can from a
-:class:`~repro.runtime.cache.ResultCache`, fans the remainder out across a
-``concurrent.futures`` process pool, and reassembles the results in
-deterministic order.  Serial and parallel execution run exactly the same
-kernel code on exactly the same problem instances, so their measured
-numbers are bitwise identical.
+:class:`~repro.runtime.cache.ResultCache`, fans the remainder out as
+:class:`~repro.runtime.tasks.Task` objects across the shared process-pool
+layer, and reassembles the results in deterministic order.  Serial and
+parallel execution run exactly the same kernel code on exactly the same
+problem instances, so their measured numbers are bitwise identical.
+
+The sweep engine is one client of the generic task runtime
+(:mod:`repro.runtime.tasks`); it keeps its own :class:`ResultCache` because
+sweep points have a richer content address (kernel class + configuration +
+code version + problem fingerprint + memory size) and store only the
+measured numbers rather than the whole execution.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
@@ -22,13 +26,9 @@ from repro.analysis.sweep import MemorySweepResult, normalize_memory_sizes
 from repro.exceptions import ConfigurationError
 from repro.kernels.base import Kernel, KernelExecution
 from repro.runtime.cache import ResultCache
+from repro.runtime.tasks import Task, default_worker_count, execute_tasks
 
 __all__ = ["SweepPlan", "SweepRunner", "run_sweep", "default_worker_count"]
-
-
-def default_worker_count() -> int:
-    """Worker processes to use when the caller does not say: one per core."""
-    return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -220,13 +220,17 @@ class SweepRunner:
         return executions
 
     def _run_points(self, points: list[_Point]) -> list[KernelExecution]:
-        if not points:
-            return []
-        if not self.parallel or self.max_workers == 1 or len(points) == 1:
-            return [_execute_point(point) for point in points]
-        workers = min(self.max_workers, len(points))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute_point, points))
+        tasks = [
+            Task(
+                fn=_execute_point,
+                params={"point": point},
+                name=f"{point.kernel.name}@M={point.memory_words}",
+            )
+            for point in points
+        ]
+        return execute_tasks(
+            tasks, parallel=self.parallel, max_workers=self.max_workers
+        )
 
 
 def run_sweep(

@@ -1,15 +1,20 @@
-"""Declarative scenario suites: named batches of sweeps for the runtime.
+"""Declarative scenario suites: named batches of work for the runtime.
 
 A :class:`Scenario` names one kernel, one problem scale and one memory grid
 (plus optional rebalancing alphas and a fleet of PE configurations to assess
-balance against).  A :class:`ScenarioSuite` is a named tuple of scenarios;
-:func:`run_suite` lowers a suite onto a :class:`~repro.runtime.engine.SweepRunner`
-as one flat batch of points, so every kernel execution in the suite shares
-the same worker pool and result cache.
+balance against).  An :class:`ExperimentScenario` names one experiment driver
+(Figure 2, the Section 4 arrays, the pebble game, the Warp study) and its
+parameters, lowered onto generic :class:`~repro.runtime.tasks.Task` objects.
+A :class:`ScenarioSuite` is a named collection of both; :func:`run_suite`
+lowers the sweeps onto a :class:`~repro.runtime.engine.SweepRunner` as one
+flat batch of points and the experiments onto a
+:class:`~repro.runtime.tasks.TaskRunner` as one flat batch of tasks, so
+every execution in the suite shares the worker pool and the result caches.
 
 The named suites double as the CI benchmark surface: ``repro suite quick``
-emits the machine-readable JSON that the benchmark smoke job uploads as a
-build artifact (``BENCH_suite_<name>.json``).
+covers every experiment of the reproduction and emits the machine-readable
+JSON that the benchmark smoke job uploads as a build artifact
+(``BENCH_suite_<name>.json``).
 """
 
 from __future__ import annotations
@@ -18,11 +23,13 @@ import csv
 import json
 import time
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.analysis.fitting import fit_power_law, select_intensity_model
 from repro.analysis.sweep import MemorySweepResult, measured_rebalance_curve
+from repro.core.intensity import PowerLawIntensity
 from repro.core.model import ProcessingElement, assess_balance
 from repro.exceptions import ConfigurationError
 from repro.kernels import (
@@ -36,22 +43,28 @@ from repro.kernels import (
     StreamingTriangularSolve,
 )
 from repro.kernels.base import Kernel
+from repro.runtime.cache import TaskCache
 from repro.runtime.engine import SweepPlan, SweepRunner
+from repro.runtime.tasks import Task, TaskRunner
 
 __all__ = [
     "PEConfig",
     "Scenario",
+    "ExperimentScenario",
     "ScenarioSuite",
     "ScenarioResult",
+    "ExperimentScenarioResult",
     "SuiteResult",
     "kernel_factories",
     "build_kernel",
+    "experiment_kinds",
     "suite_names",
     "get_suite",
     "run_suite",
+    "task_runner_for",
 ]
 
-RESULT_SCHEMA = "repro-suite-result/v1"
+RESULT_SCHEMA = "repro-suite-result/v2"
 
 
 KERNEL_FACTORIES: dict[str, Callable[[], Kernel]] = {
@@ -123,16 +136,167 @@ class Scenario:
         )
 
 
+# ---------------------------------------------------------------------------
+# Experiment scenarios: the non-sweep experiments as declarative task batches.
+# ---------------------------------------------------------------------------
+
+#: The experiment kinds a scenario can reference.
+EXPERIMENT_KINDS = (
+    "figure2",
+    "linear-array",
+    "mesh-array",
+    "systolic",
+    "pebble",
+    "warp",
+)
+
+
+def experiment_kinds() -> tuple[str, ...]:
+    """Every experiment kind an :class:`ExperimentScenario` can reference."""
+    return EXPERIMENT_KINDS
+
+
+@lru_cache(maxsize=1)
+def _experiment_task_builders() -> dict[str, Callable[..., list[Task]]]:
+    """Kind -> task-list builder, imported lazily.
+
+    The experiment modules import :mod:`repro.runtime.tasks`, which loads
+    this package; importing them at module scope would close that cycle
+    before their task builders exist.
+    """
+    from repro.experiments.arrays_section4 import (
+        linear_array_task,
+        mesh_array_task,
+        systolic_task,
+    )
+    from repro.experiments.fft_figure2 import figure2_task
+    from repro.experiments.pebble_bounds import pebble_point_tasks
+    from repro.experiments.warp_study import warp_task
+
+    return {
+        "figure2": lambda **params: [figure2_task(**params)],
+        "linear-array": lambda **params: [linear_array_task(**params)],
+        "mesh-array": lambda **params: [mesh_array_task(**params)],
+        "systolic": lambda **params: [systolic_task(**params)],
+        "pebble": lambda **params: pebble_point_tasks(**params),
+        "warp": lambda **params: [warp_task(**params)],
+    }
+
+
+def _summarize_figure2(results: Sequence[Any]) -> dict[str, object]:
+    (result,) = results
+    return {
+        "pass_count": result.pass_count,
+        "blocks_per_pass": result.blocks_per_pass,
+        "max_output_error": result.max_output_error,
+        "correct": result.correct,
+    }
+
+
+def _summarize_sizing(results: Sequence[Any]) -> dict[str, object]:
+    (result,) = results
+    return {
+        "kind": result.kind,
+        "computation": result.computation_label,
+        "growth_exponent": result.per_cell_growth_exponent,
+        "per_cell_memory_words": list(result.per_cell_memories),
+    }
+
+
+def _summarize_systolic(results: Sequence[Any]) -> dict[str, object]:
+    (result,) = results
+    return {
+        "matmul_correct": result.matmul_correct,
+        "matvec_correct": result.matvec_correct,
+        "qr_correct": result.qr_correct,
+        "matmul_utilization": result.matmul_utilization,
+        "matvec_utilization": result.matvec_utilization,
+        "qr_utilization": result.qr_utilization,
+    }
+
+
+def _summarize_pebble(points: Sequence[Any]) -> dict[str, object]:
+    return {
+        "all_above_lower_bound": all(
+            point.measured_io >= point.lower_bound for point in points
+        ),
+        "points": [
+            {
+                "dag": point.dag_name,
+                "fast_memory_words": point.fast_memory_words,
+                "measured_io": point.measured_io,
+                "lower_bound": point.lower_bound,
+                "ratio": point.ratio,
+            }
+            for point in points
+        ],
+    }
+
+
+def _summarize_warp(results: Sequence[Any]) -> dict[str, object]:
+    (result,) = results
+    try:
+        production_memory = result.production_array_per_cell_memory
+    except LookupError:
+        production_memory = None
+    return {
+        "cell_not_io_starved": result.cell_not_io_starved,
+        "production_array_per_cell_memory": production_memory,
+        "memory_covers_production_array": (
+            result.memory_covers_production_array
+            if production_memory is not None
+            else None
+        ),
+    }
+
+
+_EXPERIMENT_SUMMARIZERS: dict[str, Callable[[Sequence[Any]], dict[str, object]]] = {
+    "figure2": _summarize_figure2,
+    "linear-array": _summarize_sizing,
+    "mesh-array": _summarize_sizing,
+    "systolic": _summarize_systolic,
+    "pebble": _summarize_pebble,
+    "warp": _summarize_warp,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentScenario:
+    """One experiment driver at one parameterisation, as a task batch."""
+
+    name: str
+    experiment: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.experiment not in EXPERIMENT_KINDS:
+            known = ", ".join(EXPERIMENT_KINDS)
+            raise ConfigurationError(
+                f"unknown experiment kind {self.experiment!r}; known kinds: {known}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+    def tasks(self) -> list[Task]:
+        """Lower this scenario onto runtime tasks (one or many)."""
+        return _experiment_task_builders()[self.experiment](**self.params)
+
+    def summarize(self, results: Sequence[Any]) -> dict[str, object]:
+        """Reduce the task results to a JSON-serialisable headline summary."""
+        return _EXPERIMENT_SUMMARIZERS[self.experiment](results)
+
+
 @dataclass(frozen=True)
 class ScenarioSuite:
-    """A named, ordered collection of scenarios."""
+    """A named, ordered collection of sweep and experiment scenarios."""
 
     name: str
     description: str
     scenarios: tuple[Scenario, ...]
+    experiments: tuple[ExperimentScenario, ...] = ()
 
     def __post_init__(self) -> None:
         names = [scenario.name for scenario in self.scenarios]
+        names += [experiment.name for experiment in self.experiments]
         duplicates = sorted({n for n in names if names.count(n) > 1})
         if duplicates:
             raise ConfigurationError(
@@ -184,8 +348,8 @@ def _quick_suite() -> ScenarioSuite:
     return ScenarioSuite(
         name="quick",
         description=(
-            "Small instances of every paper kernel; the CI benchmark smoke "
-            "suite (seconds, not minutes)."
+            "Small instances of every paper kernel and every experiment "
+            "driver; the CI benchmark smoke suite (seconds, not minutes)."
         ),
         scenarios=(
             Scenario("quick-matmul", "matmul", (12, 27, 48, 75, 108), 24, _DEFAULT_ALPHAS),
@@ -204,6 +368,29 @@ def _quick_suite() -> ScenarioSuite:
                 "quick-triangular-solve", "triangular_solve", (8, 16, 32, 64, 128), 32
             ),
             Scenario("quick-sparse-matvec", "sparse_matvec", (8, 32, 128, 512), 48),
+        ),
+        experiments=(
+            ExperimentScenario("quick-figure2", "figure2"),
+            ExperimentScenario(
+                "quick-linear-array", "linear-array", {"lengths": (2, 4, 8, 16, 32)}
+            ),
+            ExperimentScenario(
+                "quick-mesh-array", "mesh-array", {"sides": (2, 4, 8, 16)}
+            ),
+            ExperimentScenario(
+                "quick-systolic", "systolic", {"order": 4, "batches": 8}
+            ),
+            ExperimentScenario(
+                "quick-pebble",
+                "pebble",
+                {
+                    "matmul_order": 4,
+                    "fft_points": 32,
+                    "matmul_memories": (4, 8, 16),
+                    "fft_memories": (4, 8, 16),
+                },
+            ),
+            ExperimentScenario("quick-warp", "warp"),
         ),
     )
 
@@ -243,6 +430,41 @@ def _full_suite() -> ScenarioSuite:
             ),
             Scenario("full-sparse-matvec", "sparse_matvec", (8, 32, 128, 512, 2048), 64),
         ),
+        experiments=(
+            ExperimentScenario(
+                "full-figure2", "figure2", {"n_points": 64, "block_points": 8}
+            ),
+            ExperimentScenario("full-linear-array", "linear-array"),
+            ExperimentScenario("full-mesh-array", "mesh-array"),
+            ExperimentScenario(
+                "full-mesh-array-grid4d",
+                "mesh-array",
+                {
+                    "sides": (2, 4, 8, 16),
+                    "intensity": PowerLawIntensity(exponent=0.25),
+                    "computation_label": "4-d grid relaxation (law alpha^4)",
+                },
+            ),
+            ExperimentScenario(
+                "full-systolic", "systolic", {"order": 8, "batches": 24}
+            ),
+            ExperimentScenario("full-pebble", "pebble"),
+            # The large-DAG scenarios: order-10 matmul (1200 nodes, a 1000-step
+            # blocked schedule per memory size) and a 256-point FFT (2304
+            # nodes); the pebble game's trusted fast engine is what keeps
+            # these in benchmark-suite territory.
+            ExperimentScenario(
+                "full-pebble-large",
+                "pebble",
+                {
+                    "matmul_order": 10,
+                    "fft_points": 256,
+                    "matmul_memories": (8, 16, 32, 64),
+                    "fft_memories": (8, 16, 32, 64),
+                },
+            ),
+            ExperimentScenario("full-warp", "warp"),
+        ),
     )
 
 
@@ -261,6 +483,19 @@ def _fleet_suite() -> ScenarioSuite:
             scales,
             alphas=_DEFAULT_ALPHAS,
             pes=_FLEET,
+        ),
+        experiments=(
+            # The hardware-facing experiments: cycle-level systolic designs
+            # and the Warp machine sized across a wider range of array
+            # lengths than the default study.
+            ExperimentScenario(
+                "fleet-systolic", "systolic", {"order": 6, "batches": 12}
+            ),
+            ExperimentScenario(
+                "fleet-warp",
+                "warp",
+                {"array_lengths": (2, 4, 8, 10, 16, 32, 64, 128)},
+            ),
         ),
     )
 
@@ -284,6 +519,21 @@ def _mixed_suite() -> ScenarioSuite:
             ("matmul", "fft", "sorting", "matvec", "triangular_solve"),
             (8, 32, 128),
             scales,
+        ),
+        experiments=(
+            ExperimentScenario(
+                "mixed-figure2", "figure2", {"n_points": 32, "block_points": 4}
+            ),
+            ExperimentScenario(
+                "mixed-pebble",
+                "pebble",
+                {
+                    "matmul_order": 5,
+                    "fft_points": 64,
+                    "matmul_memories": (4, 16),
+                    "fft_memories": (4, 16),
+                },
+            ),
         ),
     )
 
@@ -385,6 +635,54 @@ class ScenarioResult:
 
 
 @dataclass(frozen=True)
+class ExperimentScenarioResult:
+    """One experiment scenario's task results plus the derived summary."""
+
+    scenario: ExperimentScenario
+    results: tuple[Any, ...]
+
+    def summary(self) -> dict[str, object]:
+        return self.scenario.summarize(self.results)
+
+    def headline(self) -> str:
+        """One compact human-readable line for tables and logs."""
+        summary = self.summary()
+        kind = self.scenario.experiment
+        if kind == "figure2":
+            return (
+                f"{summary['pass_count']} passes x {summary['blocks_per_pass']} "
+                f"blocks, {'correct' if summary['correct'] else 'INCORRECT'}"
+            )
+        if kind in ("linear-array", "mesh-array"):
+            return f"per-cell growth exponent {summary['growth_exponent']:.2f}"
+        if kind == "systolic":
+            correct = all(
+                summary[key] for key in ("matmul_correct", "matvec_correct", "qr_correct")
+            )
+            return (
+                f"{'correct' if correct else 'INCORRECT'}, utilization "
+                f"{summary['matmul_utilization']:.2f}/"
+                f"{summary['matvec_utilization']:.2f}/{summary['qr_utilization']:.2f}"
+            )
+        if kind == "pebble":
+            points = summary["points"]
+            above = "all above bound" if summary["all_above_lower_bound"] else "BELOW BOUND"
+            return f"{len(points)} points, {above}"
+        if kind == "warp":
+            starved = "not I/O starved" if summary["cell_not_io_starved"] else "I/O STARVED"
+            return f"cell {starved}"
+        return f"{len(self.results)} tasks"  # pragma: no cover - exhaustive above
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "scenario": self.scenario.name,
+            "experiment": self.scenario.experiment,
+            "tasks": len(self.results),
+            "summary": self.summary(),
+        }
+
+
+@dataclass(frozen=True)
 class SuiteResult:
     """Everything one suite run produced, ready for JSON/CSV emission."""
 
@@ -392,6 +690,7 @@ class SuiteResult:
     results: tuple[ScenarioResult, ...]
     elapsed_seconds: float
     runtime: dict[str, object] = field(default_factory=dict)
+    experiments: tuple[ExperimentScenarioResult, ...] = ()
 
     def scenario(self, name: str) -> ScenarioResult:
         for result in self.results:
@@ -402,6 +701,15 @@ class SuiteResult:
             f"no scenario {name!r} in suite {self.suite.name!r}; ran: {known}"
         )
 
+    def experiment(self, name: str) -> ExperimentScenarioResult:
+        for result in self.experiments:
+            if result.scenario.name == name:
+                return result
+        known = ", ".join(r.scenario.name for r in self.experiments)
+        raise ConfigurationError(
+            f"no experiment {name!r} in suite {self.suite.name!r}; ran: {known}"
+        )
+
     def as_dict(self) -> dict[str, object]:
         return {
             "schema": RESULT_SCHEMA,
@@ -410,6 +718,7 @@ class SuiteResult:
             "elapsed_seconds": self.elapsed_seconds,
             "runtime": dict(self.runtime),
             "scenarios": [result.as_dict() for result in self.results],
+            "experiments": [result.as_dict() for result in self.experiments],
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -446,23 +755,67 @@ class SuiteResult:
         return path
 
 
+def task_runner_for(runner: SweepRunner) -> TaskRunner:
+    """A :class:`TaskRunner` matching a sweep runner's pool and cache setup.
+
+    The experiment-task cache lives under a ``tasks/`` subdirectory of the
+    sweep result cache, so one ``--cache-dir`` (or ``REPRO_CACHE_DIR``)
+    governs both stores.
+    """
+    cache = None
+    if runner.cache is not None:
+        cache = TaskCache(runner.cache.root / "tasks")
+    return TaskRunner(
+        parallel=runner.parallel, max_workers=runner.max_workers, cache=cache
+    )
+
+
 def run_suite(
     suite: ScenarioSuite | str,
     runner: SweepRunner | None = None,
+    task_runner: TaskRunner | None = None,
 ) -> SuiteResult:
-    """Execute every scenario of a suite as one flat batch of sweep points."""
+    """Execute a suite: sweeps as one flat point batch, experiments as tasks.
+
+    ``task_runner`` defaults to one mirroring ``runner``'s parallelism and
+    cache location (:func:`task_runner_for`), so serial/parallel and
+    cached/uncached behave consistently across both halves of the suite.
+    """
     if isinstance(suite, str):
         suite = get_suite(suite)
     runner = runner or SweepRunner()
+    if task_runner is None:
+        task_runner = task_runner_for(runner)
     plans = [scenario.plan() for scenario in suite.scenarios]
+    experiment_tasks = [scenario.tasks() for scenario in suite.experiments]
+
     started = time.perf_counter()
     sweeps = runner.run_plans(plans)
+    flat_results = task_runner.run(
+        [task for tasks in experiment_tasks for task in tasks]
+    )
     elapsed = time.perf_counter() - started
+
+    experiment_results = []
+    cursor = 0
+    for scenario, tasks in zip(suite.experiments, experiment_tasks):
+        experiment_results.append(
+            ExperimentScenarioResult(
+                scenario=scenario,
+                results=tuple(flat_results[cursor : cursor + len(tasks)]),
+            )
+        )
+        cursor += len(tasks)
+
     runtime_info: dict[str, object] = {
         "parallel": runner.parallel,
         "max_workers": runner.max_workers,
         "cache": runner.cache.stats.as_dict() if runner.cache else None,
+        "task_cache": (
+            task_runner.cache.stats.as_dict() if task_runner.cache else None
+        ),
         "points": sum(len(plan.memory_sizes) for plan in plans),
+        "experiment_tasks": sum(len(tasks) for tasks in experiment_tasks),
     }
     return SuiteResult(
         suite=suite,
@@ -472,4 +825,5 @@ def run_suite(
         ),
         elapsed_seconds=elapsed,
         runtime=runtime_info,
+        experiments=tuple(experiment_results),
     )

@@ -1,0 +1,252 @@
+"""Generic experiment tasks: pooled, cached execution of any computation.
+
+PR 1's :class:`~repro.runtime.engine.SweepRunner` parallelised and cached one
+shape of work -- a kernel executed at one memory size.  This module abstracts
+that shape away: a :class:`Task` is any top-level callable plus its keyword
+parameters, content-addressed by a SHA-256 digest of
+
+* the callable's fully qualified name,
+* the *source code* of its module (plus any explicitly named supporting
+  modules, so editing the algorithm invalidates previously cached results),
+* and a structural fingerprint of the parameters.
+
+A :class:`TaskRunner` resolves a batch of tasks against a
+:class:`~repro.runtime.cache.TaskCache`, fans the misses out across a
+``concurrent.futures`` process pool, and reassembles results in submission
+order -- so serial and parallel execution of the same batch are bitwise
+identical, and warm reruns replay entirely from the cache.  The sweep engine
+is one client of this layer (its points are tasks over
+``_execute_point``); the experiment drivers (Figure 2, Section 4 arrays, the
+pebble game, the Warp study) are the others.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import inspect
+import json
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.cache import MISS, TaskCache, _fingerprint
+
+__all__ = [
+    "Task",
+    "TaskRunner",
+    "task_key",
+    "callable_code_version",
+    "default_worker_count",
+    "execute_tasks",
+    "run_tasks",
+]
+
+TASK_KEY_SCHEMA = 1
+
+
+def default_worker_count() -> int:
+    """Worker processes to use when the caller does not say.
+
+    Prefers the scheduling affinity mask over the raw core count: in
+    affinity-restricted containers (CI runners, cgroup-limited jobs)
+    ``os.cpu_count()`` reports the host's cores and oversubscribes the pool.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform-specific failure
+            pass
+    return os.cpu_count() or 1
+
+
+@lru_cache(maxsize=None)
+def _module_source_digest(module_name: str) -> str:
+    """Digest of one module's source (the name itself when unavailable)."""
+    module = sys.modules.get(module_name)
+    if module is None:
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:
+            module = None
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError):  # source unavailable (REPL, frozen, missing)
+        source = module_name
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def callable_code_version(
+    fn: Callable[..., Any], modules: Sequence[str] = ()
+) -> str:
+    """A digest of a callable's implementation, for cache invalidation.
+
+    Hashes the source of the module defining ``fn`` plus any explicitly named
+    supporting modules.  Hashing whole modules rather than function bodies
+    means edits to helpers the callable uses also invalidate cached results;
+    the cost is occasional over-invalidation, which is the safe direction.
+    """
+    names = sorted({fn.__module__, *modules})
+    hasher = hashlib.sha256()
+    for name in names:
+        hasher.update(name.encode())
+        hasher.update(_module_source_digest(name).encode())
+    return hasher.hexdigest()[:16]
+
+
+def task_key(
+    fn: Callable[..., Any],
+    params: Mapping[str, Any],
+    modules: Sequence[str] = (),
+) -> str:
+    """Content address of one ``fn(**params)`` call."""
+    payload = {
+        "schema": TASK_KEY_SCHEMA,
+        "callable": f"{fn.__module__}.{fn.__qualname__}",
+        "code_version": callable_code_version(fn, modules),
+        "params": _fingerprint(dict(params)),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Task:
+    """One deterministic computation: a picklable callable plus parameters.
+
+    ``fn`` must be an importable top-level function (process pools pickle it
+    by reference) and must be deterministic in its parameters -- the cache
+    replays previous results under the assumption that equal keys mean equal
+    values.  ``modules`` names additional modules whose source participates
+    in the cache key, for callables whose real algorithm lives elsewhere
+    (e.g. an experiment driver delegating to ``repro.pebble.game``).
+    """
+
+    fn: Callable[..., Any]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    name: str | None = None
+    modules: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not callable(self.fn):
+            raise ConfigurationError(f"task fn must be callable, got {self.fn!r}")
+        qualname = getattr(self.fn, "__qualname__", "")
+        if "<locals>" in qualname or "<lambda>" in qualname:
+            raise ConfigurationError(
+                f"task fn must be a top-level function (picklable by "
+                f"reference), got {qualname!r}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "modules", tuple(self.modules))
+
+    @property
+    def label(self) -> str:
+        return self.name or f"{self.fn.__module__}.{self.fn.__qualname__}"
+
+    def key(self) -> str:
+        """The task's content address (stable across processes and runs)."""
+        return task_key(self.fn, self.params, self.modules)
+
+    def run(self) -> Any:
+        """Execute the task in the current process."""
+        return self.fn(**self.params)
+
+
+def _run_task(task: Task) -> Any:
+    """Worker entry point (top-level, picklable)."""
+    return task.run()
+
+
+def execute_tasks(
+    tasks: Sequence[Task], *, parallel: bool, max_workers: int
+) -> list[Any]:
+    """Execute tasks (no cache), preserving submission order.
+
+    The shared pool primitive behind both :class:`TaskRunner` and the sweep
+    engine: ``pool.map`` collects results back in submission order, so the
+    output is deterministic and identical to a serial run.
+    """
+    if not tasks:
+        return []
+    if not parallel or max_workers == 1 or len(tasks) == 1:
+        return [task.run() for task in tasks]
+    workers = min(max_workers, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_task, tasks))
+
+
+class TaskRunner:
+    """Executes task batches serially or across a process pool, with caching.
+
+    Parameters
+    ----------
+    parallel:
+        Fan cache-missing tasks out across a process pool.  Results come
+        back in submission order either way.
+    max_workers:
+        Pool size; defaults to the scheduling-affinity core count.
+    cache:
+        Optional :class:`~repro.runtime.cache.TaskCache`.  Tasks whose key is
+        present are replayed without executing anything; fresh results are
+        stored back.
+    """
+
+    def __init__(
+        self,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        cache: TaskCache | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers!r}"
+            )
+        self.parallel = parallel
+        self.max_workers = max_workers or default_worker_count()
+        self.cache = cache
+
+    def run(self, tasks: Sequence[Task]) -> list[Any]:
+        """Resolve every task, via the cache where possible, in order."""
+        results: list[Any] = [None] * len(tasks)
+        pending: list[tuple[int, Task, str | None]] = []
+        for i, task in enumerate(tasks):
+            key = None
+            if self.cache is not None:
+                key = task.key()
+                hit = self.cache.load(key)
+                if hit is not MISS:
+                    results[i] = hit
+                    continue
+            pending.append((i, task, key))
+
+        fresh = execute_tasks(
+            [task for _, task, _ in pending],
+            parallel=self.parallel,
+            max_workers=self.max_workers,
+        )
+        for (i, task, key), value in zip(pending, fresh):
+            results[i] = value
+            if self.cache is not None and key is not None:
+                self.cache.store(key, value, label=task.label)
+        return results
+
+    def run_one(self, task: Task) -> Any:
+        """Convenience: resolve a single task."""
+        return self.run([task])[0]
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    *,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    cache: TaskCache | None = None,
+) -> list[Any]:
+    """One-shot convenience wrapper around :class:`TaskRunner`."""
+    runner = TaskRunner(parallel=parallel, max_workers=max_workers, cache=cache)
+    return runner.run(tasks)

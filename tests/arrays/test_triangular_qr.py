@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -35,6 +37,45 @@ class TestGivensRotation:
         r = c * a + s * b
         assert -s * a + c * b == pytest.approx(0.0, abs=1e-6 * max(1.0, abs(r)))
         assert r >= -1e-9
+
+    def test_smallest_subnormal_pair(self):
+        """Regression: a = b = 5e-324 used to yield c = s = 1 (c^2+s^2 = 2)."""
+        tiny = 5e-324
+        c, s = givens_rotation(tiny, tiny)
+        assert c == pytest.approx(math.sqrt(0.5), rel=1e-15)
+        assert s == pytest.approx(math.sqrt(0.5), rel=1e-15)
+        assert c * c + s * s == pytest.approx(1.0, abs=1e-15)
+
+    def test_huge_pair_does_not_overflow(self):
+        c, s = givens_rotation(1e300, -1e300)
+        assert c * c + s * s == pytest.approx(1.0, abs=1e-15)
+        assert c == pytest.approx(math.sqrt(0.5), rel=1e-15)
+        assert s == pytest.approx(-math.sqrt(0.5), rel=1e-15)
+
+    def test_negative_a_with_zero_b_keeps_r_non_negative(self):
+        c, s = givens_rotation(-3.0, 0.0)
+        assert (c, s) == (-1.0, 0.0)
+        assert c * -3.0 + s * 0.0 == 3.0
+
+    @given(
+        a=st.floats(
+            min_value=5e-324, max_value=1e300, allow_subnormal=True
+        ).flatmap(lambda x: st.sampled_from([x, -x])),
+        b=st.floats(
+            min_value=5e-324, max_value=1e300, allow_subnormal=True
+        ).flatmap(lambda x: st.sampled_from([x, -x])),
+    )
+    @settings(max_examples=200)
+    def test_rotation_properties_extreme_magnitudes(self, a, b):
+        """Subnormal through near-overflow magnitudes stay valid rotations."""
+        c, s = givens_rotation(a, b)
+        assert c * c + s * s == pytest.approx(1.0, abs=1e-12)
+        r = c * a + s * b
+        assert r >= 0.0
+        # The annihilated component vanishes relative to r; deep in the
+        # subnormal range the products round to a grid of spacing 5e-324, so
+        # the residual is bounded by a few grid steps rather than by r.
+        assert abs(-s * a + c * b) <= 1e-12 * r + 1e-320
 
 
 class TestGentlemanKungTriangularArray:

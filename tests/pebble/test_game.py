@@ -7,7 +7,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import ConfigurationError, PebbleGameError
-from repro.pebble.dag import ComputationDAG, fft_dag, matmul_dag, reduction_dag
+from repro.pebble.dag import (
+    ComputationDAG,
+    fft_dag,
+    grid_dag,
+    matmul_dag,
+    matvec_dag,
+    reduction_dag,
+)
 from repro.pebble.game import MoveKind, RedBluePebbleGame, play_topological
 from repro.pebble.partition import fft_io_lower_bound, matmul_io_lower_bound
 
@@ -149,3 +156,72 @@ class TestPlayTopological:
         result = play_topological(dag, red_pebble_limit=limit)
         assert result.peak_red_pebbles <= limit
         assert result.io_operations >= len(dag.inputs)
+
+
+class TestFastEngineEquivalence:
+    """The trusted fast engine must match the validating engine exactly."""
+
+    COUNTERS = ("io_operations", "loads", "stores", "computations", "peak_red_pebbles")
+
+    def _outcome(self, dag, limit, order=None, record_moves=False):
+        try:
+            result = play_topological(
+                dag, limit, order=order, record_moves=record_moves
+            )
+        except PebbleGameError:
+            return "PebbleGameError"
+        return tuple(getattr(result, counter) for counter in self.COUNTERS)
+
+    def test_counts_match_across_dag_families_and_limits(self):
+        dags = (
+            fft_dag(32),
+            matmul_dag(4),
+            grid_dag(6, 3, dimension=2),
+            reduction_dag(16),
+            matvec_dag(5),
+        )
+        for dag in dags:
+            for limit in (3, 4, 5, 8, 16, 64):
+                fast = self._outcome(dag, limit)
+                validated = self._outcome(dag, limit, record_moves=True)
+                assert fast == validated, (dag.name, limit)
+
+    def test_counts_match_under_blocked_matmul_schedule(self):
+        from repro.experiments.pebble_bounds import blocked_matmul_order
+
+        for n in (3, 5):
+            dag = matmul_dag(n)
+            for limit in (4, 9, 16):
+                order = blocked_matmul_order(n, limit)
+                fast = self._outcome(dag, limit, order=order)
+                validated = self._outcome(dag, limit, order=order, record_moves=True)
+                assert fast == validated, (n, limit)
+
+    def test_fast_engine_omits_moves(self):
+        result = play_topological(reduction_dag(8), red_pebble_limit=8)
+        assert result.moves == ()
+
+    def test_record_moves_returns_the_full_move_list(self):
+        result = play_topological(
+            reduction_dag(8), red_pebble_limit=8, record_moves=True
+        )
+        assert result.moves
+        kinds = {move.kind for move in result.moves}
+        assert MoveKind.LOAD in kinds and MoveKind.STORE in kinds
+
+    def test_fast_engine_rejects_incomplete_order(self):
+        dag = reduction_dag(8)
+        partial = dag.topological_order()[:-2]
+        with pytest.raises(ConfigurationError):
+            play_topological(dag, red_pebble_limit=8, order=partial)
+
+    @given(
+        log_n=st.integers(min_value=2, max_value=4),
+        limit=st.integers(min_value=3, max_value=24),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_fft_equivalence(self, log_n, limit):
+        dag = fft_dag(1 << log_n)
+        assert self._outcome(dag, limit) == self._outcome(
+            dag, limit, record_moves=True
+        )

@@ -8,19 +8,24 @@ import json
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.runtime.cache import ResultCache
+from repro.runtime.cache import ResultCache, TaskCache
 from repro.runtime.engine import SweepRunner
 from repro.runtime.suites import (
+    EXPERIMENT_KINDS,
     RESULT_SCHEMA,
+    ExperimentScenario,
     PEConfig,
     Scenario,
     ScenarioSuite,
     build_kernel,
+    experiment_kinds,
     get_suite,
     kernel_factories,
     run_suite,
     suite_names,
+    task_runner_for,
 )
+from repro.runtime.tasks import TaskRunner
 
 
 @pytest.fixture
@@ -39,6 +44,29 @@ def mini_suite() -> ScenarioSuite:
                 pes=(PEConfig("baseline", 8e6, 1e6),),
             ),
             Scenario("mini-matvec", "matvec", (8, 16, 32), 16),
+        ),
+    )
+
+
+@pytest.fixture
+def mini_experiment_suite() -> ScenarioSuite:
+    """A tiny suite mixing one sweep with two experiment scenarios."""
+    return ScenarioSuite(
+        name="mini-exp",
+        description="sweep + experiment test suite",
+        scenarios=(Scenario("mini-matmul", "matmul", (12, 27, 48), 12),),
+        experiments=(
+            ExperimentScenario("mini-figure2", "figure2"),
+            ExperimentScenario(
+                "mini-pebble",
+                "pebble",
+                {
+                    "matmul_order": 4,
+                    "fft_points": 16,
+                    "matmul_memories": (4, 8),
+                    "fft_memories": (4, 8),
+                },
+            ),
         ),
     )
 
@@ -71,6 +99,45 @@ class TestSuiteRegistry:
     def test_quick_suite_is_multi_kernel(self):
         kernels = {s.kernel for s in get_suite("quick").scenarios}
         assert {"matmul", "fft", "sorting", "matvec"} <= kernels
+
+    def test_quick_and_full_suites_cover_every_experiment_kind(self):
+        for name in ("quick", "full"):
+            kinds = {e.experiment for e in get_suite(name).experiments}
+            assert kinds == set(EXPERIMENT_KINDS), name
+
+    def test_every_named_suite_has_experiments(self):
+        for name in suite_names():
+            assert get_suite(name).experiments, name
+
+    def test_full_suite_includes_large_pebble_scenario(self):
+        suite = get_suite("full")
+        large = next(e for e in suite.experiments if e.name == "full-pebble-large")
+        assert large.params["matmul_order"] >= 10
+        assert large.params["fft_points"] >= 256
+
+    def test_experiment_kinds_listing(self):
+        assert set(experiment_kinds()) == set(EXPERIMENT_KINDS)
+
+    def test_unknown_experiment_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="figure2"):
+            ExperimentScenario("bad", "frobnicate")
+
+    def test_duplicate_names_across_sweeps_and_experiments_rejected(self):
+        with pytest.raises(ConfigurationError, match="dup"):
+            ScenarioSuite(
+                name="bad",
+                description="",
+                scenarios=(Scenario("dup", "matmul", (12, 27), 12),),
+                experiments=(ExperimentScenario("dup", "figure2"),),
+            )
+
+    def test_experiment_scenarios_lower_onto_tasks(self):
+        scenario = ExperimentScenario(
+            "p", "pebble", {"matmul_memories": (4, 8), "fft_memories": (4,)}
+        )
+        tasks = scenario.tasks()
+        assert len(tasks) == 3
+        assert ExperimentScenario("f", "figure2").tasks()[0].label.startswith("figure2")
 
 
 class TestRunSuite:
@@ -127,3 +194,69 @@ class TestRunSuite:
         assert len(rows) == 6
         assert rows[0]["suite"] == "mini"
         assert {"scenario", "kernel", "memory_words", "intensity"} <= set(rows[0])
+
+
+class TestRunSuiteExperiments:
+    def test_experiments_run_and_summarize(self, mini_experiment_suite):
+        result = run_suite(mini_experiment_suite)
+        assert result.runtime["experiment_tasks"] == 5  # 1 figure2 + 4 pebble
+        figure2 = result.experiment("mini-figure2")
+        assert figure2.summary()["correct"] is True
+        assert "passes" in figure2.headline()
+        pebble = result.experiment("mini-pebble")
+        assert pebble.summary()["all_above_lower_bound"] is True
+        assert len(pebble.results) == 4
+        with pytest.raises(ConfigurationError):
+            result.experiment("missing")
+
+    def test_parallel_equals_serial(self, mini_experiment_suite):
+        serial = run_suite(mini_experiment_suite, SweepRunner())
+        parallel = run_suite(
+            mini_experiment_suite, SweepRunner(parallel=True, max_workers=2)
+        )
+        assert [e.summary() for e in serial.experiments] == [
+            e.summary() for e in parallel.experiments
+        ]
+
+    def test_warm_rerun_hits_cache_for_every_experiment_task(
+        self, mini_experiment_suite, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_suite(mini_experiment_suite, SweepRunner(cache=cache))
+        assert cold.runtime["task_cache"]["misses"] == 5
+        warm = run_suite(mini_experiment_suite, SweepRunner(cache=cache))
+        assert warm.runtime["task_cache"]["hits"] == 5
+        assert warm.runtime["task_cache"]["misses"] == 0
+        assert warm.runtime["cache"]["hits"] == 3  # the sweep points too
+        assert [e.summary() for e in warm.experiments] == [
+            e.summary() for e in cold.experiments
+        ]
+
+    def test_task_runner_for_mirrors_sweep_runner(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = SweepRunner(parallel=True, max_workers=3, cache=cache)
+        task_runner = task_runner_for(runner)
+        assert task_runner.parallel is True
+        assert task_runner.max_workers == 3
+        assert task_runner.cache.root == cache.root / "tasks"
+        assert task_runner_for(SweepRunner()).cache is None
+
+    def test_explicit_task_runner_is_used(self, mini_experiment_suite, tmp_path):
+        task_cache = TaskCache(tmp_path / "tasks")
+        run_suite(
+            mini_experiment_suite,
+            SweepRunner(),
+            task_runner=TaskRunner(cache=task_cache),
+        )
+        assert task_cache.stats.stores == 5
+
+    def test_json_payload_includes_experiments(self, mini_experiment_suite, tmp_path):
+        result = run_suite(mini_experiment_suite)
+        path = result.write_json(tmp_path / "mini-exp.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == RESULT_SCHEMA
+        names = [entry["scenario"] for entry in payload["experiments"]]
+        assert names == ["mini-figure2", "mini-pebble"]
+        pebble_entry = payload["experiments"][1]
+        assert pebble_entry["tasks"] == 4
+        assert pebble_entry["summary"]["all_above_lower_bound"] is True

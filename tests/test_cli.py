@@ -35,7 +35,7 @@ class TestCommands:
             assert name in output
 
     def test_figure2_command(self, capsys):
-        assert main(["figure2"]) == 0
+        assert main(["figure2", "--no-cache"]) == 0
         output = capsys.readouterr().out
         assert "pass 1" in output and "correct against the direct DFT: True" in output
 
@@ -51,24 +51,51 @@ class TestCommands:
         assert "alpha^2" in output
 
     def test_arrays_command(self, capsys):
-        assert main(["arrays"]) == 0
+        assert main(["arrays", "--no-cache", "--serial"]) == 0
         output = capsys.readouterr().out
         assert "per-cell memory" in output
+        assert "4-d grid relaxation" in output
 
     def test_systolic_command(self, capsys):
-        assert main(["systolic", "--order", "4", "--batches", "8"]) == 0
+        assert main(["systolic", "--order", "4", "--batches", "8", "--no-cache"]) == 0
         output = capsys.readouterr().out
         assert "Gentleman-Kung" in output
 
     def test_warp_command(self, capsys):
-        assert main(["warp"]) == 0
+        assert main(["warp", "--no-cache"]) == 0
         output = capsys.readouterr().out
         assert "Warp cell" in output
 
     def test_pebble_command(self, capsys):
-        assert main(["pebble"]) == 0
+        assert main(["pebble", "--no-cache", "--serial"]) == 0
         output = capsys.readouterr().out
         assert "lower bound" in output.lower()
+
+    def test_pebble_command_custom_dag_sizes(self, capsys):
+        argv = [
+            "pebble", "--matmul-order", "4", "--fft-points", "32",
+            "--no-cache", "--serial",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "matmul[4]" in output and "fft[32]" in output
+
+    def test_experiment_command_uses_cache_across_invocations(self, capsys, tmp_path):
+        argv = ["figure2", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert "1 misses" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "1 hits" in capsys.readouterr().out
+
+    def test_pebble_cache_replays_every_point(self, capsys, tmp_path):
+        argv = [
+            "pebble", "--matmul-order", "4", "--fft-points", "16",
+            "--cache-dir", str(tmp_path / "cache"), "--serial",
+        ]
+        assert main(argv) == 0
+        assert "8 misses" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "8 hits" in capsys.readouterr().out
 
     def test_summary_quick_command(self, capsys):
         assert main(["summary", "--quick"]) == 0
@@ -166,8 +193,14 @@ class TestSuiteCommand:
         )
         output = capsys.readouterr().out
         assert "suite 'quick'" in output
-        assert "points in" in output
+        assert "experiment tasks in" in output
+        assert "experiment tasks" in output
         payload = json.loads(json_path.read_text())
-        assert payload["schema"] == "repro-suite-result/v1"
+        assert payload["schema"] == "repro-suite-result/v2"
         assert len(payload["scenarios"]) == 8
+        assert len(payload["experiments"]) == 6
+        kinds = {entry["experiment"] for entry in payload["experiments"]}
+        assert kinds == {
+            "figure2", "linear-array", "mesh-array", "systolic", "pebble", "warp"
+        }
         assert csv_path.exists()

@@ -9,21 +9,34 @@ import pytest
 from repro.core.classification import ComputationClass
 from repro.core.intensity import PowerLawIntensity
 from repro.experiments.arrays_section4 import (
+    linear_array_task,
+    mesh_array_task,
     run_linear_array_experiment,
     run_mesh_array_experiment,
     run_systolic_experiment,
+    systolic_task,
 )
-from repro.experiments.fft_figure2 import render_decomposition, run_figure2_experiment
+from repro.experiments.fft_figure2 import (
+    figure2_task,
+    render_decomposition,
+    run_figure2_experiment,
+)
 from repro.experiments.intensity import run_intensity_experiment
-from repro.experiments.pebble_bounds import run_pebble_experiment
+from repro.experiments.pebble_bounds import (
+    measure_pebble_point,
+    pebble_point_tasks,
+    run_pebble_experiment,
+)
 from repro.experiments.summary import (
     analytic_summary_table,
     default_measurement_plan,
     run_summary_experiment,
 )
-from repro.experiments.warp_study import run_warp_experiment
+from repro.experiments.warp_study import run_warp_experiment, warp_task
 from repro.kernels.io_bound import StreamingMatrixVectorProduct
 from repro.kernels.matmul import BlockedMatrixMultiply
+from repro.runtime.cache import TaskCache
+from repro.runtime.tasks import TaskRunner
 
 
 class TestSummaryExperiment:
@@ -172,3 +185,91 @@ class TestWarpExperiment:
         experiment = run_warp_experiment(array_lengths=(2, 4), alphas=(1.0,))
         with pytest.raises(LookupError):
             _ = experiment.production_array_per_cell_memory
+
+
+class TestExperimentTaskRuntime:
+    """Every migrated experiment: serial == parallel, cold == warm."""
+
+    def _all_tasks(self):
+        return [
+            figure2_task(),
+            linear_array_task((2, 4, 8, 16)),
+            mesh_array_task((2, 4, 8)),
+            systolic_task(order=4, batches=6),
+            warp_task(array_lengths=(2, 4, 10), alphas=(1.0, 2.0)),
+            *pebble_point_tasks(
+                matmul_order=4,
+                fft_points=16,
+                matmul_memories=(4, 8),
+                fft_memories=(4, 8),
+            ),
+        ]
+
+    @staticmethod
+    def _fingerprints(results):
+        """Scalar fingerprints of each experiment result, for bitwise checks."""
+        figure2, linear, mesh, systolic, warp, *pebble = results
+        return [
+            (figure2.pass_count, figure2.max_output_error),
+            linear.per_cell_memories,
+            mesh.per_cell_memories,
+            (
+                systolic.matmul_utilization,
+                systolic.matvec_utilization,
+                systolic.qr_utilization,
+            ),
+            (warp.alpha_sweep, tuple(r.per_cell_memory_words for r in warp.array_sizing)),
+            *[(p.dag_name, p.measured_io, p.lower_bound) for p in pebble],
+        ]
+
+    def test_serial_equals_parallel_bitwise(self):
+        serial = TaskRunner().run(self._all_tasks())
+        parallel = TaskRunner(parallel=True, max_workers=2).run(self._all_tasks())
+        assert self._fingerprints(serial) == self._fingerprints(parallel)
+
+    def test_cold_equals_warm_bitwise(self, tmp_path):
+        cache = TaskCache(tmp_path / "tasks")
+        runner = TaskRunner(cache=cache)
+        tasks = self._all_tasks()
+        cold = runner.run(tasks)
+        assert cache.stats.misses == len(tasks)
+        warm = runner.run(tasks)
+        assert cache.stats.hits == len(tasks)
+        assert self._fingerprints(cold) == self._fingerprints(warm)
+
+    def test_figure2_task_matches_direct_driver(self):
+        via_task = TaskRunner().run_one(figure2_task(n_points=32, block_points=4))
+        direct = run_figure2_experiment(n_points=32, block_points=4)
+        assert via_task.pass_count == direct.pass_count
+        assert via_task.max_output_error == direct.max_output_error
+
+    def test_pebble_experiment_through_parallel_cached_runner(self, tmp_path):
+        cache = TaskCache(tmp_path / "tasks")
+        kwargs = dict(
+            matmul_order=4,
+            fft_points=32,
+            matmul_memories=(4, 8, 16),
+            fft_memories=(4, 8, 16),
+        )
+        serial = run_pebble_experiment(**kwargs)
+        pooled = run_pebble_experiment(
+            **kwargs, runner=TaskRunner(parallel=True, max_workers=2, cache=cache)
+        )
+        assert [(p.dag_name, p.fast_memory_words, p.measured_io) for p in serial.points] == [
+            (p.dag_name, p.fast_memory_words, p.measured_io) for p in pooled.points
+        ]
+        warm = run_pebble_experiment(**kwargs, runner=TaskRunner(cache=cache))
+        assert cache.stats.hits == 6
+        assert [p.measured_io for p in warm.points] == [
+            p.measured_io for p in pooled.points
+        ]
+
+    def test_measure_pebble_point_validates_kind(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            measure_pebble_point(dag_kind="sorting", size=8, fast_memory_words=4)
+        with pytest.raises(ConfigurationError):
+            measure_pebble_point(
+                dag_kind="fft", size=8, fast_memory_words=4, blocked=True
+            )

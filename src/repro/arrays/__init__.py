@@ -23,8 +23,10 @@ from repro.arrays.triangular_qr import (
     TriangularQRResult,
     givens_rotation,
 )
+from repro.arrays.wavefront import ENGINES, VerificationReport, validate_engine
 
 __all__ = [
+    "ENGINES",
     "ArrayConfiguration",
     "ArraySizingResult",
     "ArrayTopology",
@@ -35,7 +37,9 @@ __all__ = [
     "OutputStationaryMatmulArray",
     "SystolicRunResult",
     "TriangularQRResult",
+    "VerificationReport",
     "givens_rotation",
+    "validate_engine",
     "linear_array",
     "linear_array_sizing_sweep",
     "mesh_sizing_sweep",

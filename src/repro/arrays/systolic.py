@@ -17,6 +17,13 @@ This module provides executable, cycle-accurate models of two such designs:
 Both simulations verify their numerical results against numpy and report the
 cell utilization achieved, including the pipelined steady state reached when
 several problem instances are streamed back to back.
+
+Each simulator runs on one of two engines (see
+:mod:`repro.arrays.wavefront`): ``engine="reference"`` walks every cell with
+the scalar Python loops below -- the validating specification -- while
+``engine="fast"`` (the default) replays the identical dataflow with
+whole-array numpy updates per cycle, producing bitwise-identical outputs,
+cycle counts and active-cell counts at a fraction of the interpreter cost.
 """
 
 from __future__ import annotations
@@ -26,10 +33,18 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.arrays.wavefront import (
+    VerificationReport,
+    batched_verification_report,
+    matmul_wavefront,
+    matvec_wavefront,
+    validate_engine,
+)
 from repro.exceptions import ConfigurationError, SimulationError
 
 __all__ = [
     "SystolicRunResult",
+    "VerificationReport",
     "OutputStationaryMatmulArray",
     "LinearMatvecArray",
 ]
@@ -46,7 +61,12 @@ class SystolicRunResult:
 
     @property
     def utilization(self) -> float:
-        """Fraction of cell-cycles that performed useful arithmetic."""
+        """Fraction of cell-cycles that performed useful arithmetic.
+
+        A run of zero cycles has utilization 0.0: no time passed, so no
+        useful work was done.  This is the repo-wide convention for idle
+        schedules (see :class:`repro.machine.engine.Schedule`).
+        """
         if self.cycles == 0:
             return 0.0
         return self.active_cell_cycles / (self.cycles * self.cell_count)
@@ -62,10 +82,11 @@ class OutputStationaryMatmulArray:
     the array busy and pushes the utilization toward 1.
     """
 
-    def __init__(self, order: int) -> None:
+    def __init__(self, order: int, *, engine: str = "fast") -> None:
         if order < 1:
             raise ConfigurationError(f"array order must be >= 1, got {order}")
         self.order = order
+        self.engine = validate_engine(engine)
 
     def run(
         self, problems: Sequence[tuple[np.ndarray, np.ndarray]]
@@ -85,6 +106,29 @@ class OutputStationaryMatmulArray:
                 )
             a_list.append(a)
             b_list.append(b)
+
+        if self.engine == "fast":
+            stacked, total_cycles, active_cell_cycles = matmul_wavefront(
+                np.stack(a_list), np.stack(b_list)
+            )
+            outputs = [stacked[batch] for batch in range(len(a_list))]
+        else:
+            outputs, total_cycles, active_cell_cycles = self._run_reference(
+                a_list, b_list
+            )
+
+        return SystolicRunResult(
+            outputs=outputs,
+            cycles=total_cycles,
+            cell_count=n * n,
+            active_cell_cycles=active_cell_cycles,
+        )
+
+    def _run_reference(
+        self, a_list: list[np.ndarray], b_list: list[np.ndarray]
+    ) -> tuple[list[np.ndarray], int, int]:
+        """The validating scalar engine: every cell stepped in Python."""
+        n = self.order
         batches = len(a_list)
 
         total_cycles = batches * n + 2 * (n - 1)
@@ -132,20 +176,23 @@ class OutputStationaryMatmulArray:
                     new_b[i, j] = b_in
             a_regs, b_regs = new_a, new_b
 
-        return SystolicRunResult(
-            outputs=outputs,
-            cycles=total_cycles,
-            cell_count=n * n,
-            active_cell_cycles=active_cell_cycles,
-        )
+        return outputs, total_cycles, active_cell_cycles
 
-    def verify(self, problems: Sequence[tuple[np.ndarray, np.ndarray]]) -> bool:
-        """Run the array and check every product against numpy."""
+    def verify(
+        self, problems: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> VerificationReport:
+        """Run the array and check every product against numpy.
+
+        Returns a :class:`VerificationReport` carrying the run result (so
+        the simulation is not discarded), the maximum absolute error across
+        all batches, and the indices of any mismatching batches.
+        """
         result = self.run(problems)
-        for (a, b), c in zip(problems, result.outputs):
-            if not np.allclose(c, np.asarray(a) @ np.asarray(b)):
-                return False
-        return True
+        return batched_verification_report(
+            result,
+            result.outputs,
+            [np.asarray(a) @ np.asarray(b) for a, b in problems],
+        )
 
 
 class LinearMatvecArray:
@@ -158,10 +205,11 @@ class LinearMatvecArray:
     the last cell at cycle ``i + n``.
     """
 
-    def __init__(self, length: int) -> None:
+    def __init__(self, length: int, *, engine: str = "fast") -> None:
         if length < 1:
             raise ConfigurationError(f"array length must be >= 1, got {length}")
         self.length = length
+        self.engine = validate_engine(engine)
 
     def run(self, problems: Sequence[tuple[np.ndarray, np.ndarray]]) -> SystolicRunResult:
         """Stream the given ``(A, x)`` instances through the array back to back."""
@@ -179,6 +227,29 @@ class LinearMatvecArray:
                 )
             a_list.append(a)
             x_list.append(x)
+
+        if self.engine == "fast":
+            stacked, total_cycles, active_cell_cycles = matvec_wavefront(
+                np.stack(a_list), np.stack(x_list)
+            )
+            outputs = [stacked[batch] for batch in range(len(a_list))]
+        else:
+            outputs, total_cycles, active_cell_cycles = self._run_reference(
+                a_list, x_list
+            )
+
+        return SystolicRunResult(
+            outputs=outputs,
+            cycles=total_cycles,
+            cell_count=n,
+            active_cell_cycles=active_cell_cycles,
+        )
+
+    def _run_reference(
+        self, a_list: list[np.ndarray], x_list: list[np.ndarray]
+    ) -> tuple[list[np.ndarray], int, int]:
+        """The validating scalar engine: every cell stepped in Python."""
+        n = self.length
         batches = len(a_list)
 
         total_cycles = batches * n + n
@@ -209,17 +280,19 @@ class LinearMatvecArray:
                 new_partial[j] = updated
             partial_regs = new_partial
 
-        return SystolicRunResult(
-            outputs=outputs,
-            cycles=total_cycles,
-            cell_count=n,
-            active_cell_cycles=active_cell_cycles,
-        )
+        return outputs, total_cycles, active_cell_cycles
 
-    def verify(self, problems: Sequence[tuple[np.ndarray, np.ndarray]]) -> bool:
-        """Run the array and check every product against numpy."""
+    def verify(
+        self, problems: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> VerificationReport:
+        """Run the array and check every product against numpy.
+
+        Returns a :class:`VerificationReport`; see
+        :meth:`OutputStationaryMatmulArray.verify`.
+        """
         result = self.run(problems)
-        for (a, x), y in zip(problems, result.outputs):
-            if not np.allclose(y, np.asarray(a) @ np.asarray(x)):
-                return False
-        return True
+        return batched_verification_report(
+            result,
+            result.outputs,
+            [np.asarray(a) @ np.asarray(x) for a, x in problems],
+        )

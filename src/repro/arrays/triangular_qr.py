@@ -22,6 +22,12 @@ After all rows have been absorbed the stored values form ``R`` with
 ``numpy.linalg.qr`` up to the usual row-sign ambiguity).  The simulation also
 counts each cell's busy steps to report utilization, using the skewed
 schedule's cycle count ``m + 2n - 1`` for an ``m x n`` input.
+
+Like the simulators in :mod:`repro.arrays.systolic`, the array runs on one
+of two engines: ``engine="reference"`` applies every rotation cell by cell
+in Python (the validating specification), ``engine="fast"`` (the default)
+applies each rotation to the whole remaining row in two numpy expressions
+(:func:`repro.arrays.wavefront.qr_wavefront`), bitwise identical.
 """
 
 from __future__ import annotations
@@ -31,9 +37,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.arrays.wavefront import (
+    VerificationReport,
+    max_abs_deviation,
+    qr_wavefront,
+    validate_engine,
+)
 from repro.exceptions import ConfigurationError
 
-__all__ = ["TriangularQRResult", "GentlemanKungTriangularArray", "givens_rotation"]
+__all__ = [
+    "TriangularQRResult",
+    "GentlemanKungTriangularArray",
+    "VerificationReport",
+    "givens_rotation",
+]
 
 
 def givens_rotation(a: float, b: float) -> tuple[float, float]:
@@ -68,7 +85,13 @@ class TriangularQRResult:
 
     @property
     def utilization(self) -> float:
-        """Fraction of cell-cycles spent generating or applying rotations."""
+        """Fraction of cell-cycles spent generating or applying rotations.
+
+        A run of zero cycles (no rows streamed) has utilization 0.0: no
+        time passed, so no useful work was done.  This is the repo-wide
+        convention for idle schedules (see
+        :class:`repro.machine.engine.Schedule`).
+        """
         if self.cycles == 0:
             return 0.0
         return self.active_cell_steps / (self.cycles * self.cell_count)
@@ -77,10 +100,11 @@ class TriangularQRResult:
 class GentlemanKungTriangularArray:
     """Triangular systolic array of ``n (n + 1) / 2`` cells computing ``R``."""
 
-    def __init__(self, order: int) -> None:
+    def __init__(self, order: int, *, engine: str = "fast") -> None:
         if order < 1:
             raise ConfigurationError(f"array order must be >= 1, got {order}")
         self.order = order
+        self.engine = validate_engine(engine)
 
     @property
     def cell_count(self) -> int:
@@ -101,6 +125,24 @@ class GentlemanKungTriangularArray:
                 f"input must have {self.order} columns, got shape {a.shape}"
             )
         m = a.shape[0]
+        n = self.order
+
+        if self.engine == "fast":
+            r, active_cell_steps, rotations = qr_wavefront(a, n)
+        else:
+            r, active_cell_steps, rotations = self._run_reference(a)
+
+        cycles = m + 2 * n - 1 if m else 0
+        return TriangularQRResult(
+            r_factor=r,
+            cycles=cycles,
+            cell_count=self.cell_count,
+            active_cell_steps=active_cell_steps,
+            rotations_generated=rotations,
+        )
+
+    def _run_reference(self, a: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """The validating scalar engine: every cell's rotation in Python."""
         n = self.order
         r = np.zeros((n, n))
         active_cell_steps = 0
@@ -126,17 +168,16 @@ class GentlemanKungTriangularArray:
                     active_cell_steps += 1
                 vector[i] = 0.0
 
-        cycles = m + 2 * n - 1 if m else 0
-        return TriangularQRResult(
-            r_factor=r,
-            cycles=cycles,
-            cell_count=self.cell_count,
-            active_cell_steps=active_cell_steps,
-            rotations_generated=rotations,
-        )
+        return r, active_cell_steps, rotations
 
-    def verify(self, a: np.ndarray, *, rtol: float = 1e-8) -> bool:
-        """Check the array's ``R`` against ``numpy.linalg.qr`` up to row signs."""
+    def verify(self, a: np.ndarray, *, rtol: float = 1e-8) -> VerificationReport:
+        """Check the array's ``R`` against ``numpy.linalg.qr`` up to row signs.
+
+        Returns a :class:`VerificationReport` carrying the run result (the
+        simulation is not discarded) and the maximum absolute deviation from
+        the sign-fixed LAPACK factor; ``mismatched_batches`` stays empty
+        because a QR run absorbs a single matrix.
+        """
         a = np.asarray(a, dtype=float)
         result = self.run(a)
         expected = np.linalg.qr(a, mode="r")
@@ -146,6 +187,10 @@ class GentlemanKungTriangularArray:
         # Givens elimination fixes non-negative diagonals; LAPACK's R may not.
         signs = np.sign(np.diag(expected))
         signs[signs == 0] = 1.0
-        return bool(
-            np.allclose(produced, signs[:, None] * expected, rtol=rtol, atol=1e-8)
+        expected = signs[:, None] * expected
+        max_abs_error = max_abs_deviation(produced, expected)
+        return VerificationReport(
+            ok=bool(np.allclose(produced, expected, rtol=rtol, atol=1e-8)),
+            result=result,
+            max_abs_error=max_abs_error,
         )

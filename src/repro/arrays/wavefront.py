@@ -1,0 +1,283 @@
+"""Vectorized wavefront engines for the cycle-level systolic simulators.
+
+The reference simulators in :mod:`repro.arrays.systolic` and
+:mod:`repro.arrays.triangular_qr` walk every cell with Python loops --
+O(cycles x cells) interpreter operations -- which is the right shape for a
+*validating* model but caps the simulated array orders at toy sizes.  This
+module provides the trusted fast engines behind the shared
+``engine="reference" | "fast"`` selector, mirroring the pebble game's
+trusted-fast design (``repro.pebble.game``): the scalar engines remain the
+specification, and the fast engines replay the identical dataflow with
+whole-array numpy updates per simulated cycle --
+
+* register propagation as array slicing (the skewed operand streams shift
+  one cell per cycle),
+* source injection gathered from the closed-form skew schedule
+  (``cycle = i + j + k`` for the output-stationary mesh),
+* activity accounting as nan-masked reductions.
+
+Every elementary floating-point operation is performed in the same order as
+in the reference engine, so outputs are *bitwise* identical -- not merely
+close -- and cycle counts and active-cell counts match exactly.  The
+equivalence suite (``tests/arrays/test_wavefront_equivalence.py``) asserts
+this over random orders, batch counts and the degenerate one-cell arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+
+__all__ = [
+    "ENGINES",
+    "validate_engine",
+    "VerificationReport",
+    "batched_verification_report",
+    "max_abs_deviation",
+    "matmul_wavefront",
+    "matvec_wavefront",
+    "qr_wavefront",
+]
+
+#: The recognised simulation engines, in trust order: ``reference`` is the
+#: scalar per-cell specification, ``fast`` the vectorized wavefront replay.
+ENGINES = ("reference", "fast")
+
+
+def validate_engine(engine: str) -> str:
+    """Return ``engine`` if it names a known simulation engine."""
+    if engine not in ENGINES:
+        known = ", ".join(ENGINES)
+        raise ConfigurationError(
+            f"unknown simulation engine {engine!r}; known engines: {known}"
+        )
+    return engine
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of checking a systolic simulation against the numpy reference.
+
+    ``verify()`` used to return a bare bool and discard the simulation it had
+    just paid for; the report keeps the run result (so utilization and cycle
+    counts are reusable) plus the mismatch details needed to debug a failure.
+    Truthiness delegates to ``ok``, so ``assert array.verify(...)`` still
+    reads naturally.
+    """
+
+    ok: bool
+    result: Any
+    max_abs_error: float
+    mismatched_batches: tuple[int, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def max_abs_deviation(produced: np.ndarray, expected: np.ndarray) -> float:
+    """Largest absolute elementwise deviation, with NaN surfacing as inf.
+
+    ``max(0.0, nan)`` is 0.0 in Python, so a NaN in a corrupted output would
+    otherwise masquerade as a perfect match -- exactly the failure mode an
+    error report must not hide.
+    """
+    if not expected.size:
+        return 0.0
+    deviation = float(np.max(np.abs(produced - expected)))
+    return math.inf if math.isnan(deviation) else deviation
+
+
+def batched_verification_report(
+    result: Any,
+    produced: Sequence[np.ndarray],
+    expected: Sequence[np.ndarray],
+) -> VerificationReport:
+    """Compare per-batch outputs against their expectations into a report."""
+    max_abs_error = 0.0
+    mismatched = []
+    for batch, (got, want) in enumerate(zip(produced, expected)):
+        max_abs_error = max(max_abs_error, max_abs_deviation(got, want))
+        if not np.allclose(got, want):
+            mismatched.append(batch)
+    return VerificationReport(
+        ok=not mismatched,
+        result=result,
+        max_abs_error=max_abs_error,
+        mismatched_batches=tuple(mismatched),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Output-stationary matmul mesh.
+# ---------------------------------------------------------------------------
+
+
+def matmul_wavefront(
+    a_stack: np.ndarray, b_stack: np.ndarray
+) -> tuple[np.ndarray, int, int]:
+    """Vectorized replay of the output-stationary mesh dataflow.
+
+    ``a_stack`` and ``b_stack`` are the problem instances stacked to shape
+    ``(batches, n, n)``.  Returns ``(outputs, cycles, active_cell_cycles)``
+    with ``outputs`` of shape ``(batches, n, n)``.
+
+    Per cycle the whole mesh advances at once: the operand registers shift
+    one cell right/down (slice assignment), the boundary cells gather their
+    operands from the skewed streams (``A[i, k]`` enters row ``i`` at cycle
+    ``i + k``), and every cell holding two non-nan operands accumulates --
+    the same multiply-add, in the same ``k`` order, as the reference engine.
+    """
+    batches, n, _ = a_stack.shape
+    total_cycles = batches * n + 2 * (n - 1)
+    stream_len = batches * n
+    # a_stream[i, idx] is the value entering row i at cycle idx + i;
+    # b_stream[idx, j] is the value entering column j at cycle idx + j.
+    a_stream = np.ascontiguousarray(a_stack.transpose(1, 0, 2)).reshape(n, stream_len)
+    b_stream = b_stack.reshape(stream_len, n)
+
+    lanes = np.arange(n)
+    accumulators = np.zeros((n, n))
+    accumulated_terms = np.zeros((n, n), dtype=np.int64)
+    a_regs = np.full((n, n), np.nan)
+    b_regs = np.full((n, n), np.nan)
+    outputs = np.zeros((batches, n, n))
+    active_cell_cycles = 0
+
+    for cycle in range(total_cycles):
+        index = cycle - lanes
+        valid = (index >= 0) & (index < stream_len)
+        safe = np.where(valid, index, 0)
+        a_col = np.where(valid, a_stream[lanes, safe], np.nan)
+        b_row = np.where(valid, b_stream[safe, lanes], np.nan)
+
+        new_a = np.empty((n, n))
+        new_a[:, 0] = a_col
+        new_a[:, 1:] = a_regs[:, :-1]
+        new_b = np.empty((n, n))
+        new_b[0, :] = b_row
+        new_b[1:, :] = b_regs[:-1, :]
+
+        active = ~(np.isnan(new_a) | np.isnan(new_b))
+        # acc + a*b is evaluated exactly where the reference performs its
+        # scalar multiply-accumulate; inactive cells keep their bits.
+        accumulators = np.where(active, accumulators + new_a * new_b, accumulators)
+        accumulated_terms += active
+        active_cell_cycles += int(np.count_nonzero(active))
+
+        done = active & (accumulated_terms == n)
+        if done.any():
+            row_idx, col_idx = np.nonzero(done)
+            batch_idx = (cycle - row_idx - col_idx) // n
+            if (batch_idx < 0).any() or (batch_idx >= batches).any():
+                raise SimulationError(
+                    "systolic dataflow produced a result outside "
+                    "any problem instance"
+                )
+            outputs[batch_idx, row_idx, col_idx] = accumulators[row_idx, col_idx]
+            accumulators[row_idx, col_idx] = 0.0
+            accumulated_terms[row_idx, col_idx] = 0
+
+        a_regs, b_regs = new_a, new_b
+
+    return outputs, total_cycles, active_cell_cycles
+
+
+# ---------------------------------------------------------------------------
+# Linear matvec array.
+# ---------------------------------------------------------------------------
+
+
+def matvec_wavefront(
+    a_stack: np.ndarray, x_stack: np.ndarray
+) -> tuple[np.ndarray, int, int]:
+    """Vectorized replay of the linear matvec array dataflow.
+
+    ``a_stack`` has shape ``(batches, n, n)``, ``x_stack`` ``(batches, n)``.
+    Returns ``(outputs, cycles, active_cell_cycles)`` with ``outputs`` of
+    shape ``(batches, n)``.  Per cycle the partial sums shift one cell right
+    and every active cell adds its ``A[i, j] * x[j]`` term, gathered from the
+    skew schedule ``global_row = cycle - j``.
+    """
+    batches, n, _ = a_stack.shape
+    total_cycles = batches * n + n
+    stream_len = batches * n
+    a_stream = a_stack.reshape(stream_len, n)
+
+    cells = np.arange(n)
+    partial_regs = np.full(n, np.nan)
+    outputs = np.zeros((batches, n))
+    active_cell_cycles = 0
+
+    for cycle in range(total_cycles):
+        global_row = cycle - cells
+        active = (global_row >= 0) & (global_row < stream_len)
+        safe = np.where(active, global_row, 0)
+
+        incoming = np.empty(n)
+        incoming[0] = 0.0
+        incoming[1:] = partial_regs[:-1]
+        if bool(np.any(active & np.isnan(incoming))):
+            raise SimulationError(
+                "partial sum missing where the dataflow expects one"
+            )
+
+        a_values = a_stream[safe, cells]
+        x_values = x_stack[safe // n, cells]
+        updated = incoming + a_values * x_values
+        active_cell_cycles += int(np.count_nonzero(active))
+
+        if active[n - 1]:
+            batch, i = divmod(cycle - (n - 1), n)
+            outputs[batch, i] = updated[n - 1]
+        partial_regs = np.where(active, updated, np.nan)
+
+    return outputs, total_cycles, active_cell_cycles
+
+
+# ---------------------------------------------------------------------------
+# Gentleman-Kung triangular QR array.
+# ---------------------------------------------------------------------------
+
+
+def qr_wavefront(a: np.ndarray, order: int) -> tuple[np.ndarray, int, int]:
+    """Vectorized replay of the triangular array's rotate-and-propagate flow.
+
+    Returns ``(r_factor, active_cell_steps, rotations_generated)``.  The
+    boundary cells still generate one scalar Givens rotation per interaction
+    (that is the sequential dependency of the wavefront), but each
+    interaction's internal-cell sweep -- the O(n) rotation application across
+    array row ``i`` -- collapses to two whole-row numpy expressions, each
+    elementwise operation identical to the reference engine's scalars.
+    """
+    # Imported lazily: this module is the shared engine layer both simulator
+    # modules import at load time, so a module-scope import would be a cycle.
+    from repro.arrays.triangular_qr import givens_rotation
+
+    n = order
+    r = np.zeros((n, n))
+    active_cell_steps = 0
+    rotations = 0
+
+    for row in a:
+        vector = row.copy()
+        for i in range(n):
+            c, s = givens_rotation(r[i, i], vector[i])
+            rotations += 1
+            r[i, i] = c * r[i, i] + s * vector[i]
+            r_tail = r[i, i + 1 :]
+            v_tail = vector[i + 1 :]
+            rotated_r = c * r_tail + s * v_tail
+            rotated_v = -s * r_tail + c * v_tail
+            r[i, i + 1 :] = rotated_r
+            vector[i + 1 :] = rotated_v
+            vector[i] = 0.0
+            # One boundary interaction plus n - i - 1 internal ones, exactly
+            # as the reference counts them.
+            active_cell_steps += n - i
+
+    return r, active_cell_steps, rotations

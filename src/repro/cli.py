@@ -164,11 +164,14 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
 
 def _cmd_arrays(args: argparse.Namespace) -> int:
     runner = _task_runner_from_args(args)
+    linear_kwargs = {} if args.lengths is None else {"lengths": args.lengths}
+    mesh_kwargs = {} if args.sides is None else {"sides": args.sides}
     experiments = runner.run(
         [
-            linear_array_task(),
-            mesh_array_task(),
+            linear_array_task(**linear_kwargs),
+            mesh_array_task(**mesh_kwargs),
             mesh_array_task(
+                **mesh_kwargs,
                 intensity=PowerLawIntensity(exponent=0.25),
                 computation_label="4-d grid relaxation (law alpha^4)",
             ),
@@ -182,10 +185,24 @@ def _cmd_arrays(args: argparse.Namespace) -> int:
 
 def _cmd_systolic(args: argparse.Namespace) -> int:
     runner = _task_runner_from_args(args)
-    experiment = runner.run_one(systolic_task(order=args.order, batches=args.batches))
+    experiment = runner.run_one(
+        systolic_task(
+            order=args.order,
+            batches=args.batches,
+            engine=args.engine,
+            matvec_length=args.matvec_length,
+            qr_order=args.qr_order,
+            qr_rows=args.qr_rows,
+        )
+    )
     _print(experiment.table().render_ascii())
     _print_task_cache(runner)
-    return 0 if (experiment.matmul_correct and experiment.matvec_correct) else 1
+    correct = (
+        experiment.matmul_correct
+        and experiment.matvec_correct
+        and experiment.qr_correct
+    )
+    return 0 if correct else 1
 
 
 def _cmd_pebble(args: argparse.Namespace) -> int:
@@ -291,6 +308,21 @@ def _parse_memory_list(text: str) -> tuple[int, ...]:
         raise argparse.ArgumentTypeError(
             f"expected a comma-separated list of integers, got {text!r}"
         ) from exc
+
+
+def _parse_nonempty_int_list(text: str) -> tuple[int, ...]:
+    """Like :func:`_parse_memory_list`, but an empty list is a usage error.
+
+    ``sweep --memory ,`` deliberately passes the empty grid through so the
+    runtime rejects it; the array-size flags have no such downstream check
+    and would otherwise crash building the task name.
+    """
+    values = _parse_memory_list(text)
+    if not values:
+        raise argparse.ArgumentTypeError(
+            f"expected at least one integer, got {text!r}"
+        )
+    return values
 
 
 def _write_rows_csv(path: Path, rows: list[dict]) -> None:
@@ -552,11 +584,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_task_runtime_options(figure2)
 
     arrays = subparsers.add_parser("arrays", help=_EXPERIMENT_DESCRIPTIONS["arrays"])
+    arrays.add_argument(
+        "--lengths", type=_parse_nonempty_int_list, default=None,
+        help="comma-separated linear-array lengths for E10 (default: 2..64)",
+    )
+    arrays.add_argument(
+        "--sides", type=_parse_nonempty_int_list, default=None,
+        help="comma-separated mesh sides for E11 (default: 2..32)",
+    )
     _add_task_runtime_options(arrays)
 
     systolic = subparsers.add_parser("systolic", help=_EXPERIMENT_DESCRIPTIONS["systolic"])
-    systolic.add_argument("--order", type=int, default=8)
+    systolic.add_argument("--order", type=int, default=8, help="matmul mesh order")
     systolic.add_argument("--batches", type=int, default=24)
+    systolic.add_argument(
+        "--engine", choices=("reference", "fast"), default="fast",
+        help="cycle-level engine: validating scalar loops or the vectorized "
+        "wavefront engine (bitwise identical, default)",
+    )
+    systolic.add_argument(
+        "--matvec-length", type=int, default=None,
+        help="linear matvec array length (default: --order)",
+    )
+    systolic.add_argument(
+        "--qr-order", type=int, default=None,
+        help="triangular QR array columns (default: --order)",
+    )
+    systolic.add_argument(
+        "--qr-rows", type=int, default=None,
+        help="rows streamed through the QR array (default: batches * qr order)",
+    )
     _add_task_runtime_options(systolic)
 
     pebble = subparsers.add_parser("pebble", help=_EXPERIMENT_DESCRIPTIONS["pebble"])

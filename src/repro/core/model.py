@@ -222,18 +222,26 @@ class BalanceAssessment:
 
     @property
     def compute_utilization(self) -> float:
-        """Fraction of overlapped execution time the compute unit is busy."""
+        """Fraction of overlapped execution time the compute unit is busy.
+
+        A zero-cost execution has utilization 0.0 -- the repo-wide idle
+        convention shared with :class:`repro.machine.engine.Schedule` and the
+        systolic run results: no time passed, no useful work was done.
+        """
         total = self.total_time_overlapped
         if total == 0:
-            return 1.0
+            return 0.0
         return self.compute_time / total
 
     @property
     def io_utilization(self) -> float:
-        """Fraction of overlapped execution time the I/O channel is busy."""
+        """Fraction of overlapped execution time the I/O channel is busy.
+
+        Follows the idle convention of :attr:`compute_utilization`.
+        """
         total = self.total_time_overlapped
         if total == 0:
-            return 1.0
+            return 0.0
         return self.io_time / total
 
     def describe(self) -> str:

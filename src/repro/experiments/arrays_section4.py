@@ -50,6 +50,7 @@ ARRAY_TASK_MODULES = (
     "repro.arrays.sizing",
     "repro.arrays.systolic",
     "repro.arrays.triangular_qr",
+    "repro.arrays.wavefront",
     "repro.core.intensity",
     "repro.core.model",
     "repro.core.rebalance",
@@ -172,11 +173,18 @@ class SystolicExperiment:
     qr_rows: int = 0
     qr_correct: bool = True
     qr_utilization: float = 0.0
+    engine: str = "fast"
+    matmul_max_abs_error: float = 0.0
+    matvec_max_abs_error: float = 0.0
+    qr_max_abs_error: float = 0.0
 
     def table(self) -> Table:
         table = Table(
             columns=("design", "size", "workload", "correct", "utilization"),
-            title="Cycle-level systolic array simulations (Section 4.2 feasibility)",
+            title=(
+                "Cycle-level systolic array simulations "
+                f"(Section 4.2 feasibility, {self.engine} engine)"
+            ),
         )
         table.add_row(
             "output-stationary matmul mesh",
@@ -204,53 +212,69 @@ class SystolicExperiment:
 
 
 def run_systolic_experiment(
-    *, order: int = 8, batches: int = 24, seed: int = 4
+    *,
+    order: int = 8,
+    batches: int = 24,
+    seed: int = 4,
+    engine: str = "fast",
+    matvec_length: int | None = None,
+    qr_order: int | None = None,
+    qr_rows: int | None = None,
 ) -> SystolicExperiment:
     """E12: run the systolic designs on streams of random problem instances.
 
     ``batches`` matrix products are streamed through the matmul mesh and the
-    matvec array; the triangular QR array absorbs ``batches * order`` rows.
+    matvec array; the triangular QR array absorbs ``qr_rows`` rows (default
+    ``batches * qr_order``).  ``matvec_length`` and ``qr_order`` default to
+    ``order``, but can be set independently so large-order scenarios can
+    stress one design without inflating the others.  ``engine`` selects the
+    validating scalar simulators (``"reference"``) or the vectorized
+    wavefront engines (``"fast"``, bitwise identical).
     """
+    matvec_length = order if matvec_length is None else matvec_length
+    qr_order = order if qr_order is None else qr_order
+    qr_rows = batches * qr_order if qr_rows is None else qr_rows
+
     rng = np.random.default_rng(seed)
     matmul_problems = [
         (rng.standard_normal((order, order)), rng.standard_normal((order, order)))
         for _ in range(batches)
     ]
-    matmul_array = OutputStationaryMatmulArray(order)
-    matmul_run = matmul_array.run(matmul_problems)
-    matmul_correct = all(
-        np.allclose(c, a @ b) for (a, b), c in zip(matmul_problems, matmul_run.outputs)
+    matmul_report = OutputStationaryMatmulArray(order, engine=engine).verify(
+        matmul_problems
     )
 
     matvec_problems = [
-        (rng.standard_normal((order, order)), rng.standard_normal(order))
+        (
+            rng.standard_normal((matvec_length, matvec_length)),
+            rng.standard_normal(matvec_length),
+        )
         for _ in range(batches)
     ]
-    matvec_array = LinearMatvecArray(order)
-    matvec_run = matvec_array.run(matvec_problems)
-    matvec_correct = all(
-        np.allclose(y, a @ x) for (a, x), y in zip(matvec_problems, matvec_run.outputs)
+    matvec_report = LinearMatvecArray(matvec_length, engine=engine).verify(
+        matvec_problems
     )
 
-    qr_rows = batches * order
-    qr_input = rng.standard_normal((qr_rows, order))
-    qr_array = GentlemanKungTriangularArray(order)
-    qr_run = qr_array.run(qr_input)
-    qr_correct = qr_array.verify(qr_input)
+    qr_input = rng.standard_normal((qr_rows, qr_order))
+    qr_report = GentlemanKungTriangularArray(qr_order, engine=engine).verify(qr_input)
 
     return SystolicExperiment(
         matmul_order=order,
         matmul_batches=batches,
-        matmul_correct=matmul_correct,
-        matmul_utilization=matmul_run.utilization,
-        matvec_length=order,
+        matmul_correct=matmul_report.ok,
+        matmul_utilization=matmul_report.result.utilization,
+        matvec_length=matvec_length,
         matvec_batches=batches,
-        matvec_correct=matvec_correct,
-        matvec_utilization=matvec_run.utilization,
-        qr_order=order,
+        matvec_correct=matvec_report.ok,
+        matvec_utilization=matvec_report.result.utilization,
+        qr_order=qr_order,
         qr_rows=qr_rows,
-        qr_correct=qr_correct,
-        qr_utilization=qr_run.utilization,
+        qr_correct=qr_report.ok,
+        qr_utilization=qr_report.result.utilization,
+        engine=engine,
+        matmul_max_abs_error=matmul_report.max_abs_error,
+        matvec_max_abs_error=matvec_report.max_abs_error,
+        qr_max_abs_error=qr_report.max_abs_error,
     )
 
 
@@ -299,11 +323,36 @@ def mesh_array_task(
     )
 
 
-def systolic_task(*, order: int = 8, batches: int = 24, seed: int = 4) -> Task:
+def systolic_task(
+    *,
+    order: int = 8,
+    batches: int = 24,
+    seed: int = 4,
+    engine: str = "fast",
+    matvec_length: int | None = None,
+    qr_order: int | None = None,
+    qr_rows: int | None = None,
+) -> Task:
     """Experiment E12 as a runtime task (seeded, hence deterministic)."""
+    params: dict = {
+        "order": int(order),
+        "batches": int(batches),
+        "seed": int(seed),
+        "engine": str(engine),
+    }
+    sizes = ""
+    if matvec_length is not None:
+        params["matvec_length"] = int(matvec_length)
+        sizes += f",matvec={int(matvec_length)}"
+    if qr_order is not None:
+        params["qr_order"] = int(qr_order)
+        sizes += f",qr={int(qr_order)}"
+    if qr_rows is not None:
+        params["qr_rows"] = int(qr_rows)
+        sizes += f",qr_rows={int(qr_rows)}"
     return Task(
         fn=run_systolic_experiment,
-        params={"order": int(order), "batches": int(batches), "seed": int(seed)},
-        name=f"systolic[order={order},batches={batches}]",
+        params=params,
+        name=f"systolic[order={order},batches={batches}{sizes},{engine}]",
         modules=ARRAY_TASK_MODULES,
     )

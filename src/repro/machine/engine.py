@@ -50,16 +50,27 @@ class Schedule:
 
     @property
     def compute_utilization(self) -> float:
-        """Fraction of the schedule during which the compute unit is busy."""
+        """Fraction of the schedule during which the compute unit is busy.
+
+        A zero-duration schedule (no phases, or all phases free) has
+        utilization 0.0: no time passed, so no useful work was done.  This is
+        the repo-wide convention for idle schedules, shared with the systolic
+        simulators (``SystolicRunResult.utilization`` and
+        ``TriangularQRResult.utilization`` return 0.0 for zero-cycle runs).
+        """
         if self.total_time == 0:
-            return 1.0
+            return 0.0
         return self.compute_busy_time / self.total_time
 
     @property
     def io_utilization(self) -> float:
-        """Fraction of the schedule during which the I/O channel is busy."""
+        """Fraction of the schedule during which the I/O channel is busy.
+
+        Follows the idle-schedule convention of :attr:`compute_utilization`:
+        zero total time means utilization 0.0.
+        """
         if self.total_time == 0:
-            return 1.0
+            return 0.0
         return self.io_busy_time / self.total_time
 
 

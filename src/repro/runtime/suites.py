@@ -206,12 +206,19 @@ def _summarize_sizing(results: Sequence[Any]) -> dict[str, object]:
 def _summarize_systolic(results: Sequence[Any]) -> dict[str, object]:
     (result,) = results
     return {
+        "engine": result.engine,
+        "matmul_order": result.matmul_order,
+        "matvec_length": result.matvec_length,
+        "qr_order": result.qr_order,
         "matmul_correct": result.matmul_correct,
         "matvec_correct": result.matvec_correct,
         "qr_correct": result.qr_correct,
         "matmul_utilization": result.matmul_utilization,
         "matvec_utilization": result.matvec_utilization,
         "qr_utilization": result.qr_utilization,
+        "matmul_max_abs_error": result.matmul_max_abs_error,
+        "matvec_max_abs_error": result.matvec_max_abs_error,
+        "qr_max_abs_error": result.qr_max_abs_error,
     }
 
 
@@ -377,8 +384,34 @@ def _quick_suite() -> ScenarioSuite:
             ExperimentScenario(
                 "quick-mesh-array", "mesh-array", {"sides": (2, 4, 8, 16)}
             ),
+            # The small instance runs on the validating reference engine so
+            # the scalar specification stays exercised in CI; the large-order
+            # scenarios below are what the vectorized wavefront engine buys.
             ExperimentScenario(
-                "quick-systolic", "systolic", {"order": 4, "batches": 8}
+                "quick-systolic",
+                "systolic",
+                {"order": 4, "batches": 8, "engine": "reference"},
+            ),
+            ExperimentScenario(
+                "quick-systolic-mesh32",
+                "systolic",
+                {"order": 32, "batches": 4, "engine": "fast"},
+            ),
+            ExperimentScenario(
+                "quick-systolic-mesh64",
+                "systolic",
+                {"order": 64, "batches": 2, "engine": "fast"},
+            ),
+            ExperimentScenario(
+                "quick-systolic-stream256",
+                "systolic",
+                {
+                    "order": 8,
+                    "batches": 16,
+                    "engine": "fast",
+                    "matvec_length": 256,
+                    "qr_order": 16,
+                },
             ),
             ExperimentScenario(
                 "quick-pebble",
@@ -446,7 +479,34 @@ def _full_suite() -> ScenarioSuite:
                 },
             ),
             ExperimentScenario(
-                "full-systolic", "systolic", {"order": 8, "batches": 24}
+                "full-systolic",
+                "systolic",
+                {"order": 8, "batches": 24, "engine": "reference"},
+            ),
+            # Large-order systolic scenarios (the wavefront engine's payoff):
+            # meshes up to order 128, a length-256 matvec stream, and a
+            # 64-column triangular QR array.
+            ExperimentScenario(
+                "full-systolic-mesh64",
+                "systolic",
+                {"order": 64, "batches": 4, "engine": "fast"},
+            ),
+            ExperimentScenario(
+                "full-systolic-mesh128",
+                "systolic",
+                {"order": 128, "batches": 2, "engine": "fast"},
+            ),
+            ExperimentScenario(
+                "full-systolic-stream256",
+                "systolic",
+                {
+                    "order": 16,
+                    "batches": 16,
+                    "engine": "fast",
+                    "matvec_length": 256,
+                    "qr_order": 64,
+                    "qr_rows": 256,
+                },
             ),
             ExperimentScenario("full-pebble", "pebble"),
             # The large-DAG scenarios: order-10 matmul (1200 nodes, a 1000-step
@@ -660,6 +720,7 @@ class ExperimentScenarioResult:
                 summary[key] for key in ("matmul_correct", "matvec_correct", "qr_correct")
             )
             return (
+                f"{summary['engine']} engine, mesh {summary['matmul_order']}, "
                 f"{'correct' if correct else 'INCORRECT'}, utilization "
                 f"{summary['matmul_utilization']:.2f}/"
                 f"{summary['matvec_utilization']:.2f}/{summary['qr_utilization']:.2f}"

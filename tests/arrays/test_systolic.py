@@ -7,7 +7,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arrays.systolic import LinearMatvecArray, OutputStationaryMatmulArray
+from repro.arrays.systolic import (
+    LinearMatvecArray,
+    OutputStationaryMatmulArray,
+    SystolicRunResult,
+    VerificationReport,
+)
 from repro.exceptions import ConfigurationError
 
 
@@ -147,3 +152,63 @@ class TestLinearMatvecArray:
         result = LinearMatvecArray(n).run(problems)
         for (a, x), y in zip(problems, result.outputs):
             np.testing.assert_allclose(y, a @ x, rtol=1e-9, atol=1e-9)
+
+
+class TestVerificationReport:
+    """verify() returns the run plus mismatch details, not a bare bool."""
+
+    def test_matmul_report_carries_run_result(self, rng):
+        n = 4
+        problems = [
+            (rng.standard_normal((n, n)), rng.standard_normal((n, n))) for _ in range(3)
+        ]
+        report = OutputStationaryMatmulArray(n).verify(problems)
+        assert isinstance(report, VerificationReport)
+        assert report.ok and bool(report)
+        assert isinstance(report.result, SystolicRunResult)
+        assert report.result.cycles == 3 * n + 2 * (n - 1)
+        assert report.result.utilization > 0.5
+        assert report.max_abs_error < 1e-10
+        assert report.mismatched_batches == ()
+
+    def test_matvec_report_carries_run_result(self, rng):
+        n = 5
+        problems = [
+            (rng.standard_normal((n, n)), rng.standard_normal(n)) for _ in range(4)
+        ]
+        report = LinearMatvecArray(n).verify(problems)
+        assert report.ok
+        assert report.result.active_cell_cycles == 4 * n * n
+        assert report.max_abs_error < 1e-10
+        assert report.mismatched_batches == ()
+
+    def test_mismatch_names_offending_batch(self, rng, monkeypatch):
+        """A corrupted simulation is reported with its batch index and error."""
+        n = 3
+        problems = [
+            (rng.standard_normal((n, n)), rng.standard_normal((n, n))) for _ in range(3)
+        ]
+        array = OutputStationaryMatmulArray(n)
+        honest = array.run(problems)
+        corrupted = [c.copy() for c in honest.outputs]
+        corrupted[1][0, 0] += 7.0
+
+        def crooked_run(_problems):
+            return SystolicRunResult(
+                outputs=corrupted,
+                cycles=honest.cycles,
+                cell_count=honest.cell_count,
+                active_cell_cycles=honest.active_cell_cycles,
+            )
+
+        monkeypatch.setattr(array, "run", crooked_run)
+        report = array.verify(problems)
+        assert not report.ok and not bool(report)
+        assert report.mismatched_batches == (1,)
+        assert report.max_abs_error == pytest.approx(7.0)
+
+    def test_zero_cycle_result_has_zero_utilization(self):
+        idle = SystolicRunResult(
+            outputs=[], cycles=0, cell_count=4, active_cell_cycles=0
+        )
+        assert idle.utilization == 0.0

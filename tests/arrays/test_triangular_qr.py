@@ -147,3 +147,23 @@ class TestGentlemanKungTriangularArray:
         np.testing.assert_allclose(
             result.r_factor.T @ result.r_factor, a.T @ a, rtol=1e-7, atol=1e-7
         )
+
+
+class TestQRVerificationReport:
+    """verify() returns the run result plus error details, not a bare bool."""
+
+    def test_report_carries_run_result(self, rng):
+        a = rng.standard_normal((12, 6))
+        report = GentlemanKungTriangularArray(6).verify(a)
+        assert report.ok and bool(report)
+        assert report.result.cycles == 12 + 2 * 6 - 1
+        assert report.result.rotations_generated == 12 * 6
+        assert report.max_abs_error < 1e-8
+        assert report.mismatched_batches == ()
+
+    def test_empty_input_report(self):
+        report = GentlemanKungTriangularArray(3).verify(np.zeros((0, 3)))
+        assert report.ok
+        assert report.result.cycles == 0
+        assert report.result.utilization == 0.0
+        assert report.max_abs_error == 0.0

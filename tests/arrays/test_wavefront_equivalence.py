@@ -1,0 +1,185 @@
+"""Equivalence suite: the vectorized wavefront engines vs the reference.
+
+The fast engines are trusted because they are *asserted identical* to the
+scalar specification -- outputs bitwise, cycle counts and active-cell
+accounting exact -- over random orders, batch counts and the degenerate
+one-cell arrays (the same contract the pebble game's trusted fast engine
+satisfies move for move).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.systolic import LinearMatvecArray, OutputStationaryMatmulArray
+from repro.arrays.triangular_qr import GentlemanKungTriangularArray
+from repro.arrays.wavefront import ENGINES, validate_engine
+from repro.exceptions import ConfigurationError
+
+
+def _bitwise_equal(left: list[np.ndarray], right: list[np.ndarray]) -> bool:
+    return len(left) == len(right) and all(
+        a.tobytes() == b.tobytes() for a, b in zip(left, right)
+    )
+
+
+class TestEngineSelector:
+    def test_known_engines(self):
+        assert ENGINES == ("reference", "fast")
+        for engine in ENGINES:
+            assert validate_engine(engine) == engine
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda e: OutputStationaryMatmulArray(3, engine=e),
+            lambda e: LinearMatvecArray(3, engine=e),
+            lambda e: GentlemanKungTriangularArray(3, engine=e),
+        ],
+    )
+    def test_unknown_engine_rejected(self, factory):
+        with pytest.raises(ConfigurationError, match="unknown simulation engine"):
+            factory("turbo")
+
+    def test_fast_is_the_default(self):
+        assert OutputStationaryMatmulArray(2).engine == "fast"
+        assert LinearMatvecArray(2).engine == "fast"
+        assert GentlemanKungTriangularArray(2).engine == "fast"
+
+
+class TestMatmulEquivalence:
+    @given(
+        n=st.integers(min_value=1, max_value=8),
+        batches=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fast_matches_reference(self, n, batches, seed):
+        rng = np.random.default_rng(seed)
+        problems = [
+            (rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+            for _ in range(batches)
+        ]
+        reference = OutputStationaryMatmulArray(n, engine="reference").run(problems)
+        fast = OutputStationaryMatmulArray(n, engine="fast").run(problems)
+        assert fast.cycles == reference.cycles
+        assert fast.cell_count == reference.cell_count
+        assert fast.active_cell_cycles == reference.active_cell_cycles
+        assert _bitwise_equal(fast.outputs, reference.outputs)
+
+    def test_degenerate_one_cell_mesh(self, rng):
+        problems = [
+            (rng.standard_normal((1, 1)), rng.standard_normal((1, 1)))
+            for _ in range(3)
+        ]
+        reference = OutputStationaryMatmulArray(1, engine="reference").run(problems)
+        fast = OutputStationaryMatmulArray(1, engine="fast").run(problems)
+        assert fast.cycles == reference.cycles == 3
+        assert fast.active_cell_cycles == reference.active_cell_cycles == 3
+        assert _bitwise_equal(fast.outputs, reference.outputs)
+
+    def test_single_batch(self, rng):
+        n = 6
+        problems = [(rng.standard_normal((n, n)), rng.standard_normal((n, n)))]
+        reference = OutputStationaryMatmulArray(n, engine="reference").run(problems)
+        fast = OutputStationaryMatmulArray(n, engine="fast").run(problems)
+        assert _bitwise_equal(fast.outputs, reference.outputs)
+        assert fast.active_cell_cycles == reference.active_cell_cycles
+
+    def test_large_order_spot_check(self, rng):
+        """One order beyond the hypothesis range, the size the engine is for."""
+        n = 16
+        problems = [
+            (rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+            for _ in range(3)
+        ]
+        reference = OutputStationaryMatmulArray(n, engine="reference").run(problems)
+        fast = OutputStationaryMatmulArray(n, engine="fast").run(problems)
+        assert fast.cycles == reference.cycles
+        assert fast.active_cell_cycles == reference.active_cell_cycles
+        assert _bitwise_equal(fast.outputs, reference.outputs)
+
+
+class TestMatvecEquivalence:
+    @given(
+        n=st.integers(min_value=1, max_value=10),
+        batches=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fast_matches_reference(self, n, batches, seed):
+        rng = np.random.default_rng(seed)
+        problems = [
+            (rng.standard_normal((n, n)), rng.standard_normal(n))
+            for _ in range(batches)
+        ]
+        reference = LinearMatvecArray(n, engine="reference").run(problems)
+        fast = LinearMatvecArray(n, engine="fast").run(problems)
+        assert fast.cycles == reference.cycles
+        assert fast.cell_count == reference.cell_count
+        assert fast.active_cell_cycles == reference.active_cell_cycles
+        assert _bitwise_equal(fast.outputs, reference.outputs)
+
+    def test_degenerate_one_cell_array(self, rng):
+        problems = [(rng.standard_normal((1, 1)), rng.standard_normal(1)) for _ in range(4)]
+        reference = LinearMatvecArray(1, engine="reference").run(problems)
+        fast = LinearMatvecArray(1, engine="fast").run(problems)
+        assert fast.cycles == reference.cycles == 5
+        assert fast.active_cell_cycles == reference.active_cell_cycles == 4
+        assert _bitwise_equal(fast.outputs, reference.outputs)
+
+
+class TestTriangularQREquivalence:
+    @given(
+        m=st.integers(min_value=0, max_value=20),
+        n=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fast_matches_reference(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, n))
+        reference = GentlemanKungTriangularArray(n, engine="reference").run(a)
+        fast = GentlemanKungTriangularArray(n, engine="fast").run(a)
+        assert fast.cycles == reference.cycles
+        assert fast.cell_count == reference.cell_count
+        assert fast.active_cell_steps == reference.active_cell_steps
+        assert fast.rotations_generated == reference.rotations_generated
+        assert fast.r_factor.tobytes() == reference.r_factor.tobytes()
+
+    def test_degenerate_one_cell_array(self, rng):
+        a = rng.standard_normal((5, 1))
+        reference = GentlemanKungTriangularArray(1, engine="reference").run(a)
+        fast = GentlemanKungTriangularArray(1, engine="fast").run(a)
+        assert fast.r_factor.tobytes() == reference.r_factor.tobytes()
+        assert fast.active_cell_steps == reference.active_cell_steps == 5
+
+    def test_empty_input_is_idle(self):
+        a = np.zeros((0, 4))
+        for engine in ENGINES:
+            result = GentlemanKungTriangularArray(4, engine=engine).run(a)
+            assert result.cycles == 0
+            assert result.active_cell_steps == 0
+            assert result.utilization == 0.0
+
+
+class TestReportHelpers:
+    def test_nan_deviation_surfaces_as_inf(self):
+        """A NaN in a corrupted output must not masquerade as a 0.0 error."""
+        from repro.arrays.wavefront import batched_verification_report, max_abs_deviation
+
+        got = np.array([[1.0, np.nan]])
+        want = np.array([[1.0, 2.0]])
+        assert max_abs_deviation(got, want) == np.inf
+        report = batched_verification_report(None, [got], [want])
+        assert not report.ok
+        assert report.max_abs_error == np.inf
+        assert report.mismatched_batches == (0,)
+
+    def test_empty_expectation_has_zero_deviation(self):
+        from repro.arrays.wavefront import max_abs_deviation
+
+        assert max_abs_deviation(np.zeros((0, 3)), np.zeros((0, 3))) == 0.0

@@ -176,3 +176,12 @@ class TestAssessBalance:
             assert assessment.bound is BoundKind.COMPUTE_BOUND
         else:
             assert assessment.bound is BoundKind.IO_BOUND
+
+
+class TestIdleUtilizationConvention:
+    def test_zero_cost_assessment_is_idle(self):
+        """Repo-wide convention: zero total time means utilization 0.0."""
+        pe = ProcessingElement(compute_bandwidth=1e6, io_bandwidth=1e6, memory_words=16)
+        assessment = assess_balance(pe, ComputationCost(0, 0))
+        assert assessment.compute_utilization == 0.0
+        assert assessment.io_utilization == 0.0

@@ -103,3 +103,29 @@ class TestOverlappedSchedule:
         imbalanced = overlapped_schedule(_phases([(10, 30)] * 20), pe)
         assert balanced.compute_utilization > 0.9
         assert imbalanced.compute_utilization < 0.5
+
+
+class TestIdleUtilizationConvention:
+    """Zero-duration schedules report utilization 0.0, repo-wide.
+
+    This is the same convention as the systolic simulators'
+    ``SystolicRunResult.utilization`` / ``TriangularQRResult.utilization``:
+    no time passed, no useful work was done.
+    """
+
+    def test_empty_serial_schedule_is_idle(self):
+        schedule = serial_schedule([], _pe())
+        assert schedule.total_time == 0
+        assert schedule.compute_utilization == 0.0
+        assert schedule.io_utilization == 0.0
+
+    def test_free_phases_are_idle(self):
+        schedule = serial_schedule(_phases([(0, 0), (0, 0)]), _pe())
+        assert schedule.total_time == 0
+        assert schedule.compute_utilization == 0.0
+        assert schedule.io_utilization == 0.0
+
+    def test_nonzero_schedule_unaffected(self):
+        schedule = serial_schedule(_phases([(30, 10)]), _pe())
+        assert schedule.compute_utilization == pytest.approx(0.75)
+        assert schedule.io_utilization == pytest.approx(0.25)

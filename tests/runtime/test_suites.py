@@ -115,6 +115,26 @@ class TestSuiteRegistry:
         assert large.params["matmul_order"] >= 10
         assert large.params["fft_points"] >= 256
 
+    @pytest.mark.parametrize("name", ["quick", "full"])
+    def test_suites_include_large_order_systolic_scenarios(self, name):
+        """The wavefront engine's payoff: >= 3 large-order systolic scenarios."""
+        suite = get_suite(name)
+        systolic = [e for e in suite.experiments if e.experiment == "systolic"]
+        large = [
+            e
+            for e in systolic
+            if max(
+                e.params.get("order", 8),
+                e.params.get("matvec_length") or 0,
+                e.params.get("qr_order") or 0,
+            )
+            >= 32
+        ]
+        assert len(large) >= 3, [e.name for e in systolic]
+        assert all(e.params.get("engine", "fast") == "fast" for e in large)
+        # The small instance still exercises the validating reference engine.
+        assert any(e.params.get("engine") == "reference" for e in systolic)
+
     def test_experiment_kinds_listing(self):
         assert set(experiment_kinds()) == set(EXPERIMENT_KINDS)
 

@@ -60,6 +60,37 @@ class TestCommands:
         assert main(["systolic", "--order", "4", "--batches", "8", "--no-cache"]) == 0
         output = capsys.readouterr().out
         assert "Gentleman-Kung" in output
+        assert "fast engine" in output
+
+    def test_systolic_command_reference_engine(self, capsys):
+        argv = [
+            "systolic", "--order", "4", "--batches", "8",
+            "--engine", "reference", "--no-cache",
+        ]
+        assert main(argv) == 0
+        assert "reference engine" in capsys.readouterr().out
+
+    def test_systolic_command_independent_sizes(self, capsys):
+        argv = [
+            "systolic", "--order", "4", "--batches", "4", "--matvec-length", "16",
+            "--qr-order", "8", "--qr-rows", "12", "--no-cache",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "16" in output and "12 rows streamed" in output
+
+    def test_systolic_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["systolic", "--engine", "turbo"])
+
+    def test_arrays_command_custom_grids(self, capsys):
+        argv = [
+            "arrays", "--lengths", "2,4,8", "--sides", "2,4",
+            "--no-cache", "--serial",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "per-cell memory" in output
 
     def test_warp_command(self, capsys):
         assert main(["warp", "--no-cache"]) == 0
@@ -198,9 +229,21 @@ class TestSuiteCommand:
         payload = json.loads(json_path.read_text())
         assert payload["schema"] == "repro-suite-result/v2"
         assert len(payload["scenarios"]) == 8
-        assert len(payload["experiments"]) == 6
+        # 6 experiment kinds plus the three large-order systolic scenarios.
+        assert len(payload["experiments"]) == 9
         kinds = {entry["experiment"] for entry in payload["experiments"]}
         assert kinds == {
             "figure2", "linear-array", "mesh-array", "systolic", "pebble", "warp"
         }
         assert csv_path.exists()
+
+
+class TestIntListParsing:
+    def test_empty_int_list_rejected(self):
+        """`--lengths ,` must fail as a usage error, not a traceback later."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["arrays", "--lengths", ","])
+
+    def test_malformed_int_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["arrays", "--sides", "2,banana"])

@@ -101,6 +101,9 @@ _EXPERIMENT_DESCRIPTIONS = {
     "summary": "E1: the Section 3 summary table (analytic and measured)",
     "sweep": "run one kernel sweep through the scenario runtime (JSON/CSV output)",
     "suite": "run a named scenario suite through the parallel runtime",
+    "serve": "run the long-lived job service (HTTP JSON API over the runtime)",
+    "submit": "submit a job to a running service and wait for its result",
+    "cache": "inspect or clear the on-disk result caches",
     "figure2": "E6: the Figure 2 FFT decomposition (N=16, M=4)",
     "arrays": "E10/E11: per-cell memory sizing for linear arrays and meshes",
     "systolic": "E12: cycle-level systolic matmul / matvec simulations",
@@ -527,6 +530,117 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# The service subcommands (`repro serve`, `repro submit`, `repro cache`).
+# ---------------------------------------------------------------------------
+
+
+def _format_bytes(size: int) -> str:
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(value)} B"  # pragma: no cover - loop always returns
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import JobService, serve
+
+    cache_dir = None if args.no_cache else (args.cache_dir or _default_cache_dir())
+    parallel = not args.serial and (args.jobs is None or args.jobs > 1)
+    service = JobService(
+        cache_dir=cache_dir,
+        state_path=args.state_file,
+        parallel=parallel,
+        max_workers=args.jobs,
+        workers=args.workers,
+    )
+    server = serve(args.host, args.port, service)
+    service.start()
+    cache_note = f"cache {cache_dir}" if cache_dir else "cache disabled"
+    print(
+        f"repro service listening on http://{args.host}:{server.port} "
+        f"({args.workers} workers, {cache_note})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop()
+    return 0
+
+
+def _submit_params(args: argparse.Namespace) -> dict:
+    extra = {}
+    if args.params:
+        try:
+            extra = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"--params must be a JSON object: {exc}") from exc
+        if not isinstance(extra, dict):
+            raise ReproError(f"--params must be a JSON object, got {extra!r}")
+    if args.kind == "suite":
+        return {"suite": args.spec, **extra}
+    if args.kind == "experiment":
+        return {"experiment": args.spec, "params": extra}
+    params = {"kernel": args.spec, **extra}
+    defaults = _DEFAULT_SWEEPS.get(args.spec)
+    if defaults is not None and "memory_sizes" not in params:
+        params["memory_sizes"] = list(defaults[0])
+    if defaults is not None and not params.get("analytic") and "scale" not in params:
+        params["scale"] = defaults[1]
+    return params
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.host, args.port, timeout=min(args.timeout, 30.0))
+    job = client.submit(args.kind, _submit_params(args))
+    note = f" (deduplicated into {job['deduped_into']})" if job["deduped_into"] else ""
+    print(f"job {job['id']} submitted: {args.kind} {args.spec}{note}")
+    if args.no_wait:
+        return 0
+    document = client.wait(job["id"], timeout=args.timeout)
+    print(f"job {job['id']} done in {document['elapsed_seconds']:.2f}s")
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(document["result"], indent=2) + "\n")
+        print(f"wrote JSON to {args.json}")
+    else:
+        print(json.dumps(document["result"], indent=2))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    root = Path(args.cache_dir or _default_cache_dir())
+    results = ResultCache(root)
+    tasks = TaskCache(root / "tasks")
+    if args.action == "clear":
+        removed = results.clear() + tasks.clear()
+        print(f"removed {removed} cache entries from {root}")
+        return 0
+    result_entries, task_entries = len(results), len(tasks)
+    result_bytes = results.disk_usage_bytes()
+    task_bytes = tasks.disk_usage_bytes()
+    print(f"cache root    : {root}")
+    print(
+        f"sweep points  : {result_entries} entries, {_format_bytes(result_bytes)}"
+    )
+    print(
+        f"task results  : {task_entries} entries, {_format_bytes(task_bytes)}"
+    )
+    print(
+        f"total         : {result_entries + task_entries} entries, "
+        f"{_format_bytes(result_bytes + task_bytes)}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -574,6 +688,52 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--quick", action="store_true", help="shorthand for the 'quick' suite")
     suite.add_argument("--list", action="store_true", help="list the named suites and exit")
     _add_runtime_options(suite)
+
+    serve = subparsers.add_parser("serve", help=_EXPERIMENT_DESCRIPTIONS["serve"])
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8035, help="bind port (0 picks one)")
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="job worker threads draining the queue (default: 2)",
+    )
+    serve.add_argument(
+        "--state-file", type=Path, default=None,
+        help="JSON-lines job journal for restart recovery (default: none)",
+    )
+    _add_task_runtime_options(serve)
+
+    submit = subparsers.add_parser("submit", help=_EXPERIMENT_DESCRIPTIONS["submit"])
+    submit.add_argument("kind", choices=("sweep", "experiment", "suite"))
+    submit.add_argument(
+        "spec",
+        help="suite name, experiment kind, or kernel name (per the job kind)",
+    )
+    submit.add_argument(
+        "--params", default=None,
+        help="extra job parameters as a JSON object (e.g. "
+        '\'{"memory_sizes": [8, 32], "scale": 16}\')',
+    )
+    submit.add_argument("--host", default="127.0.0.1", help="service address")
+    submit.add_argument("--port", type=int, default=8035, help="service port")
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without polling for the result",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds to wait for the result (default: 600)",
+    )
+    submit.add_argument(
+        "--json", type=Path, default=None,
+        help="write the result payload to this file instead of stdout",
+    )
+
+    cache = subparsers.add_parser("cache", help=_EXPERIMENT_DESCRIPTIONS["cache"])
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
 
     for name in _KERNEL_COMMANDS:
         subparsers.add_parser(name, help=_EXPERIMENT_DESCRIPTIONS[name])
@@ -640,6 +800,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "summary": _cmd_summary,
         "sweep": _cmd_sweep,
         "suite": _cmd_suite,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "cache": _cmd_cache,
         "figure2": _cmd_figure2,
         "arrays": _cmd_arrays,
         "systolic": _cmd_systolic,

@@ -49,6 +49,27 @@ class UnknownComputationError(ReproError, KeyError):
     """A computation name was not found in the computation registry."""
 
 
+class TaskExecutionError(ReproError):
+    """A runtime task raised inside a worker.
+
+    Wraps the original exception (available as ``__cause__``) and carries the
+    failing task's ``label``, so a pool failure names the task that died
+    instead of surfacing a bare traceback from an anonymous worker process.
+    """
+
+    def __init__(self, message: str, *, label: str | None = None) -> None:
+        super().__init__(message)
+        self.label = label
+
+
+class ServiceError(ReproError):
+    """A job-service request failed (bad submission, lost job, HTTP error)."""
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class PebbleGameError(ReproError):
     """An illegal move or impossible schedule in the red-blue pebble game."""
 

@@ -1,14 +1,25 @@
-"""Experiment drivers: one module per paper artifact (see DESIGN.md, Section 3)."""
+"""Experiment drivers: one module per paper artifact (see DESIGN.md, Section 3).
+
+Each driver exposes two shapes: a ``run_*_experiment`` function for direct
+in-process use, and a ``*_task`` builder lowering the same computation onto
+:class:`repro.runtime.tasks.Task` objects -- the shape the suites, the CLI
+and the ``repro.service`` job queue all execute through, so every front end
+shares the pooled executor and the content-addressed caches.
+"""
 
 from repro.experiments.arrays_section4 import (
     ArraySizingExperiment,
     SystolicExperiment,
+    linear_array_task,
+    mesh_array_task,
     run_linear_array_experiment,
     run_mesh_array_experiment,
     run_systolic_experiment,
+    systolic_task,
 )
 from repro.experiments.fft_figure2 import (
     Figure2Result,
+    figure2_task,
     render_decomposition,
     run_figure2_experiment,
 )
@@ -20,6 +31,7 @@ from repro.experiments.intensity import (
 from repro.experiments.pebble_bounds import (
     PebbleExperiment,
     PebblePoint,
+    pebble_point_tasks,
     run_pebble_experiment,
 )
 from repro.experiments.summary import (
@@ -28,7 +40,7 @@ from repro.experiments.summary import (
     analytic_summary_table,
     run_summary_experiment,
 )
-from repro.experiments.warp_study import WarpExperiment, run_warp_experiment
+from repro.experiments.warp_study import WarpExperiment, run_warp_experiment, warp_task
 
 __all__ = [
     "ArraySizingExperiment",
@@ -42,6 +54,10 @@ __all__ = [
     "SystolicExperiment",
     "WarpExperiment",
     "analytic_summary_table",
+    "figure2_task",
+    "linear_array_task",
+    "mesh_array_task",
+    "pebble_point_tasks",
     "render_decomposition",
     "run_figure2_experiment",
     "run_intensity_experiment",
@@ -51,4 +67,6 @@ __all__ = [
     "run_summary_experiment",
     "run_systolic_experiment",
     "run_warp_experiment",
+    "systolic_task",
+    "warp_task",
 ]

@@ -46,6 +46,7 @@ from repro.runtime.suites import (
 from repro.runtime.tasks import (
     Task,
     TaskRunner,
+    TaskRunStats,
     callable_code_version,
     default_worker_count,
     execute_tasks,
@@ -76,6 +77,7 @@ __all__ = [
     "Task",
     "TaskCache",
     "TaskRunner",
+    "TaskRunStats",
     "analytic_summary_rows",
     "build_kernel",
     "callable_code_version",

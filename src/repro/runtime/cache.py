@@ -171,6 +171,10 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    def disk_usage_bytes(self) -> int:
+        """Total size on disk of every entry (excludes unrelated files)."""
+        return _disk_usage(self.root, "*/*.json")
+
     def key_for(
         self, kernel: Kernel, memory_words: int, problem: Mapping[str, Any]
     ) -> str:
@@ -234,6 +238,16 @@ class ResultCache:
         return removed
 
 
+def _disk_usage(root: Path, pattern: str) -> int:
+    total = 0
+    for path in root.glob(pattern):
+        try:
+            total += path.stat().st_size
+        except OSError:  # entry vanished between glob and stat (racing clear)
+            continue
+    return total
+
+
 def _atomic_write(path: Path, data: bytes) -> None:
     """Publish ``data`` at ``path`` atomically (unique temp file + rename).
 
@@ -285,6 +299,10 @@ class TaskCache:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def disk_usage_bytes(self) -> int:
+        """Total size on disk of every entry (excludes unrelated files)."""
+        return _disk_usage(self.root, "*/*.pkl")
 
     def load(self, key: str) -> Any:
         """Return the cached value for ``key``, or :data:`MISS`."""

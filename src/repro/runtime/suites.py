@@ -875,6 +875,7 @@ def run_suite(
         "task_cache": (
             task_runner.cache.stats.as_dict() if task_runner.cache else None
         ),
+        "task_runner": task_runner.stats.as_dict(),
         "points": sum(len(plan.memory_sizes) for plan in plans),
         "experiment_tasks": sum(len(tasks) for tasks in experiment_tasks),
     }

@@ -28,17 +28,19 @@ import inspect
 import json
 import os
 import sys
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, TaskExecutionError
 from repro.runtime.cache import MISS, TaskCache, _fingerprint
 
 __all__ = [
     "Task",
     "TaskRunner",
+    "TaskRunStats",
     "task_key",
     "callable_code_version",
     "default_worker_count",
@@ -161,22 +163,72 @@ def _run_task(task: Task) -> Any:
     return task.run()
 
 
+def _wrap_failure(task: Task, exc: BaseException) -> TaskExecutionError:
+    return TaskExecutionError(
+        f"task {task.label!r} failed: {type(exc).__name__}: {exc}",
+        label=task.label,
+    )
+
+
 def execute_tasks(
     tasks: Sequence[Task], *, parallel: bool, max_workers: int
 ) -> list[Any]:
     """Execute tasks (no cache), preserving submission order.
 
     The shared pool primitive behind both :class:`TaskRunner` and the sweep
-    engine: ``pool.map`` collects results back in submission order, so the
-    output is deterministic and identical to a serial run.
+    engine: results are collected back in submission order, so the output is
+    deterministic and identical to a serial run.  A task that raises surfaces
+    as :class:`~repro.exceptions.TaskExecutionError` naming the failing
+    task's label (the original exception is chained as ``__cause__``); in a
+    parallel batch the first failure *in submission order* wins, matching the
+    serial path.
     """
     if not tasks:
         return []
     if not parallel or max_workers == 1 or len(tasks) == 1:
-        return [task.run() for task in tasks]
+        results = []
+        for task in tasks:
+            try:
+                results.append(task.run())
+            except Exception as exc:
+                raise _wrap_failure(task, exc) from exc
+        return results
     workers = min(max_workers, len(tasks))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_task, tasks))
+        futures = [pool.submit(_run_task, task) for task in tasks]
+        results = []
+        for task, future in zip(tasks, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                raise _wrap_failure(task, exc) from exc
+        return results
+
+
+@dataclass
+class TaskRunStats:
+    """Counters accumulated over the lifetime of a :class:`TaskRunner`.
+
+    ``deduped`` counts tasks that were *not* executed because an identical
+    task (same content-addressed key) appeared earlier in the same batch;
+    the job-service scheduler reads these counters to prove that N identical
+    submissions ran the underlying work once.
+    """
+
+    executed: int = 0
+    cache_hits: int = 0
+    deduped: int = 0
+
+    @property
+    def resolved(self) -> int:
+        return self.executed + self.cache_hits + self.deduped
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "deduped": self.deduped,
+        }
 
 
 class TaskRunner:
@@ -193,6 +245,12 @@ class TaskRunner:
         Optional :class:`~repro.runtime.cache.TaskCache`.  Tasks whose key is
         present are replayed without executing anything; fresh results are
         stored back.
+    dedup:
+        Collapse tasks *within a batch* that share a content-addressed key:
+        one representative executes and every duplicate observes its result.
+        Safe because equal keys mean equal code and equal parameters, and the
+        runtime requires tasks to be deterministic (the same assumption the
+        cache already replays results under).
     """
 
     def __init__(
@@ -201,6 +259,7 @@ class TaskRunner:
         parallel: bool = False,
         max_workers: int | None = None,
         cache: TaskCache | None = None,
+        dedup: bool = True,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
@@ -209,30 +268,60 @@ class TaskRunner:
         self.parallel = parallel
         self.max_workers = max_workers or default_worker_count()
         self.cache = cache
+        self.dedup = dedup
+        self.stats = TaskRunStats()
+        # One runner may be shared by several threads (the job service's
+        # worker pool); counter updates are read-modify-write and need a lock.
+        self._stats_lock = threading.Lock()
 
     def run(self, tasks: Sequence[Task]) -> list[Any]:
         """Resolve every task, via the cache where possible, in order."""
         results: list[Any] = [None] * len(tasks)
         pending: list[tuple[int, Task, str | None]] = []
+        cache_hits = 0
         for i, task in enumerate(tasks):
             key = None
-            if self.cache is not None:
+            if self.cache is not None or self.dedup:
                 key = task.key()
+            if self.cache is not None:
                 hit = self.cache.load(key)
                 if hit is not MISS:
                     results[i] = hit
+                    cache_hits += 1
                     continue
             pending.append((i, task, key))
 
+        # In-batch dedup: the first task with a given key executes, later
+        # ones become followers and observe the representative's result.
+        unique: list[tuple[int, Task, str | None]] = []
+        followers: dict[str, list[int]] = {}
+        seen: dict[str, int] = {}
+        deduped = 0
+        for i, task, key in pending:
+            if self.dedup and key is not None and key in seen:
+                followers.setdefault(key, []).append(i)
+                deduped += 1
+                continue
+            if key is not None:
+                seen[key] = i
+            unique.append((i, task, key))
+
         fresh = execute_tasks(
-            [task for _, task, _ in pending],
+            [task for _, task, _ in unique],
             parallel=self.parallel,
             max_workers=self.max_workers,
         )
-        for (i, task, key), value in zip(pending, fresh):
+        with self._stats_lock:
+            self.stats.cache_hits += cache_hits
+            self.stats.deduped += deduped
+            self.stats.executed += len(unique)
+        for (i, task, key), value in zip(unique, fresh):
             results[i] = value
             if self.cache is not None and key is not None:
                 self.cache.store(key, value, label=task.label)
+            if key is not None:
+                for j in followers.get(key, ()):
+                    results[j] = value
         return results
 
     def run_one(self, task: Task) -> Any:

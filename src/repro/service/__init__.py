@@ -1,0 +1,75 @@
+"""``repro.service`` -- the async job-queue service layer over the runtime.
+
+Kung's balance principle asks for an I/O front end matched to the compute
+engine.  The repo's compute engine (vectorized analytic paths, pooled
+content-addressed tasks, on-disk result caches) was previously fronted only
+by one-shot CLI processes; this package is the long-lived front end:
+
+* :mod:`repro.service.jobs` -- the :class:`Job` state machine and the
+  thread-safe :class:`JobStore` with JSON-lines restart recovery;
+* :mod:`repro.service.scheduler` -- content-addressed dedup (identical
+  in-flight submissions run once) and batching of analytic sweeps onto the
+  vectorized evaluator;
+* :mod:`repro.service.workers` -- the executor/worker-pool bridge onto
+  :class:`~repro.runtime.tasks.TaskRunner` and
+  :class:`~repro.runtime.engine.SweepRunner`, plus the :class:`JobService`
+  facade;
+* :mod:`repro.service.api` -- stdlib JSON-over-HTTP endpoints
+  (``POST /jobs``, ``GET /jobs/{id}``, ``GET /jobs/{id}/result``,
+  ``GET /healthz``, ``GET /cache/stats``);
+* :mod:`repro.service.client` -- the blocking Python client.
+
+Everything is stdlib-only (``threading`` + ``http.server``): no web
+framework is required to run ``repro serve``.
+"""
+
+from repro.service.api import ServiceHTTPServer, serve
+from repro.service.client import ServiceClient
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    JOB_KINDS,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobStore,
+)
+from repro.service.scheduler import (
+    JobScheduler,
+    SchedulerStats,
+    analytic_sweep_payload,
+    evaluate_analytic_sweeps,
+    job_key,
+    normalize_job_params,
+)
+from repro.service.workers import (
+    ExecutorStats,
+    JobExecutor,
+    JobService,
+    WorkerPool,
+)
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "ExecutorStats",
+    "Job",
+    "JobExecutor",
+    "JobScheduler",
+    "JobService",
+    "JobStore",
+    "SchedulerStats",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "WorkerPool",
+    "analytic_sweep_payload",
+    "evaluate_analytic_sweeps",
+    "job_key",
+    "normalize_job_params",
+    "serve",
+]

@@ -1,0 +1,173 @@
+"""The HTTP front end: stdlib JSON endpoints over a :class:`JobService`.
+
+Endpoints (all JSON):
+
+* ``POST /jobs``             -- submit ``{"kind": ..., "params": {...}}``;
+  returns 201 with the job (a deduplicated submission carries
+  ``deduped_into`` naming the in-flight primary it attached to).
+* ``GET  /jobs``             -- every job, oldest first.
+* ``GET  /jobs/{id}``        -- one job's status (no result payload).
+* ``GET  /jobs/{id}/result`` -- 200 with the result once done, 202 while
+  queued/running, 500 with the error once failed.
+* ``GET  /healthz``          -- liveness plus queue/worker/scheduler counters.
+* ``GET  /cache/stats``      -- both caches' hit/miss/store counters,
+  entry counts and size on disk.
+
+Built on :class:`http.server.ThreadingHTTPServer` -- one thread per
+connection, no third-party framework -- because the heavy lifting happens in
+the worker pool; the HTTP layer only moves small JSON documents.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.exceptions import ReproError, ServiceError
+from repro.service.jobs import DONE, FAILED, Job
+from repro.service.workers import JobService
+
+__all__ = ["ServiceHTTPServer", "serve"]
+
+#: Upper bound on request bodies; job submissions are small JSON documents.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`JobService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: JobService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # Keep the access log quiet: the service is driven by tests, benchmarks
+    # and CI where per-request stderr lines are pure noise.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    @property
+    def service(self) -> JobService:
+        return self.server.service
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _read_json(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServiceError("request body required", status=400)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds {MAX_BODY_BYTES}",
+                status=413,
+            )
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"invalid JSON body: {exc}", status=400) from exc
+        if not isinstance(payload, dict):
+            raise ServiceError("JSON body must be an object", status=400)
+        return payload
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_get()
+        except ServiceError as exc:
+            self._send_error(exc.status or 400, str(exc))
+        except Exception as exc:  # noqa: BLE001 - never kill the connection thread
+            self._send_error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_post()
+        except ServiceError as exc:
+            self._send_error(exc.status or 400, str(exc))
+        except ReproError as exc:
+            self._send_error(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 - never kill the connection thread
+            self._send_error(500, f"{type(exc).__name__}: {exc}")
+
+    def _route_get(self) -> None:
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._send(200, self.service.health())
+            return
+        if path == "/cache/stats":
+            self._send(200, self.service.cache_stats())
+            return
+        if path == "/jobs":
+            self._send(
+                200, {"jobs": [job.as_dict() for job in self.service.jobs()]}
+            )
+            return
+        parts = [part for part in path.split("/") if part]
+        if len(parts) == 2 and parts[0] == "jobs":
+            self._send(200, self.service.job(parts[1]).as_dict())
+            return
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            self._send_result(self.service.job(parts[1]))
+            return
+        raise ServiceError(f"no such endpoint {self.path!r}", status=404)
+
+    def _send_result(self, job: Job) -> None:
+        if job.state == DONE:
+            self._send(
+                200,
+                {
+                    "id": job.id,
+                    "state": job.state,
+                    "elapsed_seconds": job.elapsed_seconds,
+                    "result": job.result,
+                },
+            )
+        elif job.state == FAILED:
+            self._send(
+                500, {"id": job.id, "state": job.state, "error": job.error}
+            )
+        else:
+            self._send(202, {"id": job.id, "state": job.state})
+
+    def _route_post(self) -> None:
+        if self.path.rstrip("/") != "/jobs":
+            raise ServiceError(f"no such endpoint {self.path!r}", status=404)
+        payload = self._read_json()
+        kind = payload.get("kind")
+        if not isinstance(kind, str):
+            raise ServiceError("submission needs a string 'kind'", status=400)
+        params = payload.get("params") or {}
+        if not isinstance(params, dict):
+            raise ServiceError("'params' must be an object", status=400)
+        job = self.service.submit(kind, params)
+        self._send(201, job.as_dict())
+
+
+def serve(
+    host: str,
+    port: int,
+    service: JobService,
+) -> ServiceHTTPServer:
+    """Bind the API to ``host:port``; the caller drives ``serve_forever``."""
+    return ServiceHTTPServer((host, port), service)

@@ -1,0 +1,145 @@
+"""A blocking Python client for the job service (stdlib ``http.client``).
+
+The client the tests, benchmarks and ``repro submit`` use: submit a job,
+poll its status, fetch its result.  Errors surface as
+:class:`~repro.exceptions.ServiceError` carrying the HTTP status, so callers
+can distinguish a rejected submission (400) from a lost job (404) or a
+failed one (500).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from repro.exceptions import ServiceError
+from repro.service.jobs import DONE, FAILED
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client for one service endpoint."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8035, *, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach repro service at {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+        try:
+            document = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"non-JSON response from {method} {path}: {raw[:200]!r}",
+                status=response.status,
+            ) from exc
+        return response.status, document
+
+    def _get(self, path: str, *, expect: tuple[int, ...]) -> dict[str, Any]:
+        status, document = self._request("GET", path)
+        if status not in expect:
+            raise ServiceError(
+                document.get("error", f"GET {path} returned {status}"),
+                status=status,
+            )
+        return document
+
+    # -- the API surface -----------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._get("/healthz", expect=(200,))
+
+    def cache_stats(self) -> dict[str, Any]:
+        return self._get("/cache/stats", expect=(200,))
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._get("/jobs", expect=(200,))["jobs"]
+
+    def submit(self, kind: str, params: dict[str, Any]) -> dict[str, Any]:
+        """Submit a job; returns its status document (state ``queued``)."""
+        status, document = self._request(
+            "POST", "/jobs", {"kind": kind, "params": params}
+        )
+        if status != 201:
+            raise ServiceError(
+                document.get("error", f"submission returned {status}"),
+                status=status,
+            )
+        return document
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._get(f"/jobs/{job_id}", expect=(200,))
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The result document of a finished job; raises unless ``done``."""
+        status, document = self._request("GET", f"/jobs/{job_id}/result")
+        if status == 200:
+            return document
+        if status == 202:
+            raise ServiceError(
+                f"job {job_id} is still {document.get('state', 'open')}",
+                status=status,
+            )
+        raise ServiceError(
+            document.get("error", f"job {job_id} returned {status}"),
+            status=status,
+        )
+
+    def wait(
+        self, job_id: str, *, timeout: float = 120.0, poll: float = 0.05
+    ) -> dict[str, Any]:
+        """Block until the job reaches a terminal state; return its result.
+
+        A failed job raises :class:`ServiceError` with the job's error and
+        HTTP status 500; a timeout raises with the last observed state.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            if document["state"] in (DONE, FAILED):
+                return self.result(job_id)
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for job "
+                    f"{job_id} (last state {document['state']!r})"
+                )
+            time.sleep(poll)
+
+    def submit_and_wait(
+        self,
+        kind: str,
+        params: dict[str, Any],
+        *,
+        timeout: float = 120.0,
+        poll: float = 0.05,
+    ) -> dict[str, Any]:
+        """Submit one job and block for its result."""
+        job = self.submit(kind, params)
+        return self.wait(job["id"], timeout=timeout, poll=poll)

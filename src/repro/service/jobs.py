@@ -1,0 +1,265 @@
+"""The job model and store behind the ``repro.service`` layer.
+
+A :class:`Job` is one unit of service work -- a kernel sweep, an experiment
+driver, or a whole scenario suite -- moving through the state machine
+
+    queued -> running -> done | failed
+
+with one extra edge, ``queued -> done``/``queued -> failed``: a submission
+that the scheduler deduplicated against an identical in-flight job never
+runs itself, it observes the primary's outcome directly.
+
+The :class:`JobStore` is a thread-safe in-memory map with optional JSON-lines
+persistence: every state transition appends one self-contained snapshot line
+to the state file, and a restarted service replays the file to recover
+terminal jobs (results included) and requeue the ones that were interrupted.
+Appends are single ``write`` calls of one line, so a crash can at worst leave
+one truncated line at the tail, which replay skips.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.exceptions import ConfigurationError, ServiceError
+
+__all__ = [
+    "Job",
+    "JobStore",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+]
+
+#: The work shapes the service accepts (see repro.service.scheduler).
+JOB_KINDS = ("sweep", "experiment", "suite")
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+#: Legal state-machine edges; anything else is a programming error.
+_TRANSITIONS = {
+    QUEUED: {RUNNING, DONE, FAILED},
+    RUNNING: {DONE, FAILED},
+    DONE: set(),
+    FAILED: set(),
+}
+
+STATE_SCHEMA = "repro-service-job/v1"
+
+
+def _new_job_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class Job:
+    """One service job and its full observable history."""
+
+    id: str
+    kind: str
+    params: dict[str, Any]
+    state: str = QUEUED
+    key: str | None = None
+    deduped_into: str | None = None
+    result: Any = None
+    error: str | None = None
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    @property
+    def elapsed_seconds(self) -> float | None:
+        """Wall-clock from submission to completion (``None`` while open)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.created_at
+
+    def as_dict(self, *, include_result: bool = False) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "params": self.params,
+            "state": self.state,
+            "key": self.key,
+            "deduped_into": self.deduped_into,
+            "error": self.error,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "elapsed_seconds": self.elapsed_seconds,
+            "has_result": self.result is not None,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+
+class JobStore:
+    """Thread-safe job map with optional JSON-lines snapshot persistence."""
+
+    def __init__(self, state_path: str | Path | None = None) -> None:
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.RLock()
+        self.state_path = Path(state_path).expanduser() if state_path else None
+        if self.state_path is not None and self.state_path.exists():
+            self._replay()
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ServiceError(f"unknown job {job_id!r}", status=404) from None
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._jobs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def jobs(self) -> list[Job]:
+        """Every job, oldest submission first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.created_at)
+
+    def state_counts(self) -> dict[str, int]:
+        counts = dict.fromkeys(JOB_STATES, 0)
+        for job in self.jobs():
+            counts[job.state] += 1
+        return counts
+
+    def interrupted(self) -> list[Job]:
+        """Jobs a previous process left open (to be requeued on recovery)."""
+        return [job for job in self.jobs() if not job.terminal]
+
+    # -- transitions ---------------------------------------------------------
+
+    def create(
+        self,
+        kind: str,
+        params: dict[str, Any],
+        *,
+        key: str | None = None,
+        deduped_into: str | None = None,
+    ) -> Job:
+        if kind not in JOB_KINDS:
+            known = ", ".join(JOB_KINDS)
+            raise ConfigurationError(
+                f"unknown job kind {kind!r}; known kinds: {known}"
+            )
+        job = Job(
+            id=_new_job_id(),
+            kind=kind,
+            params=dict(params),
+            key=key,
+            deduped_into=deduped_into,
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+            self._persist(job)
+        return job
+
+    def mark_running(self, job: Job) -> None:
+        self._transition(job, RUNNING)
+
+    def mark_done(self, job: Job, result: Any) -> None:
+        self._transition(job, DONE, result=result)
+
+    def mark_failed(self, job: Job, error: str) -> None:
+        self._transition(job, FAILED, error=error)
+
+    def requeue(self, job: Job) -> None:
+        """Reset an interrupted job to ``queued`` (restart recovery)."""
+        with self._lock:
+            if job.terminal:
+                raise ConfigurationError(
+                    f"job {job.id} is {job.state}; only open jobs requeue"
+                )
+            job.state = QUEUED
+            job.started_at = None
+            job.deduped_into = None
+            self._persist(job)
+
+    def _transition(
+        self, job: Job, state: str, *, result: Any = None, error: str | None = None
+    ) -> None:
+        with self._lock:
+            if state not in _TRANSITIONS[job.state]:
+                raise ConfigurationError(
+                    f"job {job.id} cannot move {job.state!r} -> {state!r}"
+                )
+            job.state = state
+            if state == RUNNING:
+                job.started_at = time.time()
+            else:
+                job.finished_at = time.time()
+                job.result = result
+                job.error = error
+            self._persist(job)
+
+    # -- persistence ---------------------------------------------------------
+
+    def _persist(self, job: Job) -> None:
+        if self.state_path is None:
+            return
+        snapshot = {"schema": STATE_SCHEMA, "job": job.as_dict(include_result=True)}
+        line = json.dumps(snapshot, sort_keys=True, default=str) + "\n"
+        self.state_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.state_path.open("a") as handle:
+            handle.write(line)
+
+    def _replay(self) -> None:
+        for snapshot in self._read_snapshots():
+            fields = snapshot["job"]
+            job = Job(
+                id=fields["id"],
+                kind=fields["kind"],
+                params=fields.get("params") or {},
+                state=fields.get("state", QUEUED),
+                key=fields.get("key"),
+                deduped_into=fields.get("deduped_into"),
+                result=fields.get("result"),
+                error=fields.get("error"),
+                created_at=fields.get("created_at") or time.time(),
+                started_at=fields.get("started_at"),
+                finished_at=fields.get("finished_at"),
+            )
+            self._jobs[job.id] = job  # later snapshots win
+
+    def _read_snapshots(self) -> Iterator[dict[str, Any]]:
+        for line in self.state_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                snapshot = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated tail line from a crashed writer
+            if (
+                isinstance(snapshot, dict)
+                and snapshot.get("schema") == STATE_SCHEMA
+                and isinstance(snapshot.get("job"), dict)
+                and "id" in snapshot["job"]
+            ):
+                yield snapshot

@@ -1,0 +1,458 @@
+"""Content-addressed job scheduling: dedup and vectorized batching.
+
+Two ideas from the runtime carry over to the service queue:
+
+* **Dedup by content address.**  Every job gets a key derived from the
+  runtime's content-addressed task keys (callable identity + module source +
+  parameter fingerprint -- see :func:`repro.runtime.tasks.task_key` and
+  :func:`repro.runtime.cache.execution_key`).  While a job with a given key
+  is queued or running, identical submissions attach to it as *followers*:
+  the underlying work executes once and every submission observes the same
+  result.  Because code versions participate in the keys, editing a kernel
+  or experiment driver naturally stops dedup against stale in-flight work.
+
+* **Batching onto the vectorized path.**  Analytic sweep jobs are closed-form
+  evaluations over ``(N, M)`` grids.  When a worker claims one, the scheduler
+  hands over *every* queued analytic sweep at once; the batch is grouped by
+  kernel and each group evaluated as a single
+  :func:`repro.runtime.vectorized.cost_grid` array pass over the union grid.
+  Elementwise evaluation guarantees each job's slice of the union grid is
+  bitwise identical to evaluating that job alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.sweep import normalize_memory_sizes
+from repro.core.registry import ComputationSpec, get as registry_get
+from repro.exceptions import ConfigurationError
+from repro.runtime.cache import execution_key
+from repro.runtime.suites import (
+    ExperimentScenario,
+    build_kernel,
+    get_suite,
+)
+from repro.runtime.tasks import task_key
+from repro.runtime.vectorized import cost_grid
+from repro.service.jobs import JOB_KINDS, Job, JobStore
+
+__all__ = [
+    "JobScheduler",
+    "SchedulerStats",
+    "job_key",
+    "normalize_job_params",
+    "experiment_scenario",
+    "analytic_sweep_payload",
+    "evaluate_analytic_sweeps",
+    "is_analytic_sweep",
+]
+
+ANALYTIC_SWEEP_SCHEMA = "repro-service-analytic-sweep/v1"
+
+#: Modules whose source participates in a suite job's content address: the
+#: suite definitions themselves hash via ``get_suite``'s module, these cover
+#: the engines and drivers the suite lowers onto.
+_SUITE_KEY_MODULES = (
+    "repro.runtime.engine",
+    "repro.runtime.tasks",
+    "repro.experiments.arrays_section4",
+    "repro.experiments.fft_figure2",
+    "repro.experiments.pebble_bounds",
+    "repro.experiments.warp_study",
+)
+
+_ANALYTIC_KEY_MODULES = ("repro.core.registry", "repro.runtime.vectorized")
+
+
+# ---------------------------------------------------------------------------
+# Job parameter validation and content addressing.
+# ---------------------------------------------------------------------------
+
+
+def normalize_job_params(kind: str, params: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate a submission and reduce it to canonical JSON-native params.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` on anything the
+    executor could not run, so the API layer can reject bad submissions with
+    a 400 instead of queueing a job doomed to fail.
+    """
+    if kind not in JOB_KINDS:
+        known = ", ".join(JOB_KINDS)
+        raise ConfigurationError(f"unknown job kind {kind!r}; known kinds: {known}")
+    params = dict(params)
+    if kind == "suite":
+        name = params.get("suite")
+        if not isinstance(name, str):
+            raise ConfigurationError("suite jobs need a 'suite' name")
+        get_suite(name)  # raises on unknown suites
+        return {"suite": name}
+    if kind == "experiment":
+        experiment = params.get("experiment")
+        if not isinstance(experiment, str):
+            raise ConfigurationError("experiment jobs need an 'experiment' kind")
+        extra = params.get("params") or {}
+        if not isinstance(extra, Mapping):
+            raise ConfigurationError(
+                f"experiment 'params' must be a mapping, got {extra!r}"
+            )
+        # Constructing the scenario validates the kind; building its tasks
+        # (below, in job_key) validates the driver parameters.
+        experiment_scenario(experiment, extra)
+        return {"experiment": experiment, "params": dict(extra)}
+    kernel = params.get("kernel")
+    if not isinstance(kernel, str):
+        raise ConfigurationError("sweep jobs need a 'kernel' name")
+    build_kernel(kernel)  # raises on unknown kernels
+    memory_sizes = params.get("memory_sizes")
+    if memory_sizes is None:
+        raise ConfigurationError("sweep jobs need 'memory_sizes'")
+    if isinstance(memory_sizes, (str, bytes)) or not isinstance(
+        memory_sizes, Sequence
+    ):
+        # A bare string would be iterated character by character and silently
+        # accepted as a grid the caller never asked for.
+        raise ConfigurationError(
+            f"'memory_sizes' must be a list of integers, got {memory_sizes!r}"
+        )
+    try:
+        sizes = [int(size) for size in normalize_memory_sizes(memory_sizes)]
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"'memory_sizes' must be a list of integers, got {memory_sizes!r}"
+        ) from exc
+    if params.get("analytic"):
+        problem_size = _int_param(params.get("problem_size", 4096), "problem_size")
+        if problem_size < 1:
+            raise ConfigurationError(
+                f"problem_size must be >= 1, got {problem_size!r}"
+            )
+        return {
+            "kernel": kernel,
+            "memory_sizes": sizes,
+            "problem_size": problem_size,
+            "analytic": True,
+        }
+    scale = params.get("scale")
+    if scale is None:
+        raise ConfigurationError("measured sweep jobs need a 'scale'")
+    return {
+        "kernel": kernel,
+        "memory_sizes": sizes,
+        "scale": _int_param(scale, "scale"),
+        "analytic": False,
+    }
+
+
+def _int_param(value: Any, label: str) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"sweep {label!r} must be an integer, got {value!r}"
+        ) from exc
+
+
+def experiment_scenario(experiment: str, params: Mapping[str, Any]) -> ExperimentScenario:
+    return ExperimentScenario(
+        name=f"job-{experiment}", experiment=experiment, params=dict(params)
+    )
+
+
+def is_analytic_sweep(job: Job) -> bool:
+    return job.kind == "sweep" and bool(job.params.get("analytic"))
+
+
+def _digest(parts: Sequence[str]) -> str:
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def job_key(kind: str, params: Mapping[str, Any]) -> str:
+    """Content address of one job, built from the runtime's task keys.
+
+    ``params`` must already be canonical (:func:`normalize_job_params`).
+    """
+    if kind == "suite":
+        return task_key(
+            get_suite, {"name": params["suite"]}, modules=_SUITE_KEY_MODULES
+        )
+    if kind == "experiment":
+        scenario = experiment_scenario(params["experiment"], params["params"])
+        keys = sorted(task.key() for task in scenario.tasks())
+        return _digest(["experiment", *keys])
+    if params.get("analytic"):
+        return task_key(
+            analytic_sweep_payload,
+            {
+                "kernel": params["kernel"],
+                "memory_sizes": params["memory_sizes"],
+                "problem_size": params["problem_size"],
+            },
+            modules=_ANALYTIC_KEY_MODULES,
+        )
+    kernel = build_kernel(params["kernel"])
+    keys = []
+    for size in params["memory_sizes"]:
+        kernel.validate_memory(size)
+        problem = kernel.problem_for_memory(size, params["scale"])
+        keys.append(execution_key(kernel, size, problem))
+    return _digest(["sweep", json.dumps(params, sort_keys=True), *keys])
+
+
+# ---------------------------------------------------------------------------
+# The vectorized analytic-sweep path.
+# ---------------------------------------------------------------------------
+
+
+def _registry_spec(kernel: str) -> ComputationSpec:
+    # The registry may know a kernel under a different name than the CLI
+    # factory (e.g. sparse_matvec -> spmv); resolve through the kernel class.
+    registry_name = build_kernel(kernel).registry_name or kernel
+    return registry_get(registry_name)
+
+
+def _analytic_rows(
+    memory_sizes: Sequence[int],
+    *,
+    costs: Any,
+    intensities: np.ndarray,
+    row_index: int,
+    column_of: Mapping[int, int],
+) -> list[dict[str, float]]:
+    rows = []
+    for size in memory_sizes:
+        j = column_of[size]
+        rows.append(
+            {
+                "memory_words": float(size),
+                "model_intensity": float(intensities[j]),
+                "cost_intensity": float(costs.intensity[row_index, j]),
+                "compute_ops": float(costs.compute_ops[row_index, j]),
+                "io_words": float(costs.io_words[row_index, j]),
+            }
+        )
+    return rows
+
+
+def analytic_sweep_payload(
+    kernel: str, memory_sizes: Sequence[int], problem_size: int
+) -> dict[str, Any]:
+    """Evaluate one analytic sweep job (also the dedup key's callable)."""
+    (payload,) = evaluate_analytic_sweeps(
+        [{"kernel": kernel, "memory_sizes": list(memory_sizes), "problem_size": int(problem_size)}]
+    )
+    return payload
+
+
+def evaluate_analytic_sweeps(
+    jobs: Sequence[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Evaluate many analytic sweep jobs, one array pass per kernel group.
+
+    Jobs sharing a kernel are merged onto the union ``(N, M)`` grid and
+    evaluated with a single :func:`repro.runtime.vectorized.cost_grid` call;
+    each job's rows are then sliced back out of the batch.  Payloads come
+    back in submission order and carry the size of the batch they rode in.
+    """
+    groups: dict[str, list[int]] = {}
+    for index, job in enumerate(jobs):
+        groups.setdefault(job["kernel"], []).append(index)
+
+    payloads: list[dict[str, Any] | None] = [None] * len(jobs)
+    for kernel, indices in groups.items():
+        spec = _registry_spec(kernel)
+        problem_sizes = sorted({int(jobs[i]["problem_size"]) for i in indices})
+        memories = sorted(
+            {int(size) for i in indices for size in jobs[i]["memory_sizes"]}
+        )
+        row_of = {size: i for i, size in enumerate(problem_sizes)}
+        column_of = {size: j for j, size in enumerate(memories)}
+        costs = cost_grid(spec, problem_sizes, memories)
+        intensities = spec.batch_intensity(np.asarray(memories, dtype=float))
+        for i in indices:
+            job = jobs[i]
+            payloads[i] = {
+                "schema": ANALYTIC_SWEEP_SCHEMA,
+                "kernel": job["kernel"],
+                "computation": spec.name,
+                "problem_size": int(job["problem_size"]),
+                "memory_sizes": [int(size) for size in job["memory_sizes"]],
+                "rows": _analytic_rows(
+                    job["memory_sizes"],
+                    costs=costs,
+                    intensities=intensities,
+                    row_index=row_of[int(job["problem_size"])],
+                    column_of=column_of,
+                ),
+                "batch_jobs": len(jobs),
+                "batch_grid_points": len(problem_sizes) * len(memories),
+            }
+    return payloads  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# The scheduler proper.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SchedulerStats:
+    """Counters accumulated over the lifetime of a :class:`JobScheduler`."""
+
+    submitted: int = 0
+    deduped: int = 0
+    batches: int = 0
+    batched_jobs: int = 0
+    completed: int = 0
+    failed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "deduped": self.deduped,
+            "batches": self.batches,
+            "batched_jobs": self.batched_jobs,
+            "completed": self.completed,
+            "failed": self.failed,
+        }
+
+
+class JobScheduler:
+    """FIFO job queue with in-flight dedup and analytic-sweep batching.
+
+    All state transitions happen under one condition variable, so a follower
+    can never attach to a primary after its result has been fanned out.
+    """
+
+    def __init__(self, store: JobStore) -> None:
+        self.store = store
+        self._cond = threading.Condition()
+        self._queue: deque[str] = deque()
+        self._inflight: dict[str, str] = {}  # job key -> primary job id
+        self._followers: dict[str, list[str]] = {}  # primary id -> follower ids
+        self._closed = False
+        self.stats = SchedulerStats()
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, kind: str, params: Mapping[str, Any]) -> Job:
+        """Create a job; attach it to an identical in-flight one if present."""
+        params = normalize_job_params(kind, params)
+        key = job_key(kind, params)  # may be slow; computed outside the lock
+        with self._cond:
+            self.stats.submitted += 1
+            primary_id = self._inflight.get(key)
+            if primary_id is not None:
+                job = self.store.create(
+                    kind, params, key=key, deduped_into=primary_id
+                )
+                self._followers.setdefault(primary_id, []).append(job.id)
+                self.stats.deduped += 1
+                return job
+            job = self.store.create(kind, params, key=key)
+            self._inflight[key] = job.id
+            self._queue.append(job.id)
+            self._cond.notify()
+            return job
+
+    def requeue(self, job: Job) -> None:
+        """Re-enqueue a recovered job under its existing id (restart path).
+
+        Recovered duplicates are not re-deduplicated against each other: each
+        runs as its own primary (the caches make the repeats cheap), which
+        keeps recovery independent of replay order.
+        """
+        key = job.key
+        if key is None:  # journal predates key persistence; recompute
+            key = job_key(job.kind, normalize_job_params(job.kind, job.params))
+        with self._cond:
+            self.store.requeue(job)
+            job.key = key
+            self._inflight.setdefault(key, job.id)
+            self._queue.append(job.id)
+            self._cond.notify()
+
+    # -- the worker side -----------------------------------------------------
+
+    def claim(self, timeout: float | None = None) -> list[Job]:
+        """Pop the next unit of work, marking every claimed job running.
+
+        Returns one job -- or, when the head of the queue is an analytic
+        sweep, every queued analytic sweep as one batch.  Returns ``[]`` on
+        timeout or shutdown.
+        """
+        with self._cond:
+            if not self._queue and not self._closed:
+                self._cond.wait(timeout)
+            if not self._queue:
+                return []
+            batch = [self.store.get(self._queue.popleft())]
+            if is_analytic_sweep(batch[0]):
+                rest: deque[str] = deque()
+                while self._queue:
+                    job = self.store.get(self._queue.popleft())
+                    if is_analytic_sweep(job):
+                        batch.append(job)
+                    else:
+                        rest.append(job.id)
+                self._queue = rest
+                if len(batch) > 1:
+                    self.stats.batches += 1
+                    self.stats.batched_jobs += len(batch)
+            for job in batch:
+                self.store.mark_running(job)
+            return batch
+
+    def finish(self, job: Job, result: Any) -> None:
+        """Complete a job; its followers observe the same result."""
+        self._complete(job, result=result, error=None)
+
+    def fail(self, job: Job, error: str) -> None:
+        """Fail a job; its followers observe the same error."""
+        self._complete(job, result=None, error=error)
+
+    def _complete(self, job: Job, *, result: Any, error: str | None) -> None:
+        # Detach the followers and release the key under the lock -- no new
+        # follower can attach once the key is gone -- but persist the (large)
+        # result snapshots outside it, so submit/claim never stall behind
+        # journal writes.
+        with self._cond:
+            follower_ids = self._followers.pop(job.id, [])
+            if job.key is not None and self._inflight.get(job.key) == job.id:
+                del self._inflight[job.key]
+            if error is None:
+                self.stats.completed += 1 + len(follower_ids)
+            else:
+                self.stats.failed += 1 + len(follower_ids)
+        for target in (job, *(self.store.get(fid) for fid in follower_ids)):
+            if error is None:
+                self.store.mark_done(target, result)
+            else:
+                self.store.mark_failed(target, error)
+
+    def close(self) -> None:
+        """Wake every waiting worker so it can observe shutdown."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def reopen(self) -> None:
+        """Allow ``claim`` to block again after a close (pool restart)."""
+        with self._cond:
+            self._closed = False

@@ -1,0 +1,308 @@
+"""Workers: bridging the job queue onto the existing task runtime.
+
+A :class:`JobExecutor` owns the shared runtime state -- one
+:class:`~repro.runtime.cache.ResultCache` / :class:`~repro.runtime.cache.TaskCache`
+pair and one :class:`~repro.runtime.tasks.TaskRunner` -- so every job served
+by the process shares the warm caches and the dedup/stat counters, exactly
+as a long-lived front end should (the point of the service layer is to stop
+paying one-shot CLI costs per request).  Determinism carries over unchanged:
+jobs lower onto the same task builders and sweep plans the CLI uses, and the
+runtime guarantees serial == parallel bitwise.
+
+A :class:`WorkerPool` runs N daemon threads that claim work from the
+:class:`~repro.service.scheduler.JobScheduler` and execute it; the
+:class:`JobService` facade wires store, scheduler, executor and pool
+together (plus restart recovery) for the HTTP layer and the CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ReproError
+from repro.runtime.cache import ResultCache, TaskCache
+from repro.runtime.engine import SweepRunner
+from repro.runtime.suites import build_kernel, get_suite, run_suite
+from repro.runtime.tasks import TaskRunner
+from repro.service.jobs import Job, JobStore
+from repro.service.scheduler import (
+    JobScheduler,
+    evaluate_analytic_sweeps,
+    experiment_scenario,
+    is_analytic_sweep,
+)
+
+__all__ = ["ExecutorStats", "JobExecutor", "WorkerPool", "JobService"]
+
+SWEEP_SCHEMA = "repro-sweep-result/v1"
+EXPERIMENT_SCHEMA = "repro-service-experiment/v1"
+
+
+@dataclass
+class ExecutorStats:
+    """Counters accumulated over the lifetime of a :class:`JobExecutor`."""
+
+    jobs_executed: int = 0
+    vector_batches: int = 0
+    vector_jobs: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "jobs_executed": self.jobs_executed,
+            "vector_batches": self.vector_batches,
+            "vector_jobs": self.vector_jobs,
+        }
+
+
+class JobExecutor:
+    """Executes claimed jobs on one long-lived slice of the task runtime."""
+
+    def __init__(
+        self,
+        *,
+        cache_dir: str | Path | None = None,
+        parallel: bool = True,
+        max_workers: int | None = None,
+    ) -> None:
+        root = Path(cache_dir).expanduser() if cache_dir else None
+        self.result_cache = ResultCache(root) if root else None
+        self.task_cache = TaskCache(root / "tasks") if root else None
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.task_runner = TaskRunner(
+            parallel=parallel, max_workers=max_workers, cache=self.task_cache
+        )
+        self.stats = ExecutorStats()
+        self._stats_lock = threading.Lock()
+
+    def sweep_runner(self) -> SweepRunner:
+        return SweepRunner(
+            parallel=self.parallel,
+            max_workers=self.max_workers,
+            cache=self.result_cache,
+        )
+
+    # -- job execution -------------------------------------------------------
+
+    def execute_batch(self, jobs: list[Job]) -> list[dict[str, Any]]:
+        """Resolve one claimed batch to result payloads, in claim order.
+
+        A batch is either one job of any kind, or several analytic sweeps
+        (the scheduler's vectorized-batching contract).
+        """
+        if len(jobs) > 1 or (jobs and is_analytic_sweep(jobs[0])):
+            payloads = evaluate_analytic_sweeps([job.params for job in jobs])
+            with self._stats_lock:
+                self.stats.jobs_executed += len(jobs)
+                self.stats.vector_batches += 1
+                self.stats.vector_jobs += len(jobs)
+            return payloads
+        return [self.execute(job) for job in jobs]
+
+    def execute(self, job: Job) -> dict[str, Any]:
+        with self._stats_lock:
+            self.stats.jobs_executed += 1
+        if job.kind == "suite":
+            return self._execute_suite(job)
+        if job.kind == "experiment":
+            return self._execute_experiment(job)
+        return self._execute_sweep(job)
+
+    def _execute_suite(self, job: Job) -> dict[str, Any]:
+        suite = get_suite(job.params["suite"])
+        result = run_suite(suite, self.sweep_runner(), task_runner=self.task_runner)
+        return result.as_dict()
+
+    def _execute_experiment(self, job: Job) -> dict[str, Any]:
+        scenario = experiment_scenario(
+            job.params["experiment"], job.params["params"]
+        )
+        tasks = scenario.tasks()
+        results = self.task_runner.run(tasks)
+        return {
+            "schema": EXPERIMENT_SCHEMA,
+            "experiment": scenario.experiment,
+            "tasks": len(tasks),
+            "summary": scenario.summarize(results),
+        }
+
+    def _execute_sweep(self, job: Job) -> dict[str, Any]:
+        params = job.params
+        kernel = build_kernel(params["kernel"])
+        sweep = self.sweep_runner().run_default(
+            kernel, params["memory_sizes"], params["scale"]
+        )
+        try:
+            fit = {
+                "power_law_exponent": sweep.power_law_fit().exponent,
+                "best_model": sweep.best_model(),
+                "computation_class": sweep.classification().computation_class.value,
+            }
+        except ReproError:
+            fit = None  # law fitting needs three or more points
+        return {
+            "schema": SWEEP_SCHEMA,
+            "kernel": params["kernel"],
+            "scale": params["scale"],
+            "memory_sizes": [int(size) for size in sweep.memory_sizes],
+            "rows": sweep.rows(),
+            "fit": fit,
+        }
+
+    def cache_stats(self) -> dict[str, Any]:
+        """Live stats for both caches, including size on disk."""
+        payload: dict[str, Any] = {"cache_dir": None, "results": None, "tasks": None}
+        if self.result_cache is not None:
+            payload["cache_dir"] = str(self.result_cache.root)
+            payload["results"] = {
+                **self.result_cache.stats.as_dict(),
+                "entries": len(self.result_cache),
+                "disk_usage_bytes": self.result_cache.disk_usage_bytes(),
+            }
+        if self.task_cache is not None:
+            payload["tasks"] = {
+                **self.task_cache.stats.as_dict(),
+                "entries": len(self.task_cache),
+                "disk_usage_bytes": self.task_cache.disk_usage_bytes(),
+            }
+        payload["task_runner"] = self.task_runner.stats.as_dict()
+        return payload
+
+
+class WorkerPool:
+    """N daemon threads draining the scheduler into the executor."""
+
+    def __init__(
+        self, scheduler: JobScheduler, executor: JobExecutor, *, count: int = 2
+    ) -> None:
+        if count < 1:
+            raise ReproError(f"worker count must be >= 1, got {count!r}")
+        self.scheduler = scheduler
+        self.executor = executor
+        self.count = count
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+
+    @property
+    def running(self) -> bool:
+        return any(thread.is_alive() for thread in self._threads)
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        self.scheduler.reopen()  # a stop/start cycle must not leave claim() hot
+        for index in range(self.count):
+            thread = threading.Thread(
+                target=self._loop, name=f"repro-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        self.scheduler.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+        self._stop.clear()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            batch = self.scheduler.claim(timeout=0.1)
+            if not batch:
+                continue
+            try:
+                payloads = self.executor.execute_batch(batch)
+            except Exception as exc:  # noqa: BLE001 - jobs must never kill a worker
+                if len(batch) > 1:
+                    # One bad job must not poison the unrelated analytic
+                    # sweeps that happened to ride the same batch: retry each
+                    # alone so only the actual offenders fail.
+                    for job in batch:
+                        self._run_alone(job)
+                else:
+                    self.scheduler.fail(batch[0], f"{type(exc).__name__}: {exc}")
+                continue
+            for job, payload in zip(batch, payloads):
+                self.scheduler.finish(job, payload)
+
+    def _run_alone(self, job: Job) -> None:
+        try:
+            (payload,) = self.executor.execute_batch([job])
+        except Exception as exc:  # noqa: BLE001 - jobs must never kill a worker
+            self.scheduler.fail(job, f"{type(exc).__name__}: {exc}")
+        else:
+            self.scheduler.finish(job, payload)
+
+
+class JobService:
+    """Store + scheduler + executor + worker pool, wired together.
+
+    The one long-lived object behind both the HTTP API and in-process tests.
+    Construction recovers persisted state (``state_path``); :meth:`start`
+    spins the workers up -- kept separate so tests and benchmarks can queue
+    submissions deterministically before execution begins.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_dir: str | Path | None = None,
+        state_path: str | Path | None = None,
+        parallel: bool = True,
+        max_workers: int | None = None,
+        workers: int = 2,
+    ) -> None:
+        self.store = JobStore(state_path)
+        self.scheduler = JobScheduler(self.store)
+        self.executor = JobExecutor(
+            cache_dir=cache_dir, parallel=parallel, max_workers=max_workers
+        )
+        self.pool = WorkerPool(self.scheduler, self.executor, count=workers)
+        self.started_at = time.time()
+        for job in self.store.interrupted():
+            try:
+                self.scheduler.requeue(job)
+            except ReproError as exc:
+                # A stale journal entry (e.g. a suite renamed between
+                # versions) must not stop the service from booting.
+                self.store.mark_failed(job, f"unrecoverable after restart: {exc}")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "JobService":
+        self.pool.start()
+        return self
+
+    def stop(self) -> None:
+        self.pool.stop()
+
+    # -- the API surface -----------------------------------------------------
+
+    def submit(self, kind: str, params: dict[str, Any]) -> Job:
+        return self.scheduler.submit(kind, params)
+
+    def job(self, job_id: str) -> Job:
+        return self.store.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        return self.store.jobs()
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "uptime_seconds": time.time() - self.started_at,
+            "workers": self.pool.count,
+            "workers_running": self.pool.running,
+            "queue_depth": self.scheduler.queue_depth,
+            "jobs": self.store.state_counts(),
+            "scheduler": self.scheduler.stats.as_dict(),
+            "executor": self.executor.stats.as_dict(),
+        }
+
+    def cache_stats(self) -> dict[str, Any]:
+        return self.executor.cache_stats()

@@ -3,14 +3,18 @@
 from __future__ import annotations
 
 import json
+import threading
 
+import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.kernels.grid import GridRelaxation
 from repro.kernels.matmul import BlockedMatrixMultiply
 from repro.runtime.cache import (
+    MISS,
     ResultCache,
+    TaskCache,
     execution_key,
     kernel_code_version,
 )
@@ -127,3 +131,108 @@ class TestResultCache:
         )
         with pytest.raises(ConfigurationError):
             cache.store(key, fake)
+
+
+class TestDiskUsage:
+    def test_result_cache_reports_entry_bytes(self, cache):
+        assert cache.disk_usage_bytes() == 0
+        kernel, problem, execution = _one_execution()
+        key = cache.key_for(kernel, 27, problem)
+        cache.store(key, execution)
+        usage = cache.disk_usage_bytes()
+        assert usage == cache._path(key).stat().st_size > 0
+
+    def test_task_cache_reports_entry_bytes(self, tmp_path):
+        store = TaskCache(tmp_path / "tasks")
+        assert store.disk_usage_bytes() == 0
+        store.store("ab" * 32, list(range(100)))
+        assert store.disk_usage_bytes() > 0
+        store.clear()
+        assert store.disk_usage_bytes() == 0
+
+    def test_task_cache_usage_ignores_foreign_files(self, tmp_path):
+        store = TaskCache(tmp_path / "tasks")
+        store.store("ab" * 32, "value")
+        (store.root / "ab" / "scratch.tmp").write_bytes(b"x" * 4096)
+        assert store.disk_usage_bytes() == store._path("ab" * 32).stat().st_size
+
+
+class TestConcurrentWriters:
+    """Two writers storing the same key must both succeed via ``_atomic_write``
+    with no torn reads: a concurrent ``load`` sees a complete entry or a miss,
+    never a truncated one."""
+
+    def test_racing_task_stores_and_loads_never_tear(self, tmp_path):
+        store = TaskCache(tmp_path / "tasks")
+        key = "cd" * 32
+        # A value whose pickle is large enough that a torn write would be
+        # visible, and whose content the readers can fully validate.
+        value = {"grid": np.arange(20_000, dtype=np.float64), "label": "x" * 4096}
+        errors: list[str] = []
+        start = threading.Barrier(6)
+
+        def write() -> None:
+            start.wait()
+            for _ in range(25):
+                store.store(key, value)
+
+        def read() -> None:
+            start.wait()
+            for _ in range(50):
+                loaded = store.load(key)
+                if loaded is MISS:
+                    continue
+                if loaded["label"] != value["label"] or not np.array_equal(
+                    loaded["grid"], value["grid"]
+                ):
+                    errors.append("torn read")  # pragma: no cover - failure path
+
+        threads = [threading.Thread(target=write) for _ in range(2)]
+        threads += [threading.Thread(target=read) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert store.stats.stores == 50
+        final = store.load(key)
+        assert np.array_equal(final["grid"], value["grid"])
+        # Both writers published complete entries; exactly one file remains.
+        assert len(store) == 1
+
+    def test_racing_result_stores_agree(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        kernel, problem, execution = _one_execution()
+        key = cache.key_for(kernel, 27, problem)
+        start = threading.Barrier(4)
+        misses_before = cache.stats.misses
+
+        def write() -> None:
+            start.wait()
+            for _ in range(20):
+                cache.store(key, execution)
+
+        loaded: list[object] = []
+
+        def read() -> None:
+            start.wait()
+            for _ in range(40):
+                entry = cache.load(key)
+                if entry is not None:
+                    loaded.append(entry)
+
+        threads = [threading.Thread(target=write) for _ in range(2)]
+        threads += [threading.Thread(target=read) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert cache.stats.stores == 40
+        # Every successful load reconstructed the same measured numbers.
+        for entry in loaded:
+            assert entry.cost == execution.cost
+            assert entry.peak_memory_words == execution.peak_memory_words
+        assert misses_before <= cache.stats.misses <= misses_before + 80
+        assert len(cache) == 1

@@ -6,7 +6,7 @@ import pickle
 
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, TaskExecutionError
 from repro.runtime.cache import MISS, TaskCache
 from repro.runtime.tasks import (
     Task,
@@ -162,3 +162,86 @@ class TestExecuteTasks:
 
 def test_default_worker_count_positive():
     assert default_worker_count() >= 1
+
+
+def boom(x: int) -> int:
+    raise ValueError(f"cannot handle x={x}")
+
+
+class TestFailureLabels:
+    def test_serial_failure_names_the_task(self):
+        tasks = [
+            Task(fn=square, params={"x": 2}),
+            Task(fn=boom, params={"x": 3}, name="doomed-task"),
+        ]
+        with pytest.raises(TaskExecutionError) as excinfo:
+            execute_tasks(tasks, parallel=False, max_workers=1)
+        assert excinfo.value.label == "doomed-task"
+        assert "doomed-task" in str(excinfo.value)
+        assert "cannot handle x=3" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_parallel_failure_names_the_task(self):
+        tasks = [Task(fn=square, params={"x": 1})] + [
+            Task(fn=boom, params={"x": x}, name=f"doomed-{x}") for x in (7, 8)
+        ]
+        with pytest.raises(TaskExecutionError) as excinfo:
+            execute_tasks(tasks, parallel=True, max_workers=2)
+        # The first failure in submission order wins, as in a serial run.
+        assert excinfo.value.label == "doomed-7"
+
+    def test_runner_surfaces_the_label_too(self):
+        with pytest.raises(TaskExecutionError) as excinfo:
+            TaskRunner().run([Task(fn=boom, params={"x": 5}, name="doomed")])
+        assert excinfo.value.label == "doomed"
+
+    def test_default_label_is_the_qualified_name(self):
+        with pytest.raises(TaskExecutionError) as excinfo:
+            TaskRunner().run([Task(fn=boom, params={"x": 5})])
+        assert excinfo.value.label.endswith("boom")
+
+
+class TestInBatchDedup:
+    def test_duplicate_tasks_execute_once(self):
+        runner = TaskRunner()
+        tasks = [Task(fn=square, params={"x": 3}) for _ in range(4)]
+        assert runner.run(tasks) == [9, 9, 9, 9]
+        assert runner.stats.executed == 1
+        assert runner.stats.deduped == 3
+
+    def test_dedup_preserves_order_across_mixed_batches(self):
+        runner = TaskRunner()
+        xs = [5, 1, 5, 4, 1, 5]
+        tasks = [Task(fn=square, params={"x": x}) for x in xs]
+        assert runner.run(tasks) == [x * x for x in xs]
+        assert runner.stats.executed == 3
+        assert runner.stats.deduped == 3
+
+    def test_dedup_can_be_disabled(self):
+        runner = TaskRunner(dedup=False)
+        runner.run([Task(fn=square, params={"x": 3}) for _ in range(4)])
+        assert runner.stats.executed == 4
+        assert runner.stats.deduped == 0
+
+    def test_dedup_composes_with_the_cache(self, tmp_path):
+        cache = TaskCache(tmp_path / "tasks")
+        runner = TaskRunner(cache=cache)
+        runner.run([Task(fn=square, params={"x": 2}) for _ in range(3)])
+        assert runner.stats.executed == 1
+        assert runner.stats.deduped == 2
+        assert cache.stats.stores == 1
+        # A warm rerun resolves everything from the cache.
+        runner.run([Task(fn=square, params={"x": 2}) for _ in range(3)])
+        assert runner.stats.cache_hits == 3
+        assert runner.stats.executed == 1
+
+    def test_stats_resolved_totals(self):
+        runner = TaskRunner()
+        runner.run([Task(fn=square, params={"x": x % 2}) for x in range(4)])
+        stats = runner.stats
+        assert stats.resolved == 4
+        assert stats.as_dict() == {
+            "executed": 2,
+            "cache_hits": 0,
+            "deduped": 2,
+        }

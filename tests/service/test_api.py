@@ -1,0 +1,225 @@
+"""End-to-end tests: HTTP API + client over a live service.
+
+Includes this PR's two acceptance checks: a quick suite submitted through
+the HTTP API matches ``repro suite quick`` run directly, and 8 concurrent
+identical sweep submissions execute the underlying tasks exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.runtime.engine import SweepRunner
+from repro.runtime.cache import ResultCache
+from repro.runtime.suites import run_suite, task_runner_for
+from repro.service import JobService, ServiceClient, serve
+from repro.service.jobs import DONE
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    """Factory for a service + HTTP server + client on an ephemeral port."""
+    running = []
+
+    def build(*, start: bool = True, workers: int = 2, **kwargs) -> tuple:
+        kwargs.setdefault("cache_dir", tmp_path / "cache")
+        kwargs.setdefault("parallel", False)
+        service = JobService(workers=workers, **kwargs)
+        server = serve("127.0.0.1", 0, service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        if start:
+            service.start()
+        running.append((service, server))
+        client = ServiceClient("127.0.0.1", server.port, timeout=10.0)
+        return service, client
+
+    yield build
+    for service, server in running:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+
+class TestEndpoints:
+    def test_healthz(self, live_service):
+        _, client = live_service()
+        health = client.health()
+        assert health["ok"] is True
+        assert health["workers"] == 2 and health["workers_running"] is True
+        assert set(health["jobs"]) == {"queued", "running", "done", "failed"}
+
+    def test_cache_stats_reports_both_stores(self, live_service):
+        _, client = live_service()
+        client.submit_and_wait("experiment", {"experiment": "warp"})
+        stats = client.cache_stats()
+        assert stats["tasks"]["entries"] >= 1
+        assert stats["tasks"]["disk_usage_bytes"] > 0
+        assert stats["results"]["entries"] == 0
+        assert stats["task_runner"]["executed"] >= 1
+
+    def test_submit_and_fetch_result(self, live_service):
+        _, client = live_service()
+        job = client.submit("experiment", {"experiment": "figure2"})
+        assert job["state"] == "queued" and job["deduped_into"] is None
+        document = client.wait(job["id"])
+        assert document["state"] == DONE
+        assert document["result"]["summary"]["correct"] is True
+        # The status endpoint never carries the payload.
+        status = client.job(job["id"])
+        assert status["has_result"] is True and "result" not in status
+
+    def test_jobs_listing(self, live_service):
+        _, client = live_service()
+        job = client.submit("experiment", {"experiment": "warp"})
+        client.wait(job["id"])
+        listed = client.jobs()
+        assert [entry["id"] for entry in listed] == [job["id"]]
+
+    def test_unknown_endpoint_404(self, live_service):
+        _, client = live_service()
+        with pytest.raises(ServiceError) as excinfo:
+            client._get("/frobnicate", expect=(200,))
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_404(self, live_service):
+        _, client = live_service()
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("deadbeef")
+        assert excinfo.value.status == 404
+
+    def test_bad_submission_400(self, live_service):
+        _, client = live_service()
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("compile", {})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("sweep", {"kernel": "fft"})
+        assert excinfo.value.status == 400
+
+    def test_pending_result_202(self, live_service):
+        _, client = live_service(start=False)  # no workers: jobs stay queued
+        job = client.submit("experiment", {"experiment": "warp"})
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(job["id"])
+        assert excinfo.value.status == 202
+
+    def test_failed_job_result_500(self, live_service):
+        service, client = live_service(start=False)
+        job = client.submit("experiment", {"experiment": "warp"})
+
+        def explode(jobs):
+            raise RuntimeError("boom")
+
+        service.executor.execute_batch = explode
+        service.start()
+        with pytest.raises(ServiceError) as excinfo:
+            client.wait(job["id"])
+        assert excinfo.value.status == 500
+        assert "boom" in str(excinfo.value)
+        assert service.job(job["id"]).state == "failed"
+
+    def test_dedup_visible_over_http(self, live_service):
+        _, client = live_service(start=False)
+        spec = {"experiment": "warp"}
+        primary = client.submit("experiment", spec)
+        follower = client.submit("experiment", spec)
+        assert follower["deduped_into"] == primary["id"]
+
+
+class TestAcceptance:
+    def test_quick_suite_over_http_matches_direct_run(self, live_service, tmp_path):
+        """Acceptance: the HTTP path returns the same experiments payload."""
+        runner = SweepRunner(cache=ResultCache(tmp_path / "cache"))
+        direct = run_suite("quick", runner, task_runner=task_runner_for(runner))
+
+        _, client = live_service()  # shares tmp_path/"cache" (now warm)
+        document = client.submit_and_wait("suite", {"suite": "quick"}, timeout=300.0)
+        payload = document["result"]
+
+        assert payload["schema"] == "repro-suite-result/v2"
+        assert payload["experiments"] == direct.as_dict()["experiments"]
+        assert payload["scenarios"] == direct.as_dict()["scenarios"]
+
+    def test_eight_identical_sweeps_execute_once(self, live_service):
+        """Acceptance: N identical submissions run the underlying tasks once."""
+        service, client = live_service(start=False)
+        spec = {"kernel": "fft", "memory_sizes": [4, 8, 16], "scale": 8}
+        jobs = [client.submit("sweep", spec) for _ in range(8)]
+        primaries = [job for job in jobs if job["deduped_into"] is None]
+        assert len(primaries) == 1
+
+        service.start()
+        documents = [client.wait(job["id"]) for job in jobs]
+
+        assert service.scheduler.stats.deduped == 7
+        assert service.executor.stats.jobs_executed == 1
+        # The underlying sweep tasks ran exactly once: one store per point,
+        # no hits (nothing was ever resolved twice).
+        cache_stats = service.executor.result_cache.stats
+        assert cache_stats.stores == 3
+        assert cache_stats.hits == 0
+        rows = [document["result"]["rows"] for document in documents]
+        assert all(entry == rows[0] for entry in rows)
+
+
+class TestVectorizedBatching:
+    def test_queued_analytic_sweeps_ride_one_batch(self, live_service):
+        service, client = live_service(start=False, workers=1)
+        jobs = [
+            client.submit(
+                "sweep",
+                {
+                    "kernel": "matmul",
+                    "memory_sizes": [16 * (i + 1), 64 * (i + 1)],
+                    "problem_size": 1024,
+                    "analytic": True,
+                },
+            )
+            for i in range(4)
+        ]
+        service.start()
+        documents = [client.wait(job["id"]) for job in jobs]
+        assert service.scheduler.stats.batches == 1
+        assert service.scheduler.stats.batched_jobs == 4
+        assert service.executor.stats.vector_batches == 1
+        for document in documents:
+            assert document["result"]["schema"].startswith(
+                "repro-service-analytic-sweep/"
+            )
+            assert document["result"]["batch_jobs"] == 4
+
+
+class TestBatchFailureIsolation:
+    def test_one_bad_analytic_job_does_not_poison_the_batch(
+        self, live_service, monkeypatch
+    ):
+        import repro.service.workers as workers_module
+
+        real = workers_module.evaluate_analytic_sweeps
+
+        def picky(jobs):
+            if any(job["kernel"] == "fft" for job in jobs):
+                raise RuntimeError("fft evaluation exploded")
+            return real(jobs)
+
+        monkeypatch.setattr(workers_module, "evaluate_analytic_sweeps", picky)
+
+        service, client = live_service(start=False, workers=1)
+        good = client.submit(
+            "sweep",
+            {"kernel": "matmul", "memory_sizes": [16, 64], "analytic": True},
+        )
+        bad = client.submit(
+            "sweep", {"kernel": "fft", "memory_sizes": [8, 32], "analytic": True}
+        )
+        service.start()
+
+        document = client.wait(good["id"])
+        assert document["result"]["kernel"] == "matmul"
+        with pytest.raises(ServiceError) as excinfo:
+            client.wait(bad["id"])
+        assert excinfo.value.status == 500
+        assert "fft evaluation exploded" in str(excinfo.value)

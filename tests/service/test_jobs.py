@@ -1,0 +1,192 @@
+"""Tests for the job state machine and the persistent job store."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, Job, JobStore
+
+
+class TestJob:
+    def test_starts_queued_with_fresh_id(self):
+        store = JobStore()
+        job = store.create("suite", {"suite": "quick"})
+        assert job.state == QUEUED
+        assert not job.terminal
+        assert job.elapsed_seconds is None
+        assert store.get(job.id) is job
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            JobStore().create("compile", {})
+
+    def test_as_dict_hides_result_by_default(self):
+        store = JobStore()
+        job = store.create("suite", {"suite": "quick"})
+        store.mark_running(job)
+        store.mark_done(job, {"answer": 42})
+        assert "result" not in job.as_dict()
+        assert job.as_dict()["has_result"] is True
+        assert job.as_dict(include_result=True)["result"] == {"answer": 42}
+        assert job.elapsed_seconds >= 0
+
+    def test_unknown_job_is_a_404_service_error(self):
+        with pytest.raises(ServiceError) as excinfo:
+            JobStore().get("nope")
+        assert excinfo.value.status == 404
+
+
+class TestTransitions:
+    def test_full_lifecycle(self):
+        store = JobStore()
+        job = store.create("suite", {"suite": "quick"})
+        store.mark_running(job)
+        assert job.state == RUNNING and job.started_at is not None
+        store.mark_done(job, {"ok": True})
+        assert job.state == DONE and job.terminal
+
+    def test_queued_job_may_complete_directly(self):
+        # The dedup path: a follower observes the primary's outcome without
+        # ever running itself.
+        store = JobStore()
+        done = store.create("suite", {"suite": "quick"})
+        store.mark_done(done, {"ok": True})
+        failed = store.create("suite", {"suite": "quick"})
+        store.mark_failed(failed, "primary failed")
+        assert done.state == DONE and failed.state == FAILED
+        assert failed.error == "primary failed"
+
+    def test_terminal_states_are_final(self):
+        store = JobStore()
+        job = store.create("suite", {"suite": "quick"})
+        store.mark_running(job)
+        store.mark_done(job, None)
+        with pytest.raises(ConfigurationError):
+            store.mark_running(job)
+        with pytest.raises(ConfigurationError):
+            store.mark_failed(job, "too late")
+
+    def test_requeue_rejects_terminal_jobs(self):
+        store = JobStore()
+        job = store.create("suite", {"suite": "quick"})
+        store.mark_running(job)
+        store.mark_failed(job, "boom")
+        with pytest.raises(ConfigurationError):
+            store.requeue(job)
+
+    def test_state_counts(self):
+        store = JobStore()
+        store.create("suite", {"suite": "quick"})
+        running = store.create("suite", {"suite": "full"})
+        store.mark_running(running)
+        counts = store.state_counts()
+        assert counts == {QUEUED: 1, RUNNING: 1, DONE: 0, FAILED: 0}
+
+
+class TestPersistence:
+    def test_terminal_jobs_survive_restart_with_results(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        job = store.create("experiment", {"experiment": "warp", "params": {}})
+        store.mark_running(job)
+        store.mark_done(job, {"summary": {"cell_not_io_starved": True}})
+
+        recovered = JobStore(path)
+        twin = recovered.get(job.id)
+        assert twin.state == DONE
+        assert twin.result == {"summary": {"cell_not_io_starved": True}}
+        assert twin.created_at == pytest.approx(job.created_at)
+        assert recovered.interrupted() == []
+
+    def test_open_jobs_are_reported_as_interrupted(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        queued = store.create("suite", {"suite": "quick"})
+        running = store.create("suite", {"suite": "mixed"})
+        store.mark_running(running)
+
+        recovered = JobStore(path)
+        interrupted = {job.id for job in recovered.interrupted()}
+        assert interrupted == {queued.id, running.id}
+
+    def test_truncated_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        job = store.create("suite", {"suite": "quick"})
+        store.mark_running(job)
+        store.mark_done(job, {"ok": True})
+        with path.open("a") as handle:
+            handle.write('{"schema": "repro-service-job/v1", "job": {"id": "tr')
+
+        recovered = JobStore(path)
+        assert recovered.get(job.id).state == DONE
+        assert len(recovered) == 1
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text('not json\n[1, 2]\n{"schema": "other/v9", "job": {}}\n')
+        assert len(JobStore(path)) == 0
+
+    def test_later_snapshots_win(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        job = store.create("suite", {"suite": "quick"})
+        store.mark_running(job)
+        store.mark_failed(job, "boom")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        states = [json.loads(line)["job"]["state"] for line in lines]
+        assert states == [QUEUED, RUNNING, FAILED]
+        assert JobStore(path).get(job.id).state == FAILED
+
+    def test_concurrent_transitions_keep_the_journal_line_oriented(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        jobs = [store.create("suite", {"suite": "quick"}) for _ in range(8)]
+
+        def finish(job: Job) -> None:
+            store.mark_running(job)
+            store.mark_done(job, {"ok": True})
+
+        threads = [threading.Thread(target=finish, args=(job,)) for job in jobs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        recovered = JobStore(path)
+        assert len(recovered) == 8
+        assert all(job.state == DONE for job in recovered.jobs())
+
+
+class TestRecoveryResilience:
+    def test_stale_journal_entry_does_not_block_boot(self, tmp_path):
+        # A queued job whose params no longer validate (e.g. a suite renamed
+        # between versions) must not stop the service from starting; it is
+        # marked failed instead.
+        from repro.service.jobs import STATE_SCHEMA
+        from repro.service.workers import JobService
+
+        path = tmp_path / "jobs.jsonl"
+        stale = {
+            "schema": STATE_SCHEMA,
+            "job": {
+                "id": "stale0badjob",
+                "kind": "suite",
+                "params": {"suite": "renamed-away"},
+                "state": QUEUED,
+                "key": None,
+                "created_at": 1.0,
+            },
+        }
+        path.write_text(json.dumps(stale) + "\n")
+
+        service = JobService(state_path=path, workers=1)
+        job = service.store.get("stale0badjob")
+        assert job.state == FAILED
+        assert "unrecoverable after restart" in job.error
+        assert service.scheduler.queue_depth == 0

@@ -247,3 +247,108 @@ class TestIntListParsing:
     def test_malformed_int_list_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["arrays", "--sides", "2,banana"])
+
+
+class TestServiceParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1" and args.port == 8035
+        assert args.workers == 2 and args.state_file is None
+
+    def test_submit_requires_kind_and_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "compile", "x"])
+        args = build_parser().parse_args(["submit", "suite", "quick", "--no-wait"])
+        assert args.kind == "suite" and args.spec == "quick" and args.no_wait
+
+    def test_cache_requires_an_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+        args = build_parser().parse_args(["cache", "stats"])
+        assert args.action == "stats"
+
+
+class TestCacheCommand:
+    def test_stats_reports_entries_and_bytes(self, tmp_path, capsys):
+        from repro.runtime import TaskCache
+
+        root = tmp_path / "cache"
+        TaskCache(root / "tasks").store("ab" * 32, {"value": 1})
+        assert main(["cache", "stats", "--cache-dir", str(root)]) == 0
+        output = capsys.readouterr().out
+        assert "task results  : 1 entries" in output
+        assert "sweep points  : 0 entries" in output
+        assert str(root) in output
+
+    def test_clear_removes_everything(self, tmp_path, capsys):
+        from repro.runtime import TaskCache
+
+        root = tmp_path / "cache"
+        TaskCache(root / "tasks").store("ab" * 32, {"value": 1})
+        TaskCache(root / "tasks").store("cd" * 32, {"value": 2})
+        assert main(["cache", "clear", "--cache-dir", str(root)]) == 0
+        assert "removed 2 cache entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(root)]) == 0
+        assert "total         : 0 entries" in capsys.readouterr().out
+
+
+class TestSubmitCommand:
+    @pytest.fixture
+    def live_port(self, tmp_path):
+        import threading
+
+        from repro.service import JobService, serve
+
+        service = JobService(cache_dir=tmp_path / "cache", parallel=False)
+        server = serve("127.0.0.1", 0, service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        service.start()
+        yield server.port
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+    def test_submit_experiment_waits_and_prints_result(self, live_port, capsys):
+        argv = ["submit", "experiment", "warp", "--port", str(live_port)]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "submitted: experiment warp" in output
+        assert "done in" in output
+        assert "cell_not_io_starved" in output
+
+    def test_submit_writes_json(self, live_port, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        argv = [
+            "submit", "experiment", "figure2",
+            "--port", str(live_port), "--json", str(out),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["correct"] is True
+
+    def test_submit_no_wait_returns_immediately(self, live_port, capsys):
+        argv = [
+            "submit", "sweep", "fft", "--port", str(live_port), "--no-wait",
+            "--params", '{"memory_sizes": [4, 8], "scale": 8}',
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "submitted: sweep fft" in output and "done in" not in output
+
+    def test_submit_fills_sweep_defaults(self, live_port, capsys):
+        argv = ["submit", "sweep", "fft", "--port", str(live_port), "--no-wait"]
+        assert main(argv) == 0
+        assert "submitted: sweep fft" in capsys.readouterr().out
+
+    def test_bad_params_json_is_a_usage_error(self, capsys):
+        argv = ["submit", "suite", "quick", "--params", "not-json"]
+        assert main(argv) == 2
+        assert "JSON" in capsys.readouterr().err
+
+    def test_unreachable_service_is_an_error(self, capsys):
+        argv = ["submit", "suite", "quick", "--port", "1", "--no-wait"]
+        assert main(argv) == 2
+        assert "cannot reach" in capsys.readouterr().err

@@ -104,6 +104,7 @@ _EXPERIMENT_DESCRIPTIONS = {
     "serve": "run the long-lived job service (HTTP JSON API over the runtime)",
     "submit": "submit a job to a running service and wait for its result",
     "cache": "inspect or clear the on-disk result caches",
+    "doctor": "diagnose cache integrity, journal health, worker liveness and environment",
     "figure2": "E6: the Figure 2 FFT decomposition (N=16, M=4)",
     "arrays": "E10/E11: per-cell memory sizing for linear arrays and meshes",
     "systolic": "E12: cycle-level systolic matmul / matvec simulations",
@@ -600,9 +601,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient
 
     client = ServiceClient(args.host, args.port, timeout=min(args.timeout, 30.0))
-    job = client.submit(args.kind, _submit_params(args))
+    job = client.submit(args.kind, _submit_params(args), trace_id=args.trace)
     note = f" (deduplicated into {job['deduped_into']})" if job["deduped_into"] else ""
-    print(f"job {job['id']} submitted: {args.kind} {args.spec}{note}")
+    print(
+        f"job {job['id']} submitted: {args.kind} {args.spec}{note} "
+        f"[trace {job['trace_id']}]"
+    )
     if args.no_wait:
         return 0
     document = client.wait(job["id"], timeout=args.timeout)
@@ -639,6 +643,30 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         f"{_format_bytes(result_bytes + task_bytes)}"
     )
     return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.obs.doctor import run_doctor
+
+    cache_dir = None if args.no_cache else (args.cache_dir or _default_cache_dir())
+    report = run_doctor(
+        cache_dir=cache_dir,
+        state_path=args.state_file,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+    )
+    if args.json == "-":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        if args.json:
+            path = Path(args.json)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        _print(report.table().render_ascii())
+        if args.json:
+            print(f"wrote JSON to {args.json}")
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -727,12 +755,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=Path, default=None,
         help="write the result payload to this file instead of stdout",
     )
+    submit.add_argument(
+        "--trace", default=None,
+        help="trace ID to stamp on the job (4..64 chars of [A-Za-z0-9._-]; "
+        "minted by the service when omitted)",
+    )
 
     cache = subparsers.add_parser("cache", help=_EXPERIMENT_DESCRIPTIONS["cache"])
     cache.add_argument("action", choices=("stats", "clear"))
     cache.add_argument(
         "--cache-dir", type=Path, default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+    doctor = subparsers.add_parser("doctor", help=_EXPERIMENT_DESCRIPTIONS["doctor"])
+    doctor.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cache directory to check (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    doctor.add_argument(
+        "--no-cache", action="store_true", help="skip the cache-integrity checks"
+    )
+    doctor.add_argument(
+        "--state-file", type=Path, default=None,
+        help="job journal to check for replayability (default: none)",
+    )
+    doctor.add_argument("--host", default="127.0.0.1", help="service address")
+    doctor.add_argument(
+        "--port", type=int, default=None,
+        help="probe a running service's worker liveness at this port",
+    )
+    doctor.add_argument(
+        "--jobs", type=int, default=None,
+        help="intended worker-pool size, checked against the CPU affinity mask",
+    )
+    doctor.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the repro-doctor/v1 JSON report (to stdout, or to PATH)",
     )
 
     for name in _KERNEL_COMMANDS:
@@ -803,6 +862,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "cache": _cmd_cache,
+        "doctor": _cmd_doctor,
         "figure2": _cmd_figure2,
         "arrays": _cmd_arrays,
         "systolic": _cmd_systolic,

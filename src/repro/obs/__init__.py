@@ -1,0 +1,64 @@
+"""``repro.obs`` -- observability: metrics, tracing and diagnostics.
+
+Kung's balance argument is an accounting exercise -- measure where a
+machine's time goes (compute vs. I/O) and size the memory so neither side
+starves.  This package applies the same discipline to the reproduction's
+own service stack:
+
+* :mod:`repro.obs.metrics` -- thread-safe counters, gauges and fixed-bucket
+  histograms in a process-local registry, rendered as Prometheus text or
+  JSON at ``GET /metrics``.  The task runtime, both on-disk caches, the job
+  scheduler and the job executor all report here.
+* :mod:`repro.obs.trace` -- trace IDs minted at job submission (or accepted
+  via the ``X-Repro-Trace`` header / ``repro submit --trace``), carried on
+  the job, its journal lines and its lowered runtime tasks, and surfaced in
+  ``GET /jobs/{id}`` next to the per-job state-transition timeline.
+* :mod:`repro.obs.doctor` -- the ``repro doctor`` diagnostics: cache
+  integrity, journal replayability, worker liveness and environment sanity
+  checks, each a structured pass/warn/fail finding.
+
+This ``__init__`` deliberately exports only the metrics and trace layers:
+they sit *below* ``repro.runtime`` (which imports them to instrument
+itself), while :mod:`repro.obs.doctor` sits *above* the runtime and the
+service and must be imported explicitly (``from repro.obs import doctor``)
+to keep the import graph acyclic.
+
+See ``docs/operations.md`` for the operator's handbook: every exported
+metric, the trace lifecycle, and triage recipes built on these pieces.
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    REGISTRY,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    TRACE_HEADER,
+    bind,
+    current_trace_id,
+    new_trace_id,
+    normalize_trace_id,
+    tag_tasks,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SIZE_BUCKETS",
+    "TRACE_HEADER",
+    "bind",
+    "current_trace_id",
+    "new_trace_id",
+    "normalize_trace_id",
+    "tag_tasks",
+]

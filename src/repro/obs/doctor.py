@@ -1,0 +1,536 @@
+"""``repro doctor`` -- structured diagnostics for the service stack.
+
+Four check groups, each producing pass/warn/fail :class:`Finding` records:
+
+* **cache integrity** -- walk both on-disk caches (sweep-point JSON entries,
+  task pickle entries): truncated (zero-byte) or corrupt entries are
+  failures, leftover temp files and misplaced/unaccounted bytes are
+  warnings, and the accounted size is cross-checked against the caches' own
+  ``disk_usage_bytes()`` accessors.
+* **journal replayability** -- parse every line of the JSON-lines job
+  journal: a bad *tail* line is a warning (the documented crash artifact a
+  single torn append can leave), bad lines anywhere else are failures; the
+  check also replays the journal through :class:`~repro.service.jobs.JobStore`
+  and reports terminal vs. interrupted jobs.
+* **worker liveness** -- against a running service (``host``/``port``),
+  check ``GET /healthz`` answers, reports ``ok`` and has its worker threads
+  alive.
+* **environment sanity** -- numpy importable (with version), and the CPU
+  affinity mask vs. ``os.cpu_count()`` and the requested ``--jobs``:
+  oversubscribing an affinity-restricted container is the classic silent
+  slow-job cause.
+
+This module sits *above* the runtime and service layers (it imports both),
+so it is intentionally **not** re-exported from ``repro.obs``; import it as
+``from repro.obs import doctor``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.report import Table
+
+__all__ = [
+    "Finding",
+    "DoctorReport",
+    "run_doctor",
+    "check_cache_integrity",
+    "check_journal",
+    "check_service",
+    "check_environment",
+    "PASS",
+    "WARN",
+    "FAIL",
+]
+
+DOCTOR_SCHEMA = "repro-doctor/v1"
+
+PASS = "pass"
+WARN = "warn"
+FAIL = "fail"
+_SEVERITY = {PASS: 0, WARN: 1, FAIL: 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic observation: a check name, a verdict and the evidence."""
+
+    check: str
+    status: str
+    detail: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "check": self.check,
+            "status": self.status,
+            "detail": self.detail,
+            "data": self.data,
+        }
+
+
+@dataclass
+class DoctorReport:
+    """Every finding from one doctor run, plus the aggregate verdict."""
+
+    findings: list[Finding]
+
+    @property
+    def status(self) -> str:
+        worst = PASS
+        for finding in self.findings:
+            if _SEVERITY[finding.status] > _SEVERITY[worst]:
+                worst = finding.status
+        return worst
+
+    @property
+    def ok(self) -> bool:
+        """True when no finding failed (warnings are tolerated)."""
+        return self.status != FAIL
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def as_dict(self) -> dict[str, Any]:
+        counts = {status: 0 for status in (PASS, WARN, FAIL)}
+        for finding in self.findings:
+            counts[finding.status] += 1
+        return {
+            "schema": DOCTOR_SCHEMA,
+            "status": self.status,
+            "counts": counts,
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+    def table(self) -> Table:
+        table = Table(
+            columns=("check", "status", "detail"),
+            title=f"repro doctor: {self.status}",
+        )
+        for finding in self.findings:
+            table.add_row(finding.check, finding.status.upper(), finding.detail)
+        return table
+
+
+# ---------------------------------------------------------------------------
+# Cache integrity.
+# ---------------------------------------------------------------------------
+
+
+def _scan_entries(root: Path, suffix: str, loader) -> dict[str, Any]:
+    """Walk one cache store's shard layout; classify every entry."""
+    entries = corrupt = truncated = misplaced = 0
+    accounted_bytes = 0
+    bad_paths: list[str] = []
+    for path in sorted(root.glob(f"*/*{suffix}")):
+        entries += 1
+        try:
+            size = path.stat().st_size
+        except OSError:  # racing a concurrent clear
+            continue
+        accounted_bytes += size
+        if path.stem[:2] != path.parent.name:
+            misplaced += 1
+            bad_paths.append(str(path))
+            continue
+        if size == 0:
+            truncated += 1
+            bad_paths.append(str(path))
+            continue
+        try:
+            loader(path)
+        except Exception:  # noqa: BLE001 - any unreadable entry is corrupt
+            corrupt += 1
+            bad_paths.append(str(path))
+    return {
+        "entries": entries,
+        "corrupt": corrupt,
+        "truncated": truncated,
+        "misplaced": misplaced,
+        "accounted_bytes": accounted_bytes,
+        "bad_paths": bad_paths[:20],  # enough to act on, bounded in --json
+    }
+
+
+def _load_result_entry(path: Path) -> None:
+    entry = json.loads(path.read_text())
+    if not isinstance(entry, dict) or "schema" not in entry:
+        raise ValueError(f"cache entry {path} has no schema field")
+
+
+def _load_task_entry(path: Path) -> None:
+    entry = pickle.loads(path.read_bytes())
+    if not isinstance(entry, dict) or "schema" not in entry:
+        raise ValueError(f"task cache entry {path} has no schema field")
+
+
+def check_cache_integrity(cache_dir: str | Path | None) -> list[Finding]:
+    """Integrity findings for both stores under one cache root."""
+    if cache_dir is None:
+        return [
+            Finding(
+                "cache", WARN, "no cache directory configured; skipping",
+            )
+        ]
+    root = Path(cache_dir).expanduser()
+    if not root.exists():
+        return [
+            Finding(
+                "cache",
+                WARN,
+                f"cache directory {root} does not exist yet",
+                {"cache_dir": str(root)},
+            )
+        ]
+
+    findings = []
+    stores = (
+        ("cache.results", root, ".json", _load_result_entry, ("tasks",)),
+        ("cache.tasks", root / "tasks", ".pkl", _load_task_entry, ()),
+    )
+    for check, store_root, suffix, loader, exclude in stores:
+        if not store_root.exists():
+            findings.append(
+                Finding(check, PASS, f"no {store_root.name or 'results'} store yet")
+            )
+            continue
+        scan = _scan_entries(store_root, suffix, loader)
+        broken = scan["corrupt"] + scan["truncated"]
+        if broken:
+            findings.append(
+                Finding(
+                    check,
+                    FAIL,
+                    f"{broken} of {scan['entries']} entries unreadable "
+                    f"({scan['corrupt']} corrupt, {scan['truncated']} "
+                    "truncated); the cache treats these as misses and drops "
+                    "them on next lookup, or `repro cache clear` resets",
+                    scan,
+                )
+            )
+        elif scan["misplaced"]:
+            findings.append(
+                Finding(
+                    check,
+                    WARN,
+                    f"{scan['misplaced']} entries outside their shard "
+                    "directory (never looked up; wasted disk)",
+                    scan,
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    check,
+                    PASS,
+                    f"{scan['entries']} entries readable "
+                    f"({scan['accounted_bytes']} bytes)",
+                    scan,
+                )
+            )
+        # Orphaned temp files: a crashed writer's leftovers.  Scoped per
+        # store so results/ does not double-report tasks/ leftovers.
+        tmp_files = [
+            path
+            for path in store_root.rglob("*.tmp")
+            if not any(part in exclude for part in path.relative_to(store_root).parts)
+        ]
+        if tmp_files:
+            findings.append(
+                Finding(
+                    f"{check}.orphans",
+                    WARN,
+                    f"{len(tmp_files)} leftover temp files from interrupted "
+                    "writes; safe to delete",
+                    {"paths": [str(path) for path in tmp_files[:20]]},
+                )
+            )
+
+    # Unaccounted bytes: whatever lives under the root that neither store's
+    # disk_usage_bytes() accessor would report (stray files, orphans).
+    from repro.runtime.cache import ResultCache, TaskCache
+
+    total_bytes = sum(
+        path.stat().st_size for path in root.rglob("*") if path.is_file()
+    )
+    accounted = (
+        ResultCache(root).disk_usage_bytes()
+        + TaskCache(root / "tasks").disk_usage_bytes()
+    )
+    unaccounted = total_bytes - accounted
+    if unaccounted > 0:
+        findings.append(
+            Finding(
+                "cache.disk",
+                WARN,
+                f"{unaccounted} of {total_bytes} bytes under {root} are not "
+                "cache entries (stray or temp files)",
+                {"total_bytes": total_bytes, "accounted_bytes": accounted},
+            )
+        )
+    else:
+        findings.append(
+            Finding(
+                "cache.disk",
+                PASS,
+                f"disk usage fully accounted: {accounted} bytes",
+                {"total_bytes": total_bytes, "accounted_bytes": accounted},
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Journal replayability.
+# ---------------------------------------------------------------------------
+
+
+def check_journal(state_path: str | Path | None) -> list[Finding]:
+    """Findings for the JSON-lines job journal."""
+    if state_path is None:
+        return [Finding("journal", WARN, "no journal configured; skipping")]
+    path = Path(state_path).expanduser()
+    if not path.exists():
+        return [
+            Finding(
+                "journal",
+                WARN,
+                f"journal {path} does not exist yet",
+                {"state_path": str(path)},
+            )
+        ]
+
+    from repro.service.jobs import STATE_SCHEMA, JobStore
+
+    lines = path.read_text().splitlines()
+    bad_lines: list[int] = []
+    parsed = 0
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            snapshot = json.loads(line)
+            if (
+                not isinstance(snapshot, dict)
+                or snapshot.get("schema") != STATE_SCHEMA
+                or "id" not in snapshot.get("job", {})
+            ):
+                raise ValueError("not a job snapshot")
+        except (json.JSONDecodeError, ValueError):
+            bad_lines.append(number)
+            continue
+        parsed += 1
+
+    data: dict[str, Any] = {
+        "state_path": str(path),
+        "lines": len(lines),
+        "parsed": parsed,
+        "bad_lines": bad_lines[:20],
+    }
+    findings = []
+    tail_is_bad = bool(bad_lines) and bad_lines[-1] == len(lines)
+    mid_file_bad = [n for n in bad_lines if n != len(lines)]
+    if mid_file_bad:
+        findings.append(
+            Finding(
+                "journal",
+                FAIL,
+                f"{len(mid_file_bad)} unparseable lines in the middle of the "
+                "journal (replay skips them; job history is incomplete)",
+                data,
+            )
+        )
+    elif tail_is_bad:
+        findings.append(
+            Finding(
+                "journal",
+                WARN,
+                "truncated tail line (a writer was interrupted mid-append); "
+                "replay skips it safely",
+                data,
+            )
+        )
+    else:
+        findings.append(
+            Finding(
+                "journal",
+                PASS,
+                f"all {parsed} snapshot lines parse",
+                data,
+            )
+        )
+
+    # Replay through the real store so the check proves recoverability, not
+    # just syntax.
+    store = JobStore(path)
+    counts = store.state_counts()
+    interrupted = len(store.interrupted())
+    replay_data = {"jobs": len(store), "states": counts}
+    if interrupted:
+        findings.append(
+            Finding(
+                "journal.replay",
+                WARN,
+                f"{len(store)} jobs recovered; {interrupted} were left open "
+                "and will requeue on service restart",
+                replay_data,
+            )
+        )
+    else:
+        findings.append(
+            Finding(
+                "journal.replay",
+                PASS,
+                f"{len(store)} jobs recovered, all terminal",
+                replay_data,
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Worker liveness.
+# ---------------------------------------------------------------------------
+
+
+def check_service(host: str, port: int, *, timeout: float = 5.0) -> list[Finding]:
+    """Findings against a running service's ``/healthz``."""
+    from repro.exceptions import ServiceError
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host, port, timeout=timeout)
+    try:
+        health = client.health()
+    except ServiceError as exc:
+        return [
+            Finding(
+                "service",
+                FAIL,
+                f"no service answering at {host}:{port}: {exc}",
+                {"host": host, "port": port},
+            )
+        ]
+    findings = [
+        Finding(
+            "service",
+            PASS,
+            f"service at {host}:{port} is healthy "
+            f"(uptime {health.get('uptime_seconds', 0.0):.0f}s)",
+            {"health": health},
+        )
+    ]
+    if not health.get("workers_running", False):
+        findings.append(
+            Finding(
+                "service.workers",
+                FAIL,
+                "service is reachable but its worker threads are not "
+                "running; queued jobs will never execute",
+                {"health": health},
+            )
+        )
+    else:
+        queue_depth = health.get("queue_depth", 0)
+        status = WARN if queue_depth > 100 else PASS
+        findings.append(
+            Finding(
+                "service.workers",
+                status,
+                f"{health.get('workers', '?')} workers running, "
+                f"queue depth {queue_depth}",
+                {"queue_depth": queue_depth},
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Environment sanity.
+# ---------------------------------------------------------------------------
+
+
+def check_environment(jobs: int | None = None) -> list[Finding]:
+    """Findings about the interpreter environment and CPU affinity."""
+    import os
+    import platform
+
+    from repro.runtime.tasks import default_worker_count
+
+    findings = []
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - numpy is a hard dep
+        findings.append(Finding("env.numpy", FAIL, f"numpy unavailable: {exc}"))
+    else:
+        findings.append(
+            Finding(
+                "env.numpy",
+                PASS,
+                f"numpy {numpy.__version__} on python "
+                f"{platform.python_version()}",
+                {"numpy": numpy.__version__},
+            )
+        )
+
+    affinity = default_worker_count()
+    cpus = os.cpu_count() or 1
+    data = {"affinity_cpus": affinity, "os_cpu_count": cpus, "jobs": jobs}
+    if jobs is not None and jobs > affinity:
+        findings.append(
+            Finding(
+                "env.affinity",
+                WARN,
+                f"--jobs {jobs} oversubscribes the {affinity}-CPU affinity "
+                "mask; worker processes will contend",
+                data,
+            )
+        )
+    elif affinity < cpus:
+        findings.append(
+            Finding(
+                "env.affinity",
+                WARN,
+                f"affinity mask allows {affinity} of {cpus} CPUs (container "
+                "or cgroup limit); default pool size follows the mask",
+                data,
+            )
+        )
+    else:
+        findings.append(
+            Finding(
+                "env.affinity",
+                PASS,
+                f"{affinity} CPUs available to the worker pool",
+                data,
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# The aggregate run.
+# ---------------------------------------------------------------------------
+
+
+def run_doctor(
+    *,
+    cache_dir: str | Path | None = None,
+    state_path: str | Path | None = None,
+    host: str | None = None,
+    port: int | None = None,
+    jobs: int | None = None,
+) -> DoctorReport:
+    """Run every applicable check; the liveness probe needs ``port``."""
+    findings: list[Finding] = []
+    findings.extend(check_cache_integrity(cache_dir))
+    findings.extend(check_journal(state_path))
+    if port is not None:
+        findings.extend(check_service(host or "127.0.0.1", port))
+    findings.extend(check_environment(jobs))
+    return DoctorReport(findings)

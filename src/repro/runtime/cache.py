@@ -47,6 +47,7 @@ from repro.core.model import ComputationCost
 from repro.exceptions import ConfigurationError
 from repro.kernels.base import Kernel, KernelExecution
 from repro.kernels.counters import PhaseRecorder
+from repro.obs.metrics import REGISTRY
 
 __all__ = [
     "MISS",
@@ -59,6 +60,30 @@ __all__ = [
 
 SCHEMA_VERSION = 1
 TASK_SCHEMA_VERSION = 1
+
+# Process-wide cache instrumentation, labelled by store ("results"/"tasks").
+# The per-instance ``CacheStats`` counters remain the API callers read; the
+# metric families aggregate across every instance for ``GET /metrics``.
+_METRIC_HITS = REGISTRY.counter(
+    "repro_cache_hits_total",
+    "Cache lookups served from a readable on-disk entry.",
+    labelnames=("cache",),
+)
+_METRIC_MISSES = REGISTRY.counter(
+    "repro_cache_misses_total",
+    "Cache lookups that found no (or an unreadable) entry.",
+    labelnames=("cache",),
+)
+_METRIC_STORES = REGISTRY.counter(
+    "repro_cache_stores_total",
+    "Entries written to the on-disk caches.",
+    labelnames=("cache",),
+)
+_METRIC_STORE_BYTES = REGISTRY.counter(
+    "repro_cache_store_bytes_total",
+    "Bytes written to the on-disk caches.",
+    labelnames=("cache",),
+)
 
 
 def _fingerprint(value: Any) -> Any:
@@ -201,13 +226,16 @@ class ResultCache:
             )
         except FileNotFoundError:
             self.stats.misses += 1
+            _METRIC_MISSES.labels(cache="results").inc()
             return None
         except (KeyError, ValueError, TypeError, OSError):
             # Corrupt entry: drop it and treat the lookup as a miss.
             path.unlink(missing_ok=True)
             self.stats.misses += 1
+            _METRIC_MISSES.labels(cache="results").inc()
             return None
         self.stats.hits += 1
+        _METRIC_HITS.labels(cache="results").inc()
         return execution
 
     def store(self, key: str, execution: KernelExecution) -> None:
@@ -226,8 +254,11 @@ class ResultCache:
             "io_words": float(execution.cost.io_words),
             "peak_memory_words": int(execution.peak_memory_words),
         }
-        _atomic_write(self._path(key), json.dumps(entry, sort_keys=True).encode())
+        data = json.dumps(entry, sort_keys=True).encode()
+        _atomic_write(self._path(key), data)
         self.stats.stores += 1
+        _METRIC_STORES.labels(cache="results").inc()
+        _METRIC_STORE_BYTES.labels(cache="results").inc(len(data))
 
     def clear(self) -> int:
         """Delete every entry; returns the number of entries removed."""
@@ -314,21 +345,27 @@ class TaskCache:
             value = entry["value"]
         except FileNotFoundError:
             self.stats.misses += 1
+            _METRIC_MISSES.labels(cache="tasks").inc()
             return MISS
         except Exception:
             # Corrupt/unreadable entry (bad pickle, missing key, stale class
             # definition, ...): drop it and treat the lookup as a miss.
             path.unlink(missing_ok=True)
             self.stats.misses += 1
+            _METRIC_MISSES.labels(cache="tasks").inc()
             return MISS
         self.stats.hits += 1
+        _METRIC_HITS.labels(cache="tasks").inc()
         return value
 
     def store(self, key: str, value: Any, *, label: str | None = None) -> None:
         """Persist one task's result under ``key``."""
         entry = {"schema": TASK_SCHEMA_VERSION, "label": label, "value": value}
-        _atomic_write(self._path(key), pickle.dumps(entry))
+        data = pickle.dumps(entry)
+        _atomic_write(self._path(key), data)
         self.stats.stores += 1
+        _METRIC_STORES.labels(cache="tasks").inc()
+        _METRIC_STORE_BYTES.labels(cache="tasks").inc(len(data))
 
     def clear(self) -> int:
         """Delete every entry; returns the number of entries removed."""

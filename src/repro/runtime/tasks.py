@@ -29,12 +29,14 @@ import json
 import os
 import sys
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.exceptions import ConfigurationError, TaskExecutionError
+from repro.obs.metrics import REGISTRY
 from repro.runtime.cache import MISS, TaskCache, _fingerprint
 
 __all__ = [
@@ -49,6 +51,23 @@ __all__ = [
 ]
 
 TASK_KEY_SCHEMA = 1
+
+# Process-wide task-runtime instrumentation for ``GET /metrics``.  Wall time
+# is measured around ``task.run()`` itself -- inside the worker process when
+# pooled -- so the histogram reports task cost, not pool-queueing delay.
+_METRIC_EXECUTED = REGISTRY.counter(
+    "repro_tasks_executed_total", "Tasks actually executed (cache misses)."
+)
+_METRIC_CACHE_HITS = REGISTRY.counter(
+    "repro_tasks_cache_hits_total", "Tasks replayed from the task cache."
+)
+_METRIC_DEDUPED = REGISTRY.counter(
+    "repro_tasks_deduped_total",
+    "Tasks resolved by an identical task earlier in the same batch.",
+)
+_METRIC_TASK_SECONDS = REGISTRY.histogram(
+    "repro_task_seconds", "Wall time of one executed task."
+)
 
 
 def default_worker_count() -> int:
@@ -158,9 +177,16 @@ class Task:
         return self.fn(**self.params)
 
 
-def _run_task(task: Task) -> Any:
-    """Worker entry point (top-level, picklable)."""
-    return task.run()
+def _run_task(task: Task) -> tuple[float, Any]:
+    """Worker entry point (top-level, picklable): ``(seconds, value)``.
+
+    The duration is measured here, in the executing process, so the parent's
+    ``repro_task_seconds`` histogram reports true task wall time even when
+    the task ran in a pool child.
+    """
+    start = time.perf_counter()
+    value = task.run()
+    return time.perf_counter() - start, value
 
 
 def _wrap_failure(task: Task, exc: BaseException) -> TaskExecutionError:
@@ -189,9 +215,11 @@ def execute_tasks(
         results = []
         for task in tasks:
             try:
-                results.append(task.run())
+                seconds, value = _run_task(task)
             except Exception as exc:
                 raise _wrap_failure(task, exc) from exc
+            _METRIC_TASK_SECONDS.observe(seconds)
+            results.append(value)
         return results
     workers = min(max_workers, len(tasks))
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -199,9 +227,11 @@ def execute_tasks(
         results = []
         for task, future in zip(tasks, futures):
             try:
-                results.append(future.result())
+                seconds, value = future.result()
             except Exception as exc:
                 raise _wrap_failure(task, exc) from exc
+            _METRIC_TASK_SECONDS.observe(seconds)
+            results.append(value)
         return results
 
 
@@ -315,6 +345,9 @@ class TaskRunner:
             self.stats.cache_hits += cache_hits
             self.stats.deduped += deduped
             self.stats.executed += len(unique)
+        _METRIC_CACHE_HITS.inc(cache_hits)
+        _METRIC_DEDUPED.inc(deduped)
+        _METRIC_EXECUTED.inc(len(unique))
         for (i, task, key), value in zip(unique, fresh):
             results[i] = value
             if self.cache is not None and key is not None:

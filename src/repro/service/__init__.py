@@ -16,8 +16,15 @@ by one-shot CLI processes; this package is the long-lived front end:
   facade;
 * :mod:`repro.service.api` -- stdlib JSON-over-HTTP endpoints
   (``POST /jobs``, ``GET /jobs/{id}``, ``GET /jobs/{id}/result``,
-  ``GET /healthz``, ``GET /cache/stats``);
+  ``GET /healthz``, ``GET /cache/stats``, ``GET /metrics``);
 * :mod:`repro.service.client` -- the blocking Python client.
+
+Observability rides on :mod:`repro.obs`: every submission carries a trace
+ID (minted or taken from ``X-Repro-Trace``) through the scheduler, the
+journal and the executor's task labels; ``GET /jobs/{id}`` exposes the
+per-job state-transition timeline; ``GET /metrics`` exposes the process
+metrics registry; ``repro doctor`` diagnoses cache/journal/worker health.
+See ``docs/operations.md``.
 
 Everything is stdlib-only (``threading`` + ``http.server``): no web
 framework is required to run ``repro serve``.

@@ -1,17 +1,57 @@
 """The HTTP front end: stdlib JSON endpoints over a :class:`JobService`.
 
-Endpoints (all JSON):
+API reference
+-------------
 
-* ``POST /jobs``             -- submit ``{"kind": ..., "params": {...}}``;
-  returns 201 with the job (a deduplicated submission carries
-  ``deduped_into`` naming the in-flight primary it attached to).
-* ``GET  /jobs``             -- every job, oldest first.
-* ``GET  /jobs/{id}``        -- one job's status (no result payload).
-* ``GET  /jobs/{id}/result`` -- 200 with the result once done, 202 while
-  queued/running, 500 with the error once failed.
-* ``GET  /healthz``          -- liveness plus queue/worker/scheduler counters.
-* ``GET  /cache/stats``      -- both caches' hit/miss/store counters,
-  entry counts and size on disk.
+``POST /jobs``
+    Submit a job.  Request body: ``{"kind": "sweep" | "experiment" |
+    "suite", "params": {...}, "trace": "<optional trace id>"}``; the
+    ``X-Repro-Trace`` header is an equivalent (and preferred) way to supply
+    the trace ID, and wins over the body field.  Responses: **201** with
+    the job status document (see ``GET /jobs/{id}``; a deduplicated
+    submission carries ``deduped_into`` naming the in-flight primary it
+    attached to), **400** for malformed JSON, unknown kinds/params or an
+    invalid trace ID, **413** when the body exceeds 1 MiB.
+
+``GET /jobs``
+    Every job, oldest submission first: ``{"jobs": [<status document>]}``.
+    Always **200**.
+
+``GET /jobs/{id}``
+    One job's status document -- ``id``, ``kind``, ``params``, ``state``
+    (``queued | running | done | failed``), ``key``, ``deduped_into``,
+    ``trace_id``, ``error``, the coarse wall stamps (``created_at`` /
+    ``started_at`` / ``finished_at`` / ``elapsed_seconds``), ``has_result``
+    and the ``timeline``: one entry per state transition with ``state``,
+    ``wall_time``, ``monotonic`` and ``seconds_in_state`` (time until the
+    next transition; ``null`` on the last entry).  Never carries the result
+    payload.  Responses: **200**, or **404** for an unknown id.
+
+``GET /jobs/{id}/result``
+    The result: **200** with ``{"id", "state", "elapsed_seconds",
+    "result"}`` once done, **202** with ``{"id", "state"}`` while
+    queued/running, **500** with ``{"id", "state", "error"}`` once failed,
+    **404** for an unknown id.
+
+``GET /healthz``
+    Liveness: ``{"ok": true, "uptime_seconds", "workers",
+    "workers_running", "queue_depth", "jobs": {state: count},
+    "scheduler": {...}, "executor": {...}}``.  Always **200** while the
+    process can answer at all.
+
+``GET /cache/stats``
+    Both caches' hit/miss/store counters, entry counts and size on disk,
+    plus the task runner's executed/cache_hits/deduped counters.  **200**.
+
+``GET /metrics``
+    The process-local metrics registry (task runtime, caches, scheduler,
+    job latencies).  **200** with Prometheus text exposition format
+    (``Content-Type: text/plain; version=0.0.4``) by default, or the
+    ``repro-metrics/v1`` JSON document with ``?format=json``.  **400** for
+    an unknown ``format``.
+
+Anything else is **404** ``{"error": ...}``.  All other responses are
+``application/json``; error bodies are ``{"error": "<message>"}``.
 
 Built on :class:`http.server.ThreadingHTTPServer` -- one thread per
 connection, no third-party framework -- because the heavy lifting happens in
@@ -23,8 +63,10 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import ReproError, ServiceError
+from repro.obs.trace import TRACE_HEADER
 from repro.service.jobs import DONE, FAILED, Job
 from repro.service.workers import JobService
 
@@ -64,8 +106,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, payload: dict[str, Any]) -> None:
         body = json.dumps(payload).encode()
+        self._send_bytes(status, body, "application/json")
+
+    def _send_bytes(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -111,9 +156,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(500, f"{type(exc).__name__}: {exc}")
 
     def _route_get(self) -> None:
-        path = self.path.rstrip("/") or "/"
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/") or "/"
         if path == "/healthz":
             self._send(200, self.service.health())
+            return
+        if path == "/metrics":
+            self._send_metrics(parse_qs(split.query))
             return
         if path == "/cache/stats":
             self._send(200, self.service.cache_stats())
@@ -131,6 +180,22 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_result(self.service.job(parts[1]))
             return
         raise ServiceError(f"no such endpoint {self.path!r}", status=404)
+
+    def _send_metrics(self, query: dict[str, list[str]]) -> None:
+        fmt = (query.get("format") or ["prometheus"])[-1]
+        if fmt == "json":
+            self._send(200, self.service.metrics_json())
+        elif fmt in ("prometheus", "text"):
+            self._send_bytes(
+                200,
+                self.service.metrics_text().encode(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            raise ServiceError(
+                f"unknown metrics format {fmt!r}; use 'prometheus' or 'json'",
+                status=400,
+            )
 
     def _send_result(self, job: Job) -> None:
         if job.state == DONE:
@@ -151,7 +216,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(202, {"id": job.id, "state": job.state})
 
     def _route_post(self) -> None:
-        if self.path.rstrip("/") != "/jobs":
+        if urlsplit(self.path).path.rstrip("/") != "/jobs":
             raise ServiceError(f"no such endpoint {self.path!r}", status=404)
         payload = self._read_json()
         kind = payload.get("kind")
@@ -160,7 +225,12 @@ class _Handler(BaseHTTPRequestHandler):
         params = payload.get("params") or {}
         if not isinstance(params, dict):
             raise ServiceError("'params' must be an object", status=400)
-        job = self.service.submit(kind, params)
+        # The header wins over the body field; both are optional, and the
+        # scheduler mints a trace when neither is given.
+        trace_id = self.headers.get(TRACE_HEADER) or payload.get("trace")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise ServiceError("'trace' must be a string", status=400)
+        job = self.service.submit(kind, params, trace_id=trace_id)
         self._send(201, job.as_dict())
 
 

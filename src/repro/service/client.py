@@ -15,6 +15,7 @@ import time
 from typing import Any
 
 from repro.exceptions import ServiceError
+from repro.obs.trace import TRACE_HEADER
 from repro.service.jobs import DONE, FAILED
 
 __all__ = ["ServiceClient"]
@@ -33,14 +34,18 @@ class ServiceClient:
     # -- plumbing ------------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, payload: dict[str, Any] | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        extra_headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, Any]]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             body = None
-            headers = {}
+            headers = dict(extra_headers or {})
             if payload is not None:
                 body = json.dumps(payload).encode()
                 headers["Content-Type"] = "application/json"
@@ -79,13 +84,30 @@ class ServiceClient:
     def cache_stats(self) -> dict[str, Any]:
         return self._get("/cache/stats", expect=(200,))
 
+    def metrics(self) -> dict[str, Any]:
+        """The service's metrics as the ``repro-metrics/v1`` JSON document."""
+        return self._get("/metrics?format=json", expect=(200,))
+
     def jobs(self) -> list[dict[str, Any]]:
         return self._get("/jobs", expect=(200,))["jobs"]
 
-    def submit(self, kind: str, params: dict[str, Any]) -> dict[str, Any]:
-        """Submit a job; returns its status document (state ``queued``)."""
+    def submit(
+        self,
+        kind: str,
+        params: dict[str, Any],
+        *,
+        trace_id: str | None = None,
+    ) -> dict[str, Any]:
+        """Submit a job; returns its status document (state ``queued``).
+
+        ``trace_id`` travels as the ``X-Repro-Trace`` header; the service
+        mints one when it is omitted (the returned document's ``trace_id``
+        says which).
+        """
+        headers = {TRACE_HEADER: trace_id} if trace_id else None
         status, document = self._request(
-            "POST", "/jobs", {"kind": kind, "params": params}
+            "POST", "/jobs", {"kind": kind, "params": params},
+            extra_headers=headers,
         )
         if status != 201:
             raise ServiceError(

@@ -15,6 +15,16 @@ to the state file, and a restarted service replays the file to recover
 terminal jobs (results included) and requeue the ones that were interrupted.
 Appends are single ``write`` calls of one line, so a crash can at worst leave
 one truncated line at the tail, which replay skips.
+
+Every state transition is stamped twice -- wall clock (``time.time``, for
+humans and cross-process ordering) and monotonic (``time.monotonic``, for
+durations immune to clock steps) -- into the job's ``timeline``.  The
+timeline answers "why was this job slow" from ``GET /jobs/{id}``: how long
+it sat queued, how long it ran, when it was requeued after a crash.  Old
+journals written before timelines existed replay gracefully: a best-effort
+timeline is reconstructed from the persisted ``created_at`` /
+``started_at`` / ``finished_at`` wall stamps with ``monotonic=None``, and
+duration computation falls back accordingly.
 """
 
 from __future__ import annotations
@@ -64,6 +74,68 @@ def _new_job_id() -> str:
     return uuid.uuid4().hex[:12]
 
 
+def _timeline_event(state: str) -> dict[str, Any]:
+    """One timeline entry: the state entered plus both clock stamps."""
+    return {
+        "state": state,
+        "wall_time": time.time(),
+        "monotonic": time.monotonic(),
+    }
+
+
+def _seconds_between(earlier: dict[str, Any], later: dict[str, Any]) -> float | None:
+    """Duration between two timeline events, preferring monotonic stamps.
+
+    Monotonic differences are only meaningful within one process; a requeue
+    after a restart pairs an old process's stamp with a new one, which can
+    even be negative.  Such pairs (and events replayed from pre-timeline
+    journals with ``monotonic=None``) fall back to wall-clock differences,
+    and to ``None`` when not even those are available.
+    """
+    for clock in ("monotonic", "wall_time"):
+        first, second = earlier.get(clock), later.get(clock)
+        if first is not None and second is not None and second >= first:
+            return second - first
+    return None
+
+
+def _replayed_timeline(fields: dict[str, Any]) -> list[dict[str, Any]]:
+    """Reconstruct raw timeline events from one persisted snapshot.
+
+    Persisted timelines carry the derived ``seconds_in_state`` field, which
+    must not survive replay (it is recomputed from whatever events follow).
+    Journals written before timelines existed have no ``timeline`` at all;
+    for those, synthesize events from the coarse per-job wall stamps with
+    ``monotonic=None`` -- the backfill path the duration computation
+    degrades around.
+    """
+    persisted = fields.get("timeline")
+    if isinstance(persisted, list) and persisted:
+        events = []
+        for event in persisted:
+            if isinstance(event, dict) and "state" in event:
+                events.append(
+                    {
+                        "state": event["state"],
+                        "wall_time": event.get("wall_time"),
+                        "monotonic": event.get("monotonic"),
+                    }
+                )
+        if events:
+            return events
+    events = []
+    state = fields.get("state", QUEUED)
+    created, started = fields.get("created_at"), fields.get("started_at")
+    finished = fields.get("finished_at")
+    if created is not None:
+        events.append({"state": QUEUED, "wall_time": created, "monotonic": None})
+    if started is not None:
+        events.append({"state": RUNNING, "wall_time": started, "monotonic": None})
+    if finished is not None and state in (DONE, FAILED):
+        events.append({"state": state, "wall_time": finished, "monotonic": None})
+    return events
+
+
 @dataclass
 class Job:
     """One service job and its full observable history."""
@@ -74,11 +146,13 @@ class Job:
     state: str = QUEUED
     key: str | None = None
     deduped_into: str | None = None
+    trace_id: str | None = None
     result: Any = None
     error: str | None = None
     created_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    timeline: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def terminal(self) -> bool:
@@ -91,6 +165,28 @@ class Job:
             return None
         return self.finished_at - self.created_at
 
+    def record_event(self, state: str) -> None:
+        """Append one stamped state-transition event to the timeline."""
+        self.timeline.append(_timeline_event(state))
+
+    def timeline_payload(self) -> list[dict[str, Any]]:
+        """The timeline with per-state durations, for API consumers.
+
+        Each event reports ``seconds_in_state``: the time until the *next*
+        event (``None`` for the last event -- the job is either still in
+        that state or it is terminal).
+        """
+        payload = []
+        for i, event in enumerate(self.timeline):
+            entry = dict(event)
+            entry["seconds_in_state"] = (
+                _seconds_between(event, self.timeline[i + 1])
+                if i + 1 < len(self.timeline)
+                else None
+            )
+            payload.append(entry)
+        return payload
+
     def as_dict(self, *, include_result: bool = False) -> dict[str, Any]:
         payload: dict[str, Any] = {
             "id": self.id,
@@ -99,11 +195,13 @@ class Job:
             "state": self.state,
             "key": self.key,
             "deduped_into": self.deduped_into,
+            "trace_id": self.trace_id,
             "error": self.error,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "elapsed_seconds": self.elapsed_seconds,
+            "timeline": self.timeline_payload(),
             "has_result": self.result is not None,
         }
         if include_result:
@@ -162,6 +260,7 @@ class JobStore:
         *,
         key: str | None = None,
         deduped_into: str | None = None,
+        trace_id: str | None = None,
     ) -> Job:
         if kind not in JOB_KINDS:
             known = ", ".join(JOB_KINDS)
@@ -174,7 +273,9 @@ class JobStore:
             params=dict(params),
             key=key,
             deduped_into=deduped_into,
+            trace_id=trace_id,
         )
+        job.record_event(QUEUED)
         with self._lock:
             self._jobs[job.id] = job
             self._persist(job)
@@ -199,6 +300,7 @@ class JobStore:
             job.state = QUEUED
             job.started_at = None
             job.deduped_into = None
+            job.record_event(QUEUED)
             self._persist(job)
 
     def _transition(
@@ -216,6 +318,7 @@ class JobStore:
                 job.finished_at = time.time()
                 job.result = result
                 job.error = error
+            job.record_event(state)
             self._persist(job)
 
     # -- persistence ---------------------------------------------------------
@@ -239,11 +342,13 @@ class JobStore:
                 state=fields.get("state", QUEUED),
                 key=fields.get("key"),
                 deduped_into=fields.get("deduped_into"),
+                trace_id=fields.get("trace_id"),
                 result=fields.get("result"),
                 error=fields.get("error"),
                 created_at=fields.get("created_at") or time.time(),
                 started_at=fields.get("started_at"),
                 finished_at=fields.get("finished_at"),
+                timeline=_replayed_timeline(fields),
             )
             self._jobs[job.id] = job  # later snapshots win
 

@@ -34,6 +34,8 @@ import numpy as np
 from repro.analysis.sweep import normalize_memory_sizes
 from repro.core.registry import ComputationSpec, get as registry_get
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
+from repro.obs.trace import new_trace_id, normalize_trace_id
 from repro.runtime.cache import execution_key
 from repro.runtime.suites import (
     ExperimentScenario,
@@ -56,6 +58,34 @@ __all__ = [
 ]
 
 ANALYTIC_SWEEP_SCHEMA = "repro-service-analytic-sweep/v1"
+
+# Scheduler instrumentation for ``GET /metrics``.  The gauge reports the
+# last-written queue depth of whichever scheduler updated it most recently;
+# with the service's one-scheduler-per-process layout that is *the* queue.
+_METRIC_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_scheduler_queue_depth", "Jobs waiting in the scheduler queue."
+)
+_METRIC_SUBMITTED = REGISTRY.counter(
+    "repro_jobs_submitted_total", "Jobs accepted for execution.",
+    labelnames=("kind",),
+)
+_METRIC_DEDUP_ATTACHES = REGISTRY.counter(
+    "repro_scheduler_dedup_attaches_total",
+    "Submissions attached to an identical in-flight job instead of running.",
+)
+_METRIC_BATCH_JOBS = REGISTRY.histogram(
+    "repro_scheduler_batch_jobs",
+    "Jobs per claimed batch (analytic sweeps ride together).",
+    buckets=SIZE_BUCKETS,
+)
+_METRIC_JOBS_COMPLETED = REGISTRY.counter(
+    "repro_jobs_completed_total", "Jobs finished successfully, by kind.",
+    labelnames=("kind",),
+)
+_METRIC_JOBS_FAILED = REGISTRY.counter(
+    "repro_jobs_failed_total", "Jobs finished with an error, by kind.",
+    labelnames=("kind",),
+)
 
 #: Modules whose source participates in a suite job's content address: the
 #: suite definitions themselves hash via ``get_suite``'s module, these cover
@@ -351,23 +381,40 @@ class JobScheduler:
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, kind: str, params: Mapping[str, Any]) -> Job:
-        """Create a job; attach it to an identical in-flight one if present."""
+    def submit(
+        self,
+        kind: str,
+        params: Mapping[str, Any],
+        *,
+        trace_id: str | None = None,
+    ) -> Job:
+        """Create a job; attach it to an identical in-flight one if present.
+
+        Every submission carries a trace ID from here on: the caller's
+        (validated) if one was supplied, a freshly minted one otherwise.
+        Followers keep their own trace -- dedup shares the *work*, not the
+        identity of the request that asked for it.
+        """
+        trace_id = normalize_trace_id(trace_id) if trace_id else new_trace_id()
         params = normalize_job_params(kind, params)
         key = job_key(kind, params)  # may be slow; computed outside the lock
         with self._cond:
             self.stats.submitted += 1
+            _METRIC_SUBMITTED.labels(kind=kind).inc()
             primary_id = self._inflight.get(key)
             if primary_id is not None:
                 job = self.store.create(
-                    kind, params, key=key, deduped_into=primary_id
+                    kind, params, key=key, deduped_into=primary_id,
+                    trace_id=trace_id,
                 )
                 self._followers.setdefault(primary_id, []).append(job.id)
                 self.stats.deduped += 1
+                _METRIC_DEDUP_ATTACHES.inc()
                 return job
-            job = self.store.create(kind, params, key=key)
+            job = self.store.create(kind, params, key=key, trace_id=trace_id)
             self._inflight[key] = job.id
             self._queue.append(job.id)
+            _METRIC_QUEUE_DEPTH.set(len(self._queue))
             self._cond.notify()
             return job
 
@@ -386,6 +433,7 @@ class JobScheduler:
             job.key = key
             self._inflight.setdefault(key, job.id)
             self._queue.append(job.id)
+            _METRIC_QUEUE_DEPTH.set(len(self._queue))
             self._cond.notify()
 
     # -- the worker side -----------------------------------------------------
@@ -415,6 +463,8 @@ class JobScheduler:
                 if len(batch) > 1:
                     self.stats.batches += 1
                     self.stats.batched_jobs += len(batch)
+            _METRIC_QUEUE_DEPTH.set(len(self._queue))
+            _METRIC_BATCH_JOBS.observe(len(batch))
             for job in batch:
                 self.store.mark_running(job)
             return batch
@@ -438,8 +488,14 @@ class JobScheduler:
                 del self._inflight[job.key]
             if error is None:
                 self.stats.completed += 1 + len(follower_ids)
+                _METRIC_JOBS_COMPLETED.labels(kind=job.kind).inc(
+                    1 + len(follower_ids)
+                )
             else:
                 self.stats.failed += 1 + len(follower_ids)
+                _METRIC_JOBS_FAILED.labels(kind=job.kind).inc(
+                    1 + len(follower_ids)
+                )
         for target in (job, *(self.store.get(fid) for fid in follower_ids)):
             if error is None:
                 self.store.mark_done(target, result)

@@ -24,6 +24,8 @@ from pathlib import Path
 from typing import Any
 
 from repro.exceptions import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.cache import ResultCache, TaskCache
 from repro.runtime.engine import SweepRunner
 from repro.runtime.suites import build_kernel, get_suite, run_suite
@@ -40,6 +42,15 @@ __all__ = ["ExecutorStats", "JobExecutor", "WorkerPool", "JobService"]
 
 SWEEP_SCHEMA = "repro-sweep-result/v1"
 EXPERIMENT_SCHEMA = "repro-service-experiment/v1"
+
+#: Per-kind job execution latency for ``GET /metrics``.  Observed around the
+#: executor's work only -- queueing delay is visible separately, as the gap
+#: between the ``queued`` and ``running`` timeline events on the job.
+_METRIC_JOB_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_job_seconds",
+    "Execution wall time of one job, by kind.",
+    labelnames=("kind",),
+)
 
 
 @dataclass
@@ -95,22 +106,38 @@ class JobExecutor:
         (the scheduler's vectorized-batching contract).
         """
         if len(jobs) > 1 or (jobs and is_analytic_sweep(jobs[0])):
+            start = time.perf_counter()
             payloads = evaluate_analytic_sweeps([job.params for job in jobs])
+            elapsed = time.perf_counter() - start
             with self._stats_lock:
                 self.stats.jobs_executed += len(jobs)
                 self.stats.vector_batches += 1
                 self.stats.vector_jobs += len(jobs)
+            # Each job in a vectorized batch observes the whole batch's wall
+            # time: that *is* the latency any one of them experienced.
+            for job in jobs:
+                _METRIC_JOB_SECONDS.labels(kind=job.kind).observe(elapsed)
             return payloads
         return [self.execute(job) for job in jobs]
 
     def execute(self, job: Job) -> dict[str, Any]:
         with self._stats_lock:
             self.stats.jobs_executed += 1
-        if job.kind == "suite":
-            return self._execute_suite(job)
-        if job.kind == "experiment":
-            return self._execute_experiment(job)
-        return self._execute_sweep(job)
+        start = time.perf_counter()
+        # Bind the job's trace for the duration: anything that reads
+        # ``current_trace_id()`` below this frame (task labels, error
+        # messages) attributes its work to this submission.
+        with obs_trace.bind(job.trace_id):
+            if job.kind == "suite":
+                payload = self._execute_suite(job)
+            elif job.kind == "experiment":
+                payload = self._execute_experiment(job)
+            else:
+                payload = self._execute_sweep(job)
+        _METRIC_JOB_SECONDS.labels(kind=job.kind).observe(
+            time.perf_counter() - start
+        )
+        return payload
 
     def _execute_suite(self, job: Job) -> dict[str, Any]:
         suite = get_suite(job.params["suite"])
@@ -121,7 +148,9 @@ class JobExecutor:
         scenario = experiment_scenario(
             job.params["experiment"], job.params["params"]
         )
-        tasks = scenario.tasks()
+        # Trace-tagged display names (content-addressed keys unchanged): a
+        # task failure inside a worker then names the submission's trace.
+        tasks = obs_trace.tag_tasks(scenario.tasks(), job.trace_id)
         results = self.task_runner.run(tasks)
         return {
             "schema": EXPERIMENT_SCHEMA,
@@ -283,8 +312,14 @@ class JobService:
 
     # -- the API surface -----------------------------------------------------
 
-    def submit(self, kind: str, params: dict[str, Any]) -> Job:
-        return self.scheduler.submit(kind, params)
+    def submit(
+        self,
+        kind: str,
+        params: dict[str, Any],
+        *,
+        trace_id: str | None = None,
+    ) -> Job:
+        return self.scheduler.submit(kind, params, trace_id=trace_id)
 
     def job(self, job_id: str) -> Job:
         return self.store.get(job_id)
@@ -306,3 +341,11 @@ class JobService:
 
     def cache_stats(self) -> dict[str, Any]:
         return self.executor.cache_stats()
+
+    def metrics_text(self) -> str:
+        """The process metrics in Prometheus text format (``GET /metrics``)."""
+        return obs_metrics.REGISTRY.render_prometheus()
+
+    def metrics_json(self) -> dict[str, Any]:
+        """The process metrics as JSON (``GET /metrics?format=json``)."""
+        return obs_metrics.REGISTRY.render_json()

@@ -1,0 +1,225 @@
+"""Tests for the repro doctor diagnostics (repro.obs.doctor)."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+from repro.cli import main
+from repro.obs.doctor import (
+    FAIL,
+    PASS,
+    WARN,
+    DoctorReport,
+    Finding,
+    check_cache_integrity,
+    check_environment,
+    check_journal,
+    run_doctor,
+)
+from repro.service.jobs import JobStore
+
+
+def _write_result_entry(root, key, payload=None):
+    """One syntactically valid sweep-point cache entry in shard layout."""
+    path = root / key[:2] / f"{key}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload or {"schema": "repro-cache-test/v1"}))
+    return path
+
+
+def _write_task_entry(root, key):
+    path = root / "tasks" / key[:2] / f"{key}.pkl"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps({"schema": "repro-task-test/v1"}))
+    return path
+
+
+def _by_check(findings):
+    return {finding.check: finding for finding in findings}
+
+
+class TestCacheIntegrity:
+    def test_missing_dir_is_a_warning_not_a_failure(self, tmp_path):
+        findings = check_cache_integrity(tmp_path / "never-created")
+        assert [f.status for f in findings] == [WARN]
+
+    def test_clean_cache_passes(self, tmp_path):
+        _write_result_entry(tmp_path, "aa11")
+        _write_task_entry(tmp_path, "bb22")
+        statuses = _by_check(check_cache_integrity(tmp_path))
+        assert statuses["cache.results"].status == PASS
+        assert statuses["cache.tasks"].status == PASS
+        assert statuses["cache.disk"].status == PASS
+
+    def test_corrupt_entry_fails(self, tmp_path):
+        path = _write_result_entry(tmp_path, "aa11")
+        path.write_text("{ not json")
+        finding = _by_check(check_cache_integrity(tmp_path))["cache.results"]
+        assert finding.status == FAIL
+        assert finding.data["corrupt"] == 1
+        assert str(path) in finding.data["bad_paths"]
+
+    def test_truncated_entry_fails(self, tmp_path):
+        path = _write_result_entry(tmp_path, "aa11")
+        path.write_bytes(b"")
+        finding = _by_check(check_cache_integrity(tmp_path))["cache.results"]
+        assert finding.status == FAIL
+        assert finding.data["truncated"] == 1
+
+    def test_corrupt_task_pickle_fails(self, tmp_path):
+        path = _write_task_entry(tmp_path, "bb22")
+        path.write_bytes(b"\x80not a pickle")
+        finding = _by_check(check_cache_integrity(tmp_path))["cache.tasks"]
+        assert finding.status == FAIL
+
+    def test_orphaned_tmp_files_warn(self, tmp_path):
+        _write_result_entry(tmp_path, "aa11")
+        (tmp_path / "aa" / "aa11-x.tmp").write_text("partial write")
+        statuses = _by_check(check_cache_integrity(tmp_path))
+        assert statuses["cache.results.orphans"].status == WARN
+        assert statuses["cache.disk"].status == WARN  # unaccounted bytes
+
+    def test_misplaced_entry_warns(self, tmp_path):
+        path = tmp_path / "zz" / "aa11.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"schema": "x"}))
+        finding = _by_check(check_cache_integrity(tmp_path))["cache.results"]
+        assert finding.status == WARN
+        assert finding.data["misplaced"] == 1
+
+
+class TestJournal:
+    def _journal_with_jobs(self, tmp_path, *, finish=True):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        job = store.create("suite", {"suite": "quick"})
+        store.mark_running(job)
+        if finish:
+            store.mark_done(job, {"ok": True})
+        return path
+
+    def test_clean_journal_passes(self, tmp_path):
+        path = self._journal_with_jobs(tmp_path)
+        statuses = _by_check(check_journal(path))
+        assert statuses["journal"].status == PASS
+        assert statuses["journal.replay"].status == PASS
+
+    def test_truncated_tail_is_a_warning(self, tmp_path):
+        path = self._journal_with_jobs(tmp_path)
+        with path.open("a") as handle:
+            handle.write('{"schema": "repro-service-job/v1", "jo')  # torn append
+        finding = _by_check(check_journal(path))["journal"]
+        assert finding.status == WARN
+        assert "truncated tail" in finding.detail
+
+    def test_mid_file_garbage_is_a_failure(self, tmp_path):
+        path = self._journal_with_jobs(tmp_path)
+        lines = path.read_text().splitlines()
+        lines.insert(1, "not a snapshot at all")
+        path.write_text("\n".join(lines) + "\n")
+        finding = _by_check(check_journal(path))["journal"]
+        assert finding.status == FAIL
+        assert finding.data["bad_lines"] == [2]
+
+    def test_interrupted_jobs_reported_on_replay(self, tmp_path):
+        path = self._journal_with_jobs(tmp_path, finish=False)
+        finding = _by_check(check_journal(path))["journal.replay"]
+        assert finding.status == WARN
+        assert "requeue" in finding.detail
+
+    def test_missing_journal_is_a_warning(self, tmp_path):
+        findings = check_journal(tmp_path / "never-written.jsonl")
+        assert [f.status for f in findings] == [WARN]
+
+
+class TestEnvironment:
+    def test_numpy_reported(self):
+        statuses = _by_check(check_environment())
+        assert statuses["env.numpy"].status == PASS
+        assert "numpy" in statuses["env.numpy"].data
+
+    def test_oversubscribed_jobs_warn(self):
+        import os
+
+        affinity = len(os.sched_getaffinity(0))
+        finding = _by_check(check_environment(jobs=affinity + 8))["env.affinity"]
+        assert finding.status == WARN
+        assert "oversubscribes" in finding.detail
+
+
+class TestReport:
+    def test_worst_finding_wins(self):
+        report = DoctorReport(
+            [
+                Finding("a", PASS, "ok"),
+                Finding("b", WARN, "meh"),
+                Finding("c", FAIL, "bad"),
+            ]
+        )
+        assert report.status == FAIL
+        assert report.ok is False
+        assert report.exit_code == 1
+
+    def test_warnings_alone_still_ok(self):
+        report = DoctorReport([Finding("a", WARN, "meh")])
+        assert report.ok is True
+        assert report.exit_code == 0
+
+    def test_as_dict_schema_and_counts(self):
+        report = DoctorReport(
+            [Finding("a", PASS, "ok"), Finding("b", FAIL, "bad", {"k": 1})]
+        )
+        document = json.loads(json.dumps(report.as_dict()))
+        assert document["schema"] == "repro-doctor/v1"
+        assert document["counts"] == {"pass": 1, "warn": 0, "fail": 1}
+        assert document["findings"][1]["data"] == {"k": 1}
+
+    def test_table_renders(self):
+        report = DoctorReport([Finding("a", PASS, "ok")])
+        text = report.table().render_ascii()
+        assert "repro doctor" in text
+        assert "PASS" in text
+
+
+class TestRunDoctor:
+    def test_detects_corruption_end_to_end(self, tmp_path):
+        _write_result_entry(tmp_path / "cache", "aa11").write_text("garbage")
+        journal = tmp_path / "jobs.jsonl"
+        store = JobStore(journal)
+        store.mark_done(store.create("suite", {"suite": "quick"}), {"ok": 1})
+        report = run_doctor(cache_dir=tmp_path / "cache", state_path=journal)
+        assert report.exit_code == 1
+        failed = [f.check for f in report.findings if f.status == FAIL]
+        assert failed == ["cache.results"]
+
+    def test_skips_liveness_without_port(self):
+        report = run_doctor()
+        assert not any(f.check.startswith("service") for f in report.findings)
+
+
+class TestDoctorCli:
+    def test_json_to_stdout_and_exit_codes(self, tmp_path, capsys):
+        _write_result_entry(tmp_path / "cache", "aa11")
+        code = main(
+            ["doctor", "--cache-dir", str(tmp_path / "cache"), "--json"]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro-doctor/v1"
+        assert code == 0
+
+        # Corrupt the entry: same invocation now fails.
+        (tmp_path / "cache" / "aa" / "aa11.json").write_text("garbage")
+        code = main(
+            ["doctor", "--cache-dir", str(tmp_path / "cache"), "--json"]
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["status"] == "fail"
+        assert code == 1
+
+    def test_table_output_and_json_file(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = main(["doctor", "--no-cache", "--json", str(out_path)])
+        assert code == 0
+        assert "repro doctor" in capsys.readouterr().out
+        assert json.loads(out_path.read_text())["schema"] == "repro-doctor/v1"

@@ -111,7 +111,7 @@ class OutputStationaryMatmulArray:
             stacked, total_cycles, active_cell_cycles = matmul_wavefront(
                 np.stack(a_list), np.stack(b_list)
             )
-            outputs = [stacked[batch] for batch in range(len(a_list))]
+            outputs = list(stacked)
         else:
             outputs, total_cycles, active_cell_cycles = self._run_reference(
                 a_list, b_list
@@ -232,7 +232,7 @@ class LinearMatvecArray:
             stacked, total_cycles, active_cell_cycles = matvec_wavefront(
                 np.stack(a_list), np.stack(x_list)
             )
-            outputs = [stacked[batch] for batch in range(len(a_list))]
+            outputs = list(stacked)
         else:
             outputs, total_cycles, active_cell_cycles = self._run_reference(
                 a_list, x_list

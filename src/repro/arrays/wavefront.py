@@ -97,13 +97,26 @@ def batched_verification_report(
     produced: Sequence[np.ndarray],
     expected: Sequence[np.ndarray],
 ) -> VerificationReport:
-    """Compare per-batch outputs against their expectations into a report."""
+    """Compare per-batch outputs against their expectations into a report.
+
+    A length mismatch between ``produced`` and ``expected`` is itself a
+    verification failure: ``zip`` would silently truncate to the shorter
+    sequence, so an engine that dropped trailing batches could still report
+    ``ok=True``.  Instead every missing (or surplus) batch index is marked
+    mismatched and the error saturates to ``inf`` -- absent output is
+    infinitely wrong, not absent evidence.
+    """
     max_abs_error = 0.0
     mismatched = []
     for batch, (got, want) in enumerate(zip(produced, expected)):
         max_abs_error = max(max_abs_error, max_abs_deviation(got, want))
         if not np.allclose(got, want):
             mismatched.append(batch)
+    compared = min(len(produced), len(expected))
+    missing = max(len(produced), len(expected))
+    if compared != missing:
+        max_abs_error = math.inf
+        mismatched.extend(range(compared, missing))
     return VerificationReport(
         ok=not mismatched,
         result=result,
@@ -245,39 +258,78 @@ def matvec_wavefront(
 
 
 def qr_wavefront(a: np.ndarray, order: int) -> tuple[np.ndarray, int, int]:
-    """Vectorized replay of the triangular array's rotate-and-propagate flow.
+    """Banded anti-diagonal replay of the triangular array's dataflow.
 
-    Returns ``(r_factor, active_cell_steps, rotations_generated)``.  The
-    boundary cells still generate one scalar Givens rotation per interaction
-    (that is the sequential dependency of the wavefront), but each
-    interaction's internal-cell sweep -- the O(n) rotation application across
-    array row ``i`` -- collapses to two whole-row numpy expressions, each
-    elementwise operation identical to the reference engine's scalars.
+    Returns ``(r_factor, active_cell_steps, rotations_generated)``.
+
+    In the Gentleman-Kung schedule, input row ``k`` interacts with array row
+    ``i`` at wavefront step ``k + i``, and the interactions of one step --
+    the pairs on the active anti-diagonal ``k + i = step`` -- touch disjoint
+    state (distinct array rows ``i``, distinct in-flight input rows ``k``),
+    so they are mutually independent.  Each step therefore runs as whole-band
+    array updates:
+
+    * the active boundary values ``r[i, i]`` are a slice of the diagonal
+      view, the incoming values ``vec[k, i]`` an anti-diagonal gather of the
+      in-flight row block;
+    * every Givens rotation of the step is generated by **one** array-input
+      :func:`~repro.arrays.triangular_qr.givens_rotation` call;
+    * the internal-cell sweeps apply as two banded row expressions over
+      ``r[lo:hi]`` and the matching (reversed) block of in-flight rows, with
+      a precomputed strict-upper-triangular mask keeping each row's write
+      confined to its ``j > i`` tail.
+
+    Every elementwise operation evaluates the exact expression the reference
+    engine evaluates for that cell, and the dependency order (``(k, i)``
+    after ``(k-1, i)`` and ``(k, i-1)``) is preserved by the step ordering,
+    so for finite inputs the result is bitwise identical.  Cells the
+    reference never writes (the strictly-lower zeros of ``r``; components
+    behind a row's boundary interaction) are never written here either, so
+    garbage can't leak in through masked-out lanes.  A NaN/inf input row
+    smears the same NaN/inf wake across both engines, but only up to NaN
+    sign/payload: IEEE 754 leaves NaN propagation through two-NaN operands
+    unspecified, and CPython's scalar ``+`` keeps the second operand's NaN
+    where numpy's vector loop keeps the first -- ``verify()`` surfaces
+    either wake as ``max_abs_error=inf``.
     """
     # Imported lazily: this module is the shared engine layer both simulator
     # modules import at load time, so a module-scope import would be a cycle.
     from repro.arrays.triangular_qr import givens_rotation
 
     n = order
+    m = a.shape[0]
     r = np.zeros((n, n))
-    active_cell_steps = 0
-    rotations = 0
+    if m == 0:
+        return r, 0, 0
 
-    for row in a:
-        vector = row.copy()
-        for i in range(n):
-            c, s = givens_rotation(r[i, i], vector[i])
-            rotations += 1
-            r[i, i] = c * r[i, i] + s * vector[i]
-            r_tail = r[i, i + 1 :]
-            v_tail = vector[i + 1 :]
-            rotated_r = c * r_tail + s * v_tail
-            rotated_v = -s * r_tail + c * v_tail
-            r[i, i + 1 :] = rotated_r
-            vector[i + 1 :] = rotated_v
-            vector[i] = 0.0
-            # One boundary interaction plus n - i - 1 internal ones, exactly
-            # as the reference counts them.
-            active_cell_steps += n - i
+    work = np.array(a, dtype=float)  # the in-flight (partially rotated) rows
+    work_flat = work.reshape(-1)
+    diagonal = r.reshape(-1)[:: n + 1]  # writable view of r's diagonal
+    tail_mask = np.triu(np.ones((n, n), dtype=bool), k=1)
 
+    for step in range(m + n - 1):
+        lo = max(0, step - m + 1)  # first active array row i on the diagonal
+        hi = min(n - 1, step) + 1  # one past the last active array row
+        # Input row k = step - i meets boundary cell (i, i) at this step;
+        # vec[k, i] sits at flat index k*n + i = step*n - i*(n - 1).
+        boundary = diagonal[lo:hi]
+        incoming = work_flat[step * n - (n - 1) * np.arange(lo, hi)]
+        c, s = givens_rotation(boundary, incoming)
+        new_boundary = c * boundary + s * incoming
+        if n > 1:
+            # Band rows ordered by i ascending; the matching in-flight rows
+            # k = step - i come out of a reversed slice of the row block.
+            r_band = r[lo:hi]
+            v_band = work[step - hi + 1 : step - lo + 1][::-1]
+            mask = tail_mask[lo:hi]
+            new_r = c[:, None] * r_band + s[:, None] * v_band
+            new_v = -s[:, None] * r_band + c[:, None] * v_band
+            r[lo:hi] = np.where(mask, new_r, r_band)
+            work[step - hi + 1 : step - lo + 1] = np.where(mask, new_v, v_band)[::-1]
+        diagonal[lo:hi] = new_boundary
+
+    # One boundary + (n - i - 1) internal interactions per (k, i) pair --
+    # every pair occurs exactly once, so the totals close over the schedule.
+    active_cell_steps = m * n * (n + 1) // 2
+    rotations = m * n
     return r, active_cell_steps, rotations

@@ -460,7 +460,7 @@ def check_environment(jobs: int | None = None) -> list[Finding]:
     import os
     import platform
 
-    from repro.runtime.tasks import default_worker_count
+    from repro.runtime.tasks import worker_count_source
 
     findings = []
     try:
@@ -478,25 +478,36 @@ def check_environment(jobs: int | None = None) -> list[Finding]:
             )
         )
 
-    affinity = default_worker_count()
+    # The worker count is only an *affinity* figure when it actually came
+    # from the scheduling mask; on platforms without ``sched_getaffinity``
+    # it is just ``os.cpu_count()`` and must not be reported as a container
+    # or cgroup limit.
+    workers, source = worker_count_source()
     cpus = os.cpu_count() or 1
-    data = {"affinity_cpus": affinity, "os_cpu_count": cpus, "jobs": jobs}
-    if jobs is not None and jobs > affinity:
+    from_mask = source == "sched_getaffinity"
+    label = f"{workers}-CPU affinity mask" if from_mask else f"{workers}-CPU count"
+    data = {
+        "worker_count": workers,
+        "worker_count_source": source,
+        "os_cpu_count": cpus,
+        "jobs": jobs,
+    }
+    if jobs is not None and jobs > workers:
         findings.append(
             Finding(
                 "env.affinity",
                 WARN,
-                f"--jobs {jobs} oversubscribes the {affinity}-CPU affinity "
-                "mask; worker processes will contend",
+                f"--jobs {jobs} oversubscribes the {label}; worker "
+                "processes will contend",
                 data,
             )
         )
-    elif affinity < cpus:
+    elif from_mask and workers < cpus:
         findings.append(
             Finding(
                 "env.affinity",
                 WARN,
-                f"affinity mask allows {affinity} of {cpus} CPUs (container "
+                f"affinity mask allows {workers} of {cpus} CPUs (container "
                 "or cgroup limit); default pool size follows the mask",
                 data,
             )
@@ -506,7 +517,8 @@ def check_environment(jobs: int | None = None) -> list[Finding]:
             Finding(
                 "env.affinity",
                 PASS,
-                f"{affinity} CPUs available to the worker pool",
+                f"{workers} CPUs available to the worker pool "
+                f"(via {source})",
                 data,
             )
         )

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict
+
+import numpy as np
 from dataclasses import dataclass
 from enum import Enum
 from typing import Hashable, Sequence
@@ -315,13 +317,25 @@ def _play_fast(
 
     * nodes are mapped to dense indices once, so pebble state is a
       ``bytearray`` lookup instead of hash-set membership;
-    * successor counts are accumulated directly from the predecessor lists
-      (no successor-list materialisation);
+    * all per-node bookkeeping is assembled as whole-array numpy passes --
+      the predecessor lists become one CSR pair (``pred_ptr``/``pred_flat``),
+      successor counts fall out of a single ``np.bincount`` over the flat
+      predecessor indices (no successor-list materialisation, no per-node
+      dict updates), and the initial blue frontier is just
+      ``pred_counts == 0``;
     * recency is an integer stamp per node plus a lazy-deletion min-heap --
       the heap's minimum valid entry is exactly the ``OrderedDict`` head the
       validated engine would scan to, so both engines always evict the same
       victim and produce identical load/store counts (asserted by the tier-1
       equivalence tests).
+
+    The sequential replay itself deliberately runs on Python ints,
+    ``bytearray`` state and list-backed counts converted from the numpy
+    setup arrays: each move touches a handful of individual elements, and
+    numpy scalar indexing is several times slower than list/bytearray
+    access in that regime.  The schedule is translated to dense indices
+    once up front, so the move loop performs no per-node dict lookups at
+    all.
 
     This is the hot path of experiment E9: the larger pebble-game scenarios
     play hundreds of thousands of scheduled nodes, where per-move legality
@@ -336,23 +350,37 @@ def _play_fast(
     nodes = list(dag.predecessors)
     index = {node: i for i, node in enumerate(nodes)}
     n = len(nodes)
-    preds_of = [tuple(index[p] for p in dag.predecessors[node]) for node in nodes]
     heappush = heapq.heappush
     heappop = heapq.heappop
 
-    remaining_uses = [0] * n
-    for preds in preds_of:
-        for p in preds:
-            remaining_uses[p] += 1
+    # Whole-array setup: CSR predecessor structure, successor counts via
+    # bincount, blue frontier and output flags as boolean scatters.
+    pred_counts = np.fromiter(
+        (len(preds) for preds in dag.predecessors.values()), dtype=np.int64, count=n
+    )
+    pred_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(pred_counts, out=pred_ptr[1:])
+    pred_flat = np.fromiter(
+        (index[p] for preds in dag.predecessors.values() for p in preds),
+        dtype=np.int64,
+        count=int(pred_ptr[-1]),
+    )
+    blue_frontier = pred_counts == 0  # inputs start blue
+    output_flags = np.zeros(n, dtype=bool)
+    if dag.outputs:
+        output_flags[[index[out] for out in dag.outputs]] = True
 
-    is_output = bytearray(n)
-    for out in dag.outputs:
-        is_output[index[out]] = 1
+    # Convert to list/bytearray form for the scalar replay loop (numpy bool
+    # arrays are one byte per element, so ``tobytes`` is the 0/1 string the
+    # bytearray wants) and translate the schedule to dense indices once.
+    flat = pred_flat.tolist()
+    ptr = pred_ptr.tolist()
+    preds_of = [tuple(flat[ptr[j] : ptr[j + 1]]) for j in range(n)]
+    remaining_uses = np.bincount(pred_flat, minlength=n).tolist()
+    is_output = bytearray(output_flags.tobytes())
     red = bytearray(n)
-    blue = bytearray(n)
-    for node, preds in dag.predecessors.items():
-        if not preds:
-            blue[index[node]] = 1
+    blue = bytearray(blue_frontier.tobytes())
+    indexed_schedule = [index[node] for node in schedule]
 
     red_count = 0
     peak_red = 0
@@ -384,8 +412,7 @@ def _play_fast(
             "set of a single node (its predecessors plus its result)"
         )
 
-    for node in schedule:
-        i = index[node]
+    for i in indexed_schedule:
         preds = preds_of[i]
         if not preds:
             continue  # inputs stay blue until first needed

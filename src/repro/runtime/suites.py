@@ -484,8 +484,9 @@ def _full_suite() -> ScenarioSuite:
                 {"order": 8, "batches": 24, "engine": "reference"},
             ),
             # Large-order systolic scenarios (the wavefront engine's payoff):
-            # meshes up to order 128, a length-256 matvec stream, and a
-            # 64-column triangular QR array.
+            # meshes up to order 256, matvec streams up to 512 points, and
+            # triangular QR arrays up to 128 columns (the banded
+            # anti-diagonal engine is what makes these affordable).
             ExperimentScenario(
                 "full-systolic-mesh64",
                 "systolic",
@@ -497,6 +498,11 @@ def _full_suite() -> ScenarioSuite:
                 {"order": 128, "batches": 2, "engine": "fast"},
             ),
             ExperimentScenario(
+                "full-systolic-mesh256",
+                "systolic",
+                {"order": 256, "batches": 2, "engine": "fast"},
+            ),
+            ExperimentScenario(
                 "full-systolic-stream256",
                 "systolic",
                 {
@@ -505,6 +511,18 @@ def _full_suite() -> ScenarioSuite:
                     "engine": "fast",
                     "matvec_length": 256,
                     "qr_order": 64,
+                    "qr_rows": 256,
+                },
+            ),
+            ExperimentScenario(
+                "full-systolic-stream512",
+                "systolic",
+                {
+                    "order": 16,
+                    "batches": 8,
+                    "engine": "fast",
+                    "matvec_length": 512,
+                    "qr_order": 128,
                     "qr_rows": 256,
                 },
             ),

@@ -70,6 +70,24 @@ _METRIC_TASK_SECONDS = REGISTRY.histogram(
 )
 
 
+def worker_count_source() -> tuple[int, str]:
+    """Default worker count plus the name of the source that provided it.
+
+    Returns ``(count, "sched_getaffinity")`` when the scheduling affinity
+    mask was consulted, ``(count, "os.cpu_count")`` on platforms without
+    ``os.sched_getaffinity`` (macOS, Windows) or when querying the mask
+    fails.  Diagnostics (``repro doctor``) report the source: a count that
+    came from ``os.cpu_count`` says nothing about container or cgroup CPU
+    limits, so presenting it as an affinity mask would be misleading.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1, "sched_getaffinity"
+        except OSError:  # pragma: no cover - platform-specific failure
+            pass
+    return os.cpu_count() or 1, "os.cpu_count"
+
+
 def default_worker_count() -> int:
     """Worker processes to use when the caller does not say.
 
@@ -77,12 +95,7 @@ def default_worker_count() -> int:
     affinity-restricted containers (CI runners, cgroup-limited jobs)
     ``os.cpu_count()`` reports the host's cores and oversubscribes the pool.
     """
-    if hasattr(os, "sched_getaffinity"):
-        try:
-            return len(os.sched_getaffinity(0)) or 1
-        except OSError:  # pragma: no cover - platform-specific failure
-            pass
-    return os.cpu_count() or 1
+    return worker_count_source()[0]
 
 
 @lru_cache(maxsize=None)

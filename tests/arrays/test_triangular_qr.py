@@ -78,6 +78,48 @@ class TestGivensRotation:
         assert abs(-s * a + c * b) <= 1e-12 * r + 1e-320
 
 
+class TestGivensRotationBatch:
+    """Array inputs must be bitwise identical to the scalar path, pairwise."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        size=st.integers(min_value=1, max_value=64),
+        magnitude=st.sampled_from([1.0, 1e-300, 5e-324, 1e300]),
+        zero_fraction=st.sampled_from([0.0, 0.3, 1.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_matches_scalar_bitwise(self, seed, size, magnitude, zero_fraction):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(size) * magnitude
+        b = rng.standard_normal(size) * magnitude
+        zeros = rng.random(size) < zero_fraction
+        a[zeros] = 0.0
+        b[zeros] = 0.0
+        c_batch, s_batch = givens_rotation(a, b)
+        assert isinstance(c_batch, np.ndarray) and c_batch.shape == (size,)
+        for k in range(size):
+            c_scalar, s_scalar = givens_rotation(float(a[k]), float(b[k]))
+            assert c_batch[k].tobytes() == np.float64(c_scalar).tobytes()
+            assert s_batch[k].tobytes() == np.float64(s_scalar).tobytes()
+
+    def test_idle_pairs_take_the_scalar_early_return(self):
+        c, s = givens_rotation(np.zeros(3), np.zeros(3))
+        assert np.all(c == 1.0) and np.all(s == 0.0)
+
+    def test_mixed_idle_and_active_lanes(self):
+        a = np.array([0.0, 3.0, -2.0])
+        b = np.array([0.0, 4.0, 7.0])
+        c, s = givens_rotation(a, b)
+        assert (c[0], s[0]) == (1.0, 0.0)
+        for k in (1, 2):
+            c_k, s_k = givens_rotation(float(a[k]), float(b[k]))
+            assert (c[k], s[k]) == (c_k, s_k)
+
+    def test_scalar_path_still_returns_floats(self):
+        c, s = givens_rotation(3.0, 4.0)
+        assert isinstance(c, float) and isinstance(s, float)
+
+
 class TestGentlemanKungTriangularArray:
     def test_r_factor_matches_lapack_square(self, rng):
         a = rng.standard_normal((8, 8))

@@ -165,6 +165,78 @@ class TestTriangularQREquivalence:
             assert result.active_cell_steps == 0
             assert result.utilization == 0.0
 
+    @given(
+        extra=st.integers(min_value=1, max_value=24),
+        n=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tall_nonsquare_inputs(self, extra, n, seed):
+        """rows > order: the array keeps absorbing past the square point."""
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n + extra, n))
+        reference = GentlemanKungTriangularArray(n, engine="reference").run(a)
+        fast = GentlemanKungTriangularArray(n, engine="fast").run(a)
+        assert fast.r_factor.tobytes() == reference.r_factor.tobytes()
+        assert fast.active_cell_steps == reference.active_cell_steps
+        assert fast.rotations_generated == reference.rotations_generated
+        report = GentlemanKungTriangularArray(n).verify(a)
+        assert report.ok, report.max_abs_error
+
+    @given(
+        zero_cols=st.sets(st.integers(min_value=0, max_value=5), min_size=1),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_zero_columns_produce_identity_rotations(self, zero_cols, seed):
+        """Zero columns hit the idle (c, s) = (1, 0) branch of the batch path."""
+        n = 6
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((10, n))
+        a[:, sorted(zero_cols)] = 0.0
+        reference = GentlemanKungTriangularArray(n, engine="reference").run(a)
+        fast = GentlemanKungTriangularArray(n, engine="fast").run(a)
+        assert fast.r_factor.tobytes() == reference.r_factor.tobytes()
+        assert fast.active_cell_steps == reference.active_cell_steps
+
+    def test_all_zero_input_keeps_idle_rotations(self):
+        n = 5
+        a = np.zeros((8, n))
+        reference = GentlemanKungTriangularArray(n, engine="reference").run(a)
+        fast = GentlemanKungTriangularArray(n, engine="fast").run(a)
+        assert fast.r_factor.tobytes() == reference.r_factor.tobytes()
+        assert np.all(fast.r_factor == 0.0)
+        assert fast.rotations_generated == reference.rotations_generated == 8 * n
+
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf])
+    def test_nonfinite_rows_surface_as_inf_error(self, poison, rng):
+        """NaN/inf input must fail verification loudly, never silently pass.
+
+        The two engines may disagree in the *sign/payload bits* of NaNs
+        downstream of a non-finite input (IEEE 754 leaves two-NaN
+        arithmetic unspecified, and CPython scalar ``+`` keeps the second
+        operand's NaN where numpy's vector loop keeps the first), so the
+        equivalence claim here is: identical NaN positions, bitwise-equal
+        finite positions, and ``verify()`` reporting ``max_abs_error=inf``.
+        """
+        n = 6
+        a = rng.standard_normal((9, n))
+        a[3, 2] = poison
+        with np.errstate(invalid="ignore"):
+            reference = GentlemanKungTriangularArray(n, engine="reference").run(a)
+            fast = GentlemanKungTriangularArray(n, engine="fast").run(a)
+            ref_nan = np.isnan(reference.r_factor)
+            fast_nan = np.isnan(fast.r_factor)
+            assert np.array_equal(ref_nan, fast_nan)
+            assert (
+                fast.r_factor[~fast_nan].tobytes()
+                == reference.r_factor[~ref_nan].tobytes()
+            )
+            for engine in ENGINES:
+                report = GentlemanKungTriangularArray(n, engine=engine).verify(a)
+                assert not report.ok
+                assert report.max_abs_error == np.inf
+
 
 class TestReportHelpers:
     def test_nan_deviation_surfaces_as_inf(self):
@@ -183,3 +255,32 @@ class TestReportHelpers:
         from repro.arrays.wavefront import max_abs_deviation
 
         assert max_abs_deviation(np.zeros((0, 3)), np.zeros((0, 3))) == 0.0
+
+    @pytest.mark.parametrize("produced_count, expected_count", [(1, 3), (3, 1), (0, 2)])
+    def test_length_mismatch_is_a_failure(self, produced_count, expected_count):
+        """Dropped (or surplus) trailing batches must not verify as ok.
+
+        ``zip`` truncates to the shorter sequence, so before this check an
+        engine that returned only the first batch of a three-batch run
+        reported ``ok=True`` with ``max_abs_error=0.0``.
+        """
+        from repro.arrays.wavefront import batched_verification_report
+
+        batches = [np.full((2, 2), float(i)) for i in range(3)]
+        report = batched_verification_report(
+            None, batches[:produced_count], batches[:expected_count]
+        )
+        assert not report.ok
+        assert report.max_abs_error == np.inf
+        compared = min(produced_count, expected_count)
+        longest = max(produced_count, expected_count)
+        assert report.mismatched_batches == tuple(range(compared, longest))
+
+    def test_equal_lengths_still_verify(self):
+        from repro.arrays.wavefront import batched_verification_report
+
+        batches = [np.full((2, 2), float(i)) for i in range(3)]
+        report = batched_verification_report(None, batches, list(batches))
+        assert report.ok
+        assert report.max_abs_error == 0.0
+        assert report.mismatched_batches == ()

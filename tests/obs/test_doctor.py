@@ -147,6 +147,49 @@ class TestEnvironment:
         assert finding.status == WARN
         assert "oversubscribes" in finding.detail
 
+    def test_affinity_finding_names_its_source(self):
+        """The data block says where the worker count came from."""
+        finding = _by_check(check_environment())["env.affinity"]
+        assert finding.data["worker_count_source"] in (
+            "sched_getaffinity",
+            "os.cpu_count",
+        )
+        assert finding.data["worker_count"] >= 1
+
+    def test_cpu_count_fallback_not_reported_as_affinity(self, monkeypatch):
+        """Without ``sched_getaffinity`` the count is not an affinity mask.
+
+        Platforms lacking the syscall (macOS, Windows) fall back to
+        ``os.cpu_count()``; the old finding still said "affinity mask" and
+        could fabricate a container-limit warning from a number that knows
+        nothing about containers.
+        """
+        import os
+
+        import repro.runtime.tasks as tasks
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        workers, source = tasks.worker_count_source()
+        assert source == "os.cpu_count"
+        assert workers == (os.cpu_count() or 1)
+        finding = _by_check(check_environment())["env.affinity"]
+        assert finding.data["worker_count_source"] == "os.cpu_count"
+        # The fallback can never be smaller than cpu_count, so the
+        # container-limit warning must not fire.
+        assert finding.status == PASS
+        assert "affinity mask" not in finding.detail
+
+    def test_oversubscription_warning_without_affinity_syscall(self, monkeypatch):
+        import os
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        cpus = os.cpu_count() or 1
+        finding = _by_check(check_environment(jobs=cpus + 8))["env.affinity"]
+        assert finding.status == WARN
+        assert "oversubscribes" in finding.detail
+        assert "CPU count" in finding.detail
+        assert "affinity mask" not in finding.detail
+
 
 class TestReport:
     def test_worst_finding_wins(self):

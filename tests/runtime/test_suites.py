@@ -135,6 +135,14 @@ class TestSuiteRegistry:
         # The small instance still exercises the validating reference engine.
         assert any(e.params.get("engine") == "reference" for e in systolic)
 
+    def test_full_suite_reaches_order256_mesh_and_qr128(self):
+        """The banded anti-diagonal engine unlocks the largest scenarios."""
+        suite = get_suite("full")
+        systolic = [e for e in suite.experiments if e.experiment == "systolic"]
+        assert any(e.params.get("order") == 256 for e in systolic)
+        assert any((e.params.get("matvec_length") or 0) >= 512 for e in systolic)
+        assert any((e.params.get("qr_order") or 0) >= 128 for e in systolic)
+
     def test_experiment_kinds_listing(self):
         assert set(experiment_kinds()) == set(EXPERIMENT_KINDS)
 

@@ -1,0 +1,95 @@
+"""The transform registry: named, composable record-batch passes.
+
+A *transform* is a pure function from a batch of flat result records to a
+batch of derived records (``fn(records, **params) -> records``).  The
+registry maps names to transforms so the report CLI, the service's
+``GET /results`` endpoint and ad-hoc analysis all share one vocabulary of
+derived metrics -- the same pattern the runtime uses for kernels and
+suites.
+
+The concrete store transforms (speedup trends, regressions, balance
+margins, roofline positions, cache hit rates) live in
+:mod:`repro.store.transforms` and register themselves here at import time;
+this module stays dependency-free so the analysis layer never imports the
+store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Transform",
+    "register_transform",
+    "get_transform",
+    "transform_names",
+    "describe_transforms",
+    "apply_transform",
+]
+
+TransformFn = Callable[..., "list[dict[str, Any]]"]
+
+
+@dataclass(frozen=True)
+class Transform:
+    """One registered derived-metric pass."""
+
+    name: str
+    fn: TransformFn
+    description: str
+
+    def __call__(
+        self, records: Sequence[Mapping[str, Any]], **params: Any
+    ) -> list[dict[str, Any]]:
+        return self.fn(records, **params)
+
+
+_TRANSFORMS: dict[str, Transform] = {}
+
+
+def register_transform(
+    name: str, *, description: str = ""
+) -> Callable[[TransformFn], TransformFn]:
+    """Decorator registering ``fn`` as the transform called ``name``."""
+
+    def decorate(fn: TransformFn) -> TransformFn:
+        if name in _TRANSFORMS:
+            raise ConfigurationError(f"transform {name!r} is already registered")
+        _TRANSFORMS[name] = Transform(name=name, fn=fn, description=description)
+        return fn
+
+    return decorate
+
+
+def get_transform(name: str) -> Transform:
+    """Look up a registered transform by name."""
+    try:
+        return _TRANSFORMS[name]
+    except KeyError:
+        known = ", ".join(sorted(_TRANSFORMS))
+        raise ConfigurationError(
+            f"unknown transform {name!r}; known transforms: {known}"
+        ) from None
+
+
+def transform_names() -> list[str]:
+    """Every registered transform name, sorted."""
+    return sorted(_TRANSFORMS)
+
+
+def describe_transforms() -> list[dict[str, str]]:
+    """Name + description for every registered transform, sorted by name."""
+    return [
+        {"transform": name, "description": _TRANSFORMS[name].description}
+        for name in transform_names()
+    ]
+
+
+def apply_transform(
+    name: str, records: Sequence[Mapping[str, Any]], **params: Any
+) -> list[dict[str, Any]]:
+    """Run one named transform over a record batch."""
+    return get_transform(name)(records, **params)

@@ -40,7 +40,11 @@ from repro.experiments.arrays_section4 import (
 from repro.experiments.fft_figure2 import figure2_task, render_decomposition
 from repro.experiments.intensity import run_intensity_experiment
 from repro.experiments.pebble_bounds import run_pebble_experiment
-from repro.experiments.summary import analytic_summary_table, run_summary_experiment
+from repro.experiments.summary import (
+    analytic_summary_table,
+    run_summary_experiment,
+    summary_table,
+)
 from repro.experiments.warp_study import warp_task
 from repro.kernels import (
     BlockedFFT,
@@ -52,6 +56,7 @@ from repro.kernels import (
     StreamingTriangularSolve,
 )
 from repro.runtime import (
+    ExperimentScenario,
     ResultCache,
     SweepRunner,
     TaskCache,
@@ -62,8 +67,18 @@ from repro.runtime import (
     kernel_factories,
     rebalance_grid,
     run_suite,
+    store_for,
     suite_names,
 )
+from repro.store import (
+    ResultStore,
+    ingest_file,
+    ingest_payload,
+    query,
+    records_table,
+    report_document,
+)
+from repro.store.query import group_counts
 from repro.core.registry import get as get_registry_spec
 from repro.exceptions import ReproError
 
@@ -103,7 +118,9 @@ _EXPERIMENT_DESCRIPTIONS = {
     "suite": "run a named scenario suite through the parallel runtime",
     "serve": "run the long-lived job service (HTTP JSON API over the runtime)",
     "submit": "submit a job to a running service and wait for its result",
-    "cache": "inspect or clear the on-disk result caches",
+    "cache": "inspect or clear the on-disk result caches and the result store",
+    "report": "query recorded results: filter, transform and render run history",
+    "ingest": "load result JSON artifacts (suite/sweep/bench) into the result store",
     "doctor": "diagnose cache integrity, journal health, worker liveness and environment",
     "figure2": "E6: the Figure 2 FFT decomposition (N=16, M=4)",
     "arrays": "E10/E11: per-cell memory sizing for linear arrays and meshes",
@@ -122,6 +139,43 @@ def _print(text: str) -> None:
     print()
 
 
+def _store_from_args(args: argparse.Namespace) -> ResultStore | None:
+    """The result store under the command's cache root (None when uncached)."""
+    if getattr(args, "no_cache", False):
+        return None
+    root = Path(getattr(args, "cache_dir", None) or _default_cache_dir())
+    return ResultStore(root / "store")
+
+
+def _record_payload(args: argparse.Namespace, payload: dict) -> None:
+    """Best-effort ingest of one result document into the store.
+
+    History recording must never fail the experiment that produced the
+    result; a broken store directory degrades to a warning.
+    """
+    store = _store_from_args(args)
+    if store is None:
+        return
+    try:
+        receipt = ingest_payload(store, payload)
+    except Exception as exc:  # noqa: BLE001 - history is best-effort
+        print(f"repro: warning: could not record result: {exc}", file=sys.stderr)
+        return
+    note = "" if receipt.added else " (deduplicated)"
+    print(f"recorded run {receipt.run_id}{note} [{store.root}]")
+
+
+def _record_experiment(
+    args: argparse.Namespace,
+    name: str,
+    kind: str,
+    results: Sequence[object],
+    task_keys: Sequence[str] = (),
+) -> None:
+    scenario = ExperimentScenario(name, kind)
+    _record_payload(args, scenario.as_payload(results, task_keys=task_keys))
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for name, description in _EXPERIMENT_DESCRIPTIONS.items():
         print(f"  {name:<18s} {description}")
@@ -132,7 +186,14 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     _print(analytic_summary_table().render_ascii())
     runner = SweepRunner(parallel=args.jobs > 1, max_workers=args.jobs)
     experiment = run_summary_experiment(quick=args.quick, runner=runner)
-    _print(experiment.table().render_ascii())
+    records = experiment.records()
+    store = _store_from_args(args)
+    if store is not None:
+        # Record, then render from the queried-back store rows: the table the
+        # user sees *is* the recorded history.
+        receipt = ingest_payload(store, experiment.as_payload())
+        records = query(store, experiment="summary", run_id=receipt.run_id)
+    _print(summary_table(records).render_ascii())
     if not experiment.all_agree:
         print("WARNING: at least one measured classification disagrees with the paper")
         return 1
@@ -158,11 +219,13 @@ def _cmd_kernel(name: str, args: argparse.Namespace) -> int:
 
 def _cmd_figure2(args: argparse.Namespace) -> int:
     runner = _task_runner_from_args(args)
-    result = runner.run_one(figure2_task(n_points=args.points, block_points=args.block))
+    task = figure2_task(n_points=args.points, block_points=args.block)
+    result = runner.run_one(task)
     _print(render_decomposition(result))
     _print(result.table().render_ascii())
     print(f"correct against the direct DFT: {result.correct}")
     _print_task_cache(runner)
+    _record_experiment(args, "cli-figure2", "figure2", [result], [task.key()])
     return 0 if result.correct else 1
 
 
@@ -170,37 +233,40 @@ def _cmd_arrays(args: argparse.Namespace) -> int:
     runner = _task_runner_from_args(args)
     linear_kwargs = {} if args.lengths is None else {"lengths": args.lengths}
     mesh_kwargs = {} if args.sides is None else {"sides": args.sides}
-    experiments = runner.run(
-        [
-            linear_array_task(**linear_kwargs),
-            mesh_array_task(**mesh_kwargs),
-            mesh_array_task(
-                **mesh_kwargs,
-                intensity=PowerLawIntensity(exponent=0.25),
-                computation_label="4-d grid relaxation (law alpha^4)",
-            ),
-        ]
-    )
+    tasks = [
+        linear_array_task(**linear_kwargs),
+        mesh_array_task(**mesh_kwargs),
+        mesh_array_task(
+            **mesh_kwargs,
+            intensity=PowerLawIntensity(exponent=0.25),
+            computation_label="4-d grid relaxation (law alpha^4)",
+        ),
+    ]
+    experiments = runner.run(tasks)
     for experiment in experiments:
         _print(experiment.table().render_ascii())
     _print_task_cache(runner)
+    names = ("cli-linear-array", "cli-mesh-array", "cli-mesh-array-grid4d")
+    kinds = ("linear-array", "mesh-array", "mesh-array")
+    for name, kind, task, experiment in zip(names, kinds, tasks, experiments):
+        _record_experiment(args, name, kind, [experiment], [task.key()])
     return 0
 
 
 def _cmd_systolic(args: argparse.Namespace) -> int:
     runner = _task_runner_from_args(args)
-    experiment = runner.run_one(
-        systolic_task(
-            order=args.order,
-            batches=args.batches,
-            engine=args.engine,
-            matvec_length=args.matvec_length,
-            qr_order=args.qr_order,
-            qr_rows=args.qr_rows,
-        )
+    task = systolic_task(
+        order=args.order,
+        batches=args.batches,
+        engine=args.engine,
+        matvec_length=args.matvec_length,
+        qr_order=args.qr_order,
+        qr_rows=args.qr_rows,
     )
+    experiment = runner.run_one(task)
     _print(experiment.table().render_ascii())
     _print_task_cache(runner)
+    _record_experiment(args, "cli-systolic", "systolic", [experiment], [task.key()])
     correct = (
         experiment.matmul_correct
         and experiment.matvec_correct
@@ -216,16 +282,19 @@ def _cmd_pebble(args: argparse.Namespace) -> int:
     )
     _print(experiment.table().render_ascii())
     _print_task_cache(runner)
+    _record_experiment(args, "cli-pebble", "pebble", experiment.points)
     return 0 if experiment.all_above_lower_bound else 1
 
 
 def _cmd_warp(args: argparse.Namespace) -> int:
     runner = _task_runner_from_args(args)
-    experiment = runner.run_one(warp_task())
+    task = warp_task()
+    experiment = runner.run_one(task)
     _print(experiment.cell_table().render_ascii())
     _print(experiment.array_table().render_ascii())
     _print(experiment.alpha_table().render_ascii())
     _print_task_cache(runner)
+    _record_experiment(args, "cli-warp", "warp", [experiment], [task.key()])
     return 0
 
 
@@ -395,6 +464,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "rows": rows,
         "fit": fit,
     }
+    _record_payload(args, payload)
     if args.json:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
@@ -449,17 +519,18 @@ def _cmd_sweep_analytic(
         }
         for j, memory in enumerate(memory_sizes)
     ]
+    payload = {
+        "schema": "repro-sweep-analytic/v1",
+        "kernel": args.kernel,
+        "problem_size": args.problem_size,
+        "rows": rows,
+        "rebalance": [
+            {"alpha": alpha, "memory_new": float(memory_new)}
+            for alpha, memory_new in zip(alphas, grown)
+        ],
+    }
+    _record_payload(args, payload)
     if args.json:
-        payload = {
-            "schema": "repro-sweep-analytic/v1",
-            "kernel": args.kernel,
-            "problem_size": args.problem_size,
-            "rows": rows,
-            "rebalance": [
-                {"alpha": alpha, "memory_new": float(memory_new)}
-                for alpha, memory_new in zip(alphas, grown)
-            ],
-        }
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote JSON to {args.json}")
@@ -519,6 +590,9 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     if runner.cache is not None:
         stats = runner.cache.stats
         print(f"cache: {stats.hits} hits, {stats.misses} misses ({runner.cache.root})")
+        store = store_for(runner)
+        if store is not None:
+            print(f"recorded run {result.run_id} [{store.root}]")
     if result.runtime.get("task_cache"):
         task_stats = result.runtime["task_cache"]
         print(
@@ -624,13 +698,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     root = Path(args.cache_dir or _default_cache_dir())
     results = ResultCache(root)
     tasks = TaskCache(root / "tasks")
+    store = ResultStore(root / "store")
     if args.action == "clear":
         removed = results.clear() + tasks.clear()
-        print(f"removed {removed} cache entries from {root}")
+        if args.keep_store:
+            print(f"removed {removed} cache entries from {root} (store kept)")
+        else:
+            runs = store.clear()
+            print(f"removed {removed} cache entries and {runs} store runs from {root}")
         return 0
     result_entries, task_entries = len(results), len(tasks)
     result_bytes = results.disk_usage_bytes()
     task_bytes = tasks.disk_usage_bytes()
+    store_runs, store_records = store.run_count(), len(store)
+    store_bytes = store.disk_usage_bytes()
     print(f"cache root    : {root}")
     print(
         f"sweep points  : {result_entries} entries, {_format_bytes(result_bytes)}"
@@ -639,9 +720,94 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         f"task results  : {task_entries} entries, {_format_bytes(task_bytes)}"
     )
     print(
-        f"total         : {result_entries + task_entries} entries, "
-        f"{_format_bytes(result_bytes + task_bytes)}"
+        f"result store  : {store_runs} runs, {store_records} records, "
+        f"{_format_bytes(store_bytes)}"
     )
+    print(
+        f"total         : {result_entries + task_entries} entries + "
+        f"{store_runs} runs, "
+        f"{_format_bytes(result_bytes + task_bytes + store_bytes)}"
+    )
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    store = ResultStore(Path(args.cache_dir or _default_cache_dir()) / "store")
+    for path in args.paths:
+        receipt = ingest_file(store, path, reader=args.reader)
+        status = "added" if receipt.added else "deduplicated"
+        print(
+            f"{path}: {status} run {receipt.run_id} "
+            f"({receipt.record_count} records)"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.transforms import apply_transform, describe_transforms
+    from repro.store.readers import describe_readers
+
+    if args.list_transforms:
+        table = records_table(
+            describe_transforms(), columns=("transform", "description"),
+            title="registered transforms",
+        )
+        _print(table.render_ascii())
+        table = records_table(
+            describe_readers(), columns=("reader", "schemas", "description"),
+            title="registered readers",
+        )
+        _print(table.render_ascii())
+        return 0
+
+    store = ResultStore(Path(args.cache_dir or _default_cache_dir()) / "store")
+    records = query(
+        store,
+        experiment=args.experiment,
+        scenario=args.scenario,
+        kernel=args.kernel,
+        suite=args.suite,
+        run_id=args.run,
+    )
+    transform = "regressions" if args.regressions else args.transform
+    if transform:
+        records = apply_transform(transform, records)
+    if args.group:
+        records = group_counts(records, args.group)
+    if args.limit is not None:
+        records = records[len(records) - min(args.limit, len(records)) :]
+
+    regressed = transform == "regressions" and any(
+        record.get("regression") for record in records
+    )
+    if args.format == "json":
+        document = report_document(
+            records,
+            transform=transform,
+            filters={
+                "experiment": args.experiment,
+                "scenario": args.scenario,
+                "kernel": args.kernel,
+                "suite": args.suite,
+                "run_id": args.run,
+                "group": args.group,
+                "limit": args.limit,
+            },
+        )
+        print(json.dumps(document, indent=2))
+    else:
+        columns = args.columns.split(",") if args.columns else None
+        title = f"result store: {len(records)} records [{store.root}]"
+        table = records_table(records, columns=columns, title=title)
+        if args.format == "markdown":
+            print(table.render_markdown())
+        elif args.format == "csv":
+            print(table.render_csv(), end="")
+        else:
+            _print(table.render_ascii())
+    if regressed:
+        print("WARNING: at least one bench case regressed past the threshold")
+        return 1
     return 0
 
 
@@ -685,6 +851,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summary.add_argument(
         "--jobs", type=int, default=1, help="fan kernel executions across N worker processes"
+    )
+    summary.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cache root whose result store records the run "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    summary.add_argument(
+        "--no-cache", action="store_true", help="do not record the run in the result store"
     )
 
     sweep = subparsers.add_parser("sweep", help=_EXPERIMENT_DESCRIPTIONS["sweep"])
@@ -766,6 +940,63 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--cache-dir", type=Path, default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache.add_argument(
+        "--keep-store", action="store_true",
+        help="on clear, keep the recorded result history (only drop the caches)",
+    )
+
+    report = subparsers.add_parser("report", help=_EXPERIMENT_DESCRIPTIONS["report"])
+    report.add_argument(
+        "--experiment", default=None, help="record kind (sweep, fit, systolic, ...)"
+    )
+    report.add_argument("--scenario", default=None, help="scenario name, exact or prefix")
+    report.add_argument("--kernel", default=None, help="kernel name")
+    report.add_argument("--suite", default=None, help="suite name the run recorded under")
+    report.add_argument("--run", default=None, help="run ID (see the run_id column)")
+    report.add_argument(
+        "--transform", default=None,
+        help="apply a named derived-metric pass (see --list-transforms)",
+    )
+    report.add_argument(
+        "--regressions", action="store_true",
+        help="shorthand for --transform regressions; exits 1 if any case regressed",
+    )
+    report.add_argument(
+        "--group", default=None, metavar="COLUMN",
+        help="collapse to record counts per value of COLUMN",
+    )
+    report.add_argument(
+        "--columns", default=None,
+        help="comma-separated columns for the table output (default: auto)",
+    )
+    report.add_argument(
+        "--limit", type=int, default=None, help="keep only the last N rows"
+    )
+    report.add_argument(
+        "--format", choices=("table", "json", "csv", "markdown"), default="table",
+    )
+    report.add_argument(
+        "--list-transforms", action="store_true",
+        help="list the registered transforms and readers, then exit",
+    )
+    report.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cache root holding the result store (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+    ingest = subparsers.add_parser("ingest", help=_EXPERIMENT_DESCRIPTIONS["ingest"])
+    ingest.add_argument(
+        "paths", nargs="+", type=Path, metavar="PATH",
+        help="result JSON documents (suite results, sweep exports, BENCH_*.json)",
+    )
+    ingest.add_argument(
+        "--reader", default=None,
+        help="force a reader instead of auto-detecting from the payload schema",
+    )
+    ingest.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cache root holding the result store (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
 
     doctor = subparsers.add_parser("doctor", help=_EXPERIMENT_DESCRIPTIONS["doctor"])
@@ -862,6 +1093,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "cache": _cmd_cache,
+        "report": _cmd_report,
+        "ingest": _cmd_ingest,
         "doctor": _cmd_doctor,
         "figure2": _cmd_figure2,
         "arrays": _cmd_arrays,

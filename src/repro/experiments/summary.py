@@ -14,6 +14,7 @@ Agreement between the two columns is the headline reproduction result.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 from repro.analysis.report import Table
 from repro.core.classification import ClassificationResult, ComputationClass
@@ -33,12 +34,26 @@ from repro.kernels.base import Kernel
 from repro.runtime.engine import SweepPlan, SweepRunner
 
 __all__ = [
+    "SUMMARY_SCHEMA",
     "MeasuredLaw",
     "SummaryExperiment",
     "default_measurement_plan",
     "run_summary_experiment",
     "analytic_summary_table",
+    "summary_table",
 ]
+
+SUMMARY_SCHEMA = "repro-summary/v1"
+
+#: Column order of the reproduced Section 3 summary table.
+SUMMARY_COLUMNS = (
+    "computation",
+    "paper_law",
+    "paper_class",
+    "measured_class",
+    "measured_detail",
+    "agrees",
+)
 
 
 @dataclass(frozen=True)
@@ -129,29 +144,53 @@ class SummaryExperiment:
     def all_agree(self) -> bool:
         return all(law.agrees for law in self.measured_laws)
 
+    def records(self) -> list[dict[str, object]]:
+        """Flat store records, one per measured law (``experiment="summary"``)."""
+        return [
+            {
+                "experiment": "summary",
+                "scenario": law.registry_name,
+                "kernel": law.registry_name,
+                "computation": law.kernel_name,
+                "paper_law": law.law_label,
+                "paper_class": law.predicted_class.value,
+                "measured_class": law.measured.computation_class.value,
+                "measured_detail": law.measured.describe(),
+                "agrees": law.agrees,
+            }
+            for law in self.measured_laws
+        ]
+
+    def as_payload(self) -> dict[str, object]:
+        """The ingestible JSON document for this experiment run."""
+        return {
+            "schema": SUMMARY_SCHEMA,
+            "all_agree": self.all_agree,
+            "records": self.records(),
+        }
+
     def table(self) -> Table:
-        """The reproduced Section 3 summary, with the measured classification."""
-        table = Table(
-            columns=(
-                "computation",
-                "paper law",
-                "paper class",
-                "measured class",
-                "measured detail",
-                "agrees",
-            ),
-            title="Section 3 summary: rebalancing laws (analytic vs measured)",
-        )
-        for law in self.measured_laws:
-            table.add_row(
-                law.kernel_name,
-                law.law_label,
-                law.predicted_class.value,
-                law.measured.computation_class.value,
-                law.measured.describe(),
-                "yes" if law.agrees else "NO",
-            )
-        return table
+        """The reproduced Section 3 summary, rendered from the flat records."""
+        return summary_table(self.records())
+
+
+def summary_table(records: Sequence[Mapping[str, object]]) -> Table:
+    """The Section 3 summary table over flat summary records.
+
+    Takes either :meth:`SummaryExperiment.records` or the same rows queried
+    back out of the result store -- both render identically.
+    """
+    table = Table(
+        columns=SUMMARY_COLUMNS,
+        title="Section 3 summary: rebalancing laws (analytic vs measured)",
+    )
+    table.add_dict_rows(
+        [
+            {**record, "agrees": "yes" if record.get("agrees") else "NO"}
+            for record in records
+        ]
+    )
+    return table
 
 
 def analytic_summary_table() -> Table:

@@ -170,6 +170,21 @@ def _load_task_entry(path: Path) -> None:
         raise ValueError(f"task cache entry {path} has no schema field")
 
 
+def _load_store_segment(path: Path) -> None:
+    from repro.store.core import STORE_SCHEMA
+
+    segment = json.loads(path.read_text())
+    if not isinstance(segment, dict) or segment.get("schema") != STORE_SCHEMA:
+        raise ValueError(f"store segment {path} is not a {STORE_SCHEMA} document")
+    records = segment.get("records")
+    declared = segment.get("run", {}).get("record_count")
+    if not isinstance(records, list) or declared != len(records):
+        raise ValueError(
+            f"store segment {path} declares {declared} records, holds "
+            f"{len(records) if isinstance(records, list) else 'none'}"
+        )
+
+
 def check_cache_integrity(cache_dir: str | Path | None) -> list[Finding]:
     """Integrity findings for both stores under one cache root."""
     if cache_dir is None:
@@ -191,14 +206,14 @@ def check_cache_integrity(cache_dir: str | Path | None) -> list[Finding]:
 
     findings = []
     stores = (
-        ("cache.results", root, ".json", _load_result_entry, ("tasks",)),
+        ("cache.results", root, ".json", _load_result_entry, ("tasks", "store")),
         ("cache.tasks", root / "tasks", ".pkl", _load_task_entry, ()),
+        ("cache.store", root / "store" / "runs", ".json", _load_store_segment, ()),
     )
     for check, store_root, suffix, loader, exclude in stores:
         if not store_root.exists():
-            findings.append(
-                Finding(check, PASS, f"no {store_root.name or 'results'} store yet")
-            )
+            label = {"cache.store": "result"}.get(check, store_root.name or "results")
+            findings.append(Finding(check, PASS, f"no {label} store yet"))
             continue
         scan = _scan_entries(store_root, suffix, loader)
         broken = scan["corrupt"] + scan["truncated"]
@@ -252,9 +267,10 @@ def check_cache_integrity(cache_dir: str | Path | None) -> list[Finding]:
                 )
             )
 
-    # Unaccounted bytes: whatever lives under the root that neither store's
+    # Unaccounted bytes: whatever lives under the root that no store's
     # disk_usage_bytes() accessor would report (stray files, orphans).
     from repro.runtime.cache import ResultCache, TaskCache
+    from repro.store.core import ResultStore
 
     total_bytes = sum(
         path.stat().st_size for path in root.rglob("*") if path.is_file()
@@ -262,6 +278,7 @@ def check_cache_integrity(cache_dir: str | Path | None) -> list[Finding]:
     accounted = (
         ResultCache(root).disk_usage_bytes()
         + TaskCache(root / "tasks").disk_usage_bytes()
+        + ResultStore(root / "store").disk_usage_bytes()
     )
     unaccounted = total_bytes - accounted
     if unaccounted > 0:

@@ -40,6 +40,7 @@ from repro.runtime.suites import (
     get_suite,
     kernel_factories,
     run_suite,
+    store_for,
     suite_names,
     task_runner_for,
 )
@@ -95,6 +96,7 @@ __all__ = [
     "run_suite",
     "run_sweep",
     "run_tasks",
+    "store_for",
     "suite_names",
     "task_key",
     "task_runner_for",

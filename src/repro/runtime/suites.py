@@ -22,6 +22,7 @@ from __future__ import annotations
 import csv
 import json
 import time
+import uuid
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
@@ -43,7 +44,7 @@ from repro.kernels import (
     StreamingTriangularSolve,
 )
 from repro.kernels.base import Kernel
-from repro.runtime.cache import TaskCache
+from repro.runtime.cache import TaskCache, execution_key
 from repro.runtime.engine import SweepPlan, SweepRunner
 from repro.runtime.tasks import Task, TaskRunner
 
@@ -61,10 +62,12 @@ __all__ = [
     "suite_names",
     "get_suite",
     "run_suite",
+    "store_for",
     "task_runner_for",
 ]
 
-RESULT_SCHEMA = "repro-suite-result/v2"
+RESULT_SCHEMA = "repro-suite-result/v3"
+EXPERIMENT_PAYLOAD_SCHEMA = "repro-service-experiment/v1"
 
 
 KERNEL_FACTORIES: dict[str, Callable[[], Kernel]] = {
@@ -290,6 +293,23 @@ class ExperimentScenario:
     def summarize(self, results: Sequence[Any]) -> dict[str, object]:
         """Reduce the task results to a JSON-serialisable headline summary."""
         return _EXPERIMENT_SUMMARIZERS[self.experiment](results)
+
+    def as_payload(
+        self, results: Sequence[Any], task_keys: Sequence[str] = ()
+    ) -> dict[str, object]:
+        """The ingestible experiment-result document for one execution.
+
+        The same shape the job service returns for experiment jobs, so CLI
+        drivers and service workers record identical history.
+        """
+        return {
+            "schema": EXPERIMENT_PAYLOAD_SCHEMA,
+            "experiment": self.experiment,
+            "scenario": self.name,
+            "tasks": len(results),
+            "task_keys": list(task_keys),
+            "summary": self.summarize(results),
+        }
 
 
 @dataclass(frozen=True)
@@ -699,12 +719,27 @@ class ScenarioResult:
                 )
         return rows
 
+    def point_keys(self) -> list[str]:
+        """The content address of each sweep point, in memory-grid order.
+
+        These are exactly the keys :class:`~repro.runtime.engine.SweepRunner`
+        used for the result cache, recomputed from the deterministic plan --
+        so store records join against cache entries without the runner
+        having to thread keys through.
+        """
+        plan = self.scenario.plan()
+        return [
+            execution_key(plan.kernel, memory, plan.problem_at(memory))
+            for memory in self.sweep.memory_sizes
+        ]
+
     def as_dict(self) -> dict[str, object]:
         return {
             "scenario": self.scenario.name,
             "kernel": self.scenario.kernel,
             "scale": self.scenario.scale,
             "memory_sizes": list(self.sweep.memory_sizes),
+            "point_keys": self.point_keys(),
             "rows": self.rows(),
             "fit": self.fit(),
             "rebalance": self.rebalance_rows(),
@@ -718,6 +753,7 @@ class ExperimentScenarioResult:
 
     scenario: ExperimentScenario
     results: tuple[Any, ...]
+    task_keys: tuple[str, ...] = ()
 
     def summary(self) -> dict[str, object]:
         return self.scenario.summarize(self.results)
@@ -757,6 +793,7 @@ class ExperimentScenarioResult:
             "scenario": self.scenario.name,
             "experiment": self.scenario.experiment,
             "tasks": len(self.results),
+            "task_keys": list(self.task_keys),
             "summary": self.summary(),
         }
 
@@ -770,6 +807,7 @@ class SuiteResult:
     elapsed_seconds: float
     runtime: dict[str, object] = field(default_factory=dict)
     experiments: tuple[ExperimentScenarioResult, ...] = ()
+    run_id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
 
     def scenario(self, name: str) -> ScenarioResult:
         for result in self.results:
@@ -793,6 +831,7 @@ class SuiteResult:
         return {
             "schema": RESULT_SCHEMA,
             "suite": self.suite.name,
+            "run_id": self.run_id,
             "description": self.suite.description,
             "elapsed_seconds": self.elapsed_seconds,
             "runtime": dict(self.runtime),
@@ -849,16 +888,39 @@ def task_runner_for(runner: SweepRunner) -> TaskRunner:
     )
 
 
+def store_for(runner: SweepRunner) -> Any | None:
+    """The :class:`~repro.store.core.ResultStore` matching a runner's cache.
+
+    The store lives under a ``store/`` subdirectory of the sweep result
+    cache, so one ``--cache-dir`` (or ``REPRO_CACHE_DIR``) governs caches
+    and recorded history alike.  Returns ``None`` when the runner is
+    uncached -- no cache root, no history.
+    """
+    if runner.cache is None:
+        return None
+    # Imported lazily: repro.store imports this module at load time.
+    from repro.store.core import ResultStore
+
+    return ResultStore(runner.cache.root / "store")
+
+
 def run_suite(
     suite: ScenarioSuite | str,
     runner: SweepRunner | None = None,
     task_runner: TaskRunner | None = None,
+    *,
+    record: bool = True,
 ) -> SuiteResult:
     """Execute a suite: sweeps as one flat point batch, experiments as tasks.
 
     ``task_runner`` defaults to one mirroring ``runner``'s parallelism and
     cache location (:func:`task_runner_for`), so serial/parallel and
     cached/uncached behave consistently across both halves of the suite.
+
+    When the runner is cached and ``record`` is true, the finished result is
+    ingested into the result store under the same cache root, making every
+    suite run queryable history (``repro report``).  Re-ingesting the
+    exported JSON later is a content-addressed no-op.
     """
     if isinstance(suite, str):
         suite = get_suite(suite)
@@ -882,6 +944,7 @@ def run_suite(
             ExperimentScenarioResult(
                 scenario=scenario,
                 results=tuple(flat_results[cursor : cursor + len(tasks)]),
+                task_keys=tuple(task.key() for task in tasks),
             )
         )
         cursor += len(tasks)
@@ -897,7 +960,7 @@ def run_suite(
         "points": sum(len(plan.memory_sizes) for plan in plans),
         "experiment_tasks": sum(len(tasks) for tasks in experiment_tasks),
     }
-    return SuiteResult(
+    result = SuiteResult(
         suite=suite,
         results=tuple(
             ScenarioResult(scenario=scenario, sweep=sweep)
@@ -907,3 +970,14 @@ def run_suite(
         runtime=runtime_info,
         experiments=tuple(experiment_results),
     )
+    if record:
+        store = store_for(runner)
+        if store is not None:
+            # Imported lazily for the same cycle reason as store_for.
+            from repro.obs.trace import current_trace_id
+            from repro.store.readers import ingest_payload
+
+            ingest_payload(
+                store, result.as_dict(), trace_id=current_trace_id()
+            )
+    return result

@@ -41,7 +41,19 @@ API reference
 
 ``GET /cache/stats``
     Both caches' hit/miss/store counters, entry counts and size on disk,
-    plus the task runner's executed/cache_hits/deduped counters.  **200**.
+    the result store's run/record counts, plus the task runner's
+    executed/cache_hits/deduped counters.  **200**.
+
+``GET /results``
+    The recorded-results report: the ``repro-report/v1`` document over the
+    service's result store (every finished job is ingested, so the history
+    is queryable across restarts).  Query parameters ``experiment``,
+    ``scenario`` (exact or prefix), ``kernel``, ``suite`` and ``run``
+    filter the raw records; ``transform`` applies a named derived-metric
+    pass (``speedup-trend``, ``regressions``, ``classification-counts``,
+    ...) after filtering; ``limit`` keeps the last N rows.  Responses:
+    **200**, or **400** for an unknown transform or a bad ``limit``.  An
+    uncached service reports ``count: 0``.
 
 ``GET /metrics``
     The process-local metrics registry (task runtime, caches, scheduler,
@@ -167,6 +179,9 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/cache/stats":
             self._send(200, self.service.cache_stats())
             return
+        if path == "/results":
+            self._send_results(parse_qs(split.query))
+            return
         if path == "/jobs":
             self._send(
                 200, {"jobs": [job.as_dict() for job in self.service.jobs()]}
@@ -196,6 +211,34 @@ class _Handler(BaseHTTPRequestHandler):
                 f"unknown metrics format {fmt!r}; use 'prometheus' or 'json'",
                 status=400,
             )
+
+    def _send_results(self, query: dict[str, list[str]]) -> None:
+        def last(name: str) -> str | None:
+            values = query.get(name)
+            return values[-1] if values else None
+
+        limit_text = last("limit")
+        limit: int | None = None
+        if limit_text is not None:
+            try:
+                limit = int(limit_text)
+            except ValueError:
+                raise ServiceError(
+                    f"limit must be an integer, got {limit_text!r}", status=400
+                ) from None
+        try:
+            document = self.service.results(
+                experiment=last("experiment"),
+                scenario=last("scenario"),
+                kernel=last("kernel"),
+                suite=last("suite"),
+                run_id=last("run"),
+                transform=last("transform"),
+                limit=limit,
+            )
+        except ReproError as exc:
+            raise ServiceError(str(exc), status=400) from exc
+        self._send(200, document)
 
     def _send_result(self, job: Job) -> None:
         if job.state == DONE:

@@ -13,6 +13,7 @@ import http.client
 import json
 import time
 from typing import Any
+from urllib.parse import urlencode
 
 from repro.exceptions import ServiceError
 from repro.obs.trace import TRACE_HEADER
@@ -90,6 +91,33 @@ class ServiceClient:
 
     def jobs(self) -> list[dict[str, Any]]:
         return self._get("/jobs", expect=(200,))["jobs"]
+
+    def results(
+        self,
+        *,
+        experiment: str | None = None,
+        scenario: str | None = None,
+        kernel: str | None = None,
+        suite: str | None = None,
+        run_id: str | None = None,
+        transform: str | None = None,
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        """The ``repro-report/v1`` document from ``GET /results``."""
+        params = {
+            "experiment": experiment,
+            "scenario": scenario,
+            "kernel": kernel,
+            "suite": suite,
+            "run": run_id,
+            "transform": transform,
+            "limit": limit,
+        }
+        given = {name: value for name, value in params.items() if value is not None}
+        path = "/results"
+        if given:
+            path += "?" + urlencode(given)
+        return self._get(path, expect=(200,))
 
     def submit(
         self,

@@ -28,7 +28,12 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.runtime.cache import ResultCache, TaskCache
 from repro.runtime.engine import SweepRunner
-from repro.runtime.suites import build_kernel, get_suite, run_suite
+from repro.runtime.suites import (
+    EXPERIMENT_PAYLOAD_SCHEMA,
+    build_kernel,
+    get_suite,
+    run_suite,
+)
 from repro.runtime.tasks import TaskRunner
 from repro.service.jobs import Job, JobStore
 from repro.service.scheduler import (
@@ -37,11 +42,14 @@ from repro.service.scheduler import (
     experiment_scenario,
     is_analytic_sweep,
 )
+from repro.store.core import ResultStore
+from repro.store.query import query, report_document
+from repro.store.readers import ingest_payload
 
 __all__ = ["ExecutorStats", "JobExecutor", "WorkerPool", "JobService"]
 
 SWEEP_SCHEMA = "repro-sweep-result/v1"
-EXPERIMENT_SCHEMA = "repro-service-experiment/v1"
+EXPERIMENT_SCHEMA = EXPERIMENT_PAYLOAD_SCHEMA
 
 #: Per-kind job execution latency for ``GET /metrics``.  Observed around the
 #: executor's work only -- queueing delay is visible separately, as the gap
@@ -60,12 +68,16 @@ class ExecutorStats:
     jobs_executed: int = 0
     vector_batches: int = 0
     vector_jobs: int = 0
+    results_recorded: int = 0
+    record_failures: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
             "jobs_executed": self.jobs_executed,
             "vector_batches": self.vector_batches,
             "vector_jobs": self.vector_jobs,
+            "results_recorded": self.results_recorded,
+            "record_failures": self.record_failures,
         }
 
 
@@ -82,6 +94,7 @@ class JobExecutor:
         root = Path(cache_dir).expanduser() if cache_dir else None
         self.result_cache = ResultCache(root) if root else None
         self.task_cache = TaskCache(root / "tasks") if root else None
+        self.result_store = ResultStore(root / "store") if root else None
         self.parallel = parallel
         self.max_workers = max_workers
         self.task_runner = TaskRunner(
@@ -152,12 +165,7 @@ class JobExecutor:
         # task failure inside a worker then names the submission's trace.
         tasks = obs_trace.tag_tasks(scenario.tasks(), job.trace_id)
         results = self.task_runner.run(tasks)
-        return {
-            "schema": EXPERIMENT_SCHEMA,
-            "experiment": scenario.experiment,
-            "tasks": len(tasks),
-            "summary": scenario.summarize(results),
-        }
+        return scenario.as_payload(results, task_keys=[task.key() for task in tasks])
 
     def _execute_sweep(self, job: Job) -> dict[str, Any]:
         params = job.params
@@ -182,6 +190,34 @@ class JobExecutor:
             "fit": fit,
         }
 
+    def record_payload(self, job: Job, payload: dict[str, Any]) -> None:
+        """Ingest one finished job's result into the result store.
+
+        Best-effort by design: recording history must never fail or retry a
+        job that already finished.  Suite results record themselves inside
+        ``run_suite`` under the same cache root, so this ingest dedups to a
+        no-op for them -- the content-addressed run key makes the double
+        hook harmless.
+        """
+        if self.result_store is None:
+            return
+        suite = job.params.get("suite")
+        try:
+            receipt = ingest_payload(
+                self.result_store,
+                payload,
+                run_id=payload.get("run_id") or job.id,
+                suite=suite if isinstance(suite, str) else None,
+                trace_id=job.trace_id,
+            )
+        except Exception:  # noqa: BLE001 - history is best-effort
+            with self._stats_lock:
+                self.stats.record_failures += 1
+            return
+        if receipt.added:
+            with self._stats_lock:
+                self.stats.results_recorded += 1
+
     def cache_stats(self) -> dict[str, Any]:
         """Live stats for both caches, including size on disk."""
         payload: dict[str, Any] = {"cache_dir": None, "results": None, "tasks": None}
@@ -197,6 +233,14 @@ class JobExecutor:
                 **self.task_cache.stats.as_dict(),
                 "entries": len(self.task_cache),
                 "disk_usage_bytes": self.task_cache.disk_usage_bytes(),
+            }
+        payload["store"] = None
+        if self.result_store is not None:
+            payload["store"] = {
+                **self.result_store.stats.as_dict(),
+                "runs": self.result_store.run_count(),
+                "records": len(self.result_store),
+                "disk_usage_bytes": self.result_store.disk_usage_bytes(),
             }
         payload["task_runner"] = self.task_runner.stats.as_dict()
         return payload
@@ -257,6 +301,7 @@ class WorkerPool:
                     self.scheduler.fail(batch[0], f"{type(exc).__name__}: {exc}")
                 continue
             for job, payload in zip(batch, payloads):
+                self.executor.record_payload(job, payload)
                 self.scheduler.finish(job, payload)
 
     def _run_alone(self, job: Job) -> None:
@@ -265,6 +310,7 @@ class WorkerPool:
         except Exception as exc:  # noqa: BLE001 - jobs must never kill a worker
             self.scheduler.fail(job, f"{type(exc).__name__}: {exc}")
         else:
+            self.executor.record_payload(job, payload)
             self.scheduler.finish(job, payload)
 
 
@@ -341,6 +387,57 @@ class JobService:
 
     def cache_stats(self) -> dict[str, Any]:
         return self.executor.cache_stats()
+
+    def results(
+        self,
+        *,
+        experiment: str | None = None,
+        scenario: str | None = None,
+        kernel: str | None = None,
+        suite: str | None = None,
+        run_id: str | None = None,
+        transform: str | None = None,
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        """The report document over recorded results (``GET /results``).
+
+        Filters narrow the raw records *before* an optional named transform
+        runs (transforms like ``speedup-trend`` need the full cross-run
+        history of whatever matched); ``limit`` keeps the last N rows of
+        whatever comes out.  An uncached service has no store and reports
+        zero records.
+        """
+        if limit is not None and limit < 0:
+            raise ReproError(f"limit must be non-negative, got {limit!r}")
+        store = self.executor.result_store
+        records: list[dict[str, Any]] = []
+        if store is not None:
+            records = query(
+                store,
+                experiment=experiment,
+                scenario=scenario,
+                kernel=kernel,
+                suite=suite,
+                run_id=run_id,
+            )
+        if transform:
+            from repro.analysis.transforms import apply_transform
+
+            records = apply_transform(transform, records)
+        if limit is not None:
+            records = records[len(records) - min(limit, len(records)) :]
+        return report_document(
+            records,
+            transform=transform,
+            filters={
+                "experiment": experiment,
+                "scenario": scenario,
+                "kernel": kernel,
+                "suite": suite,
+                "run_id": run_id,
+                "limit": limit,
+            },
+        )
 
     def metrics_text(self) -> str:
         """The process metrics in Prometheus text format (``GET /metrics``)."""

@@ -1,0 +1,136 @@
+"""Query and report views over the result store.
+
+``query()`` is the one filter path shared by the ``repro report`` CLI and
+the service's ``GET /results`` endpoint; ``records_table`` renders any
+record batch through :class:`repro.analysis.report.Table` so store output
+looks like every other report in the repo.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.report import Table
+from repro.exceptions import ConfigurationError
+from repro.store.core import ResultStore
+
+__all__ = ["query", "group_counts", "records_table", "report_document"]
+
+REPORT_SCHEMA = "repro-report/v1"
+
+# Identity columns shown first when a table picks its own column order.
+_PRIORITY_COLUMNS = ("run_id", "suite", "experiment", "scenario", "kernel")
+# Wide digest columns elided from auto-selected table layouts.
+_NOISY_COLUMNS = (
+    "run_key",
+    "key",
+    "point_key",
+    "task_key",
+    "source_schema",
+    "trace_id",
+    "git_rev",
+)
+
+
+def query(
+    store: ResultStore,
+    *,
+    experiment: str | None = None,
+    scenario: str | None = None,
+    kernel: str | None = None,
+    suite: str | None = None,
+    run_id: str | None = None,
+    limit: int | None = None,
+) -> list[dict[str, Any]]:
+    """Merged store records matching every given filter, oldest run first.
+
+    ``scenario`` matches exactly or as a prefix (so ``--scenario qr`` finds
+    ``qr-small`` and ``qr-large``); the other filters are exact.  ``limit``
+    keeps the *last* ``limit`` matches, since recent runs are the usual
+    question.
+    """
+    if limit is not None and limit < 0:
+        raise ConfigurationError(f"limit must be non-negative, got {limit!r}")
+    matched: list[dict[str, Any]] = []
+    for record in store.records():
+        if experiment is not None and record.get("experiment") != experiment:
+            continue
+        if kernel is not None and record.get("kernel") != kernel:
+            continue
+        if suite is not None and record.get("suite") != suite:
+            continue
+        if run_id is not None and record.get("run_id") != run_id:
+            continue
+        if scenario is not None:
+            value = record.get("scenario")
+            if not isinstance(value, str) or not (
+                value == scenario or value.startswith(scenario)
+            ):
+                continue
+        matched.append(record)
+    if limit is not None:
+        matched = matched[len(matched) - min(limit, len(matched)) :]
+    return matched
+
+
+def group_counts(
+    records: Sequence[Mapping[str, Any]], by: str = "experiment"
+) -> list[dict[str, Any]]:
+    """Record counts grouped by one column, largest group first."""
+    counts: dict[Any, int] = {}
+    for record in records:
+        counts[record.get(by, "")] = counts.get(record.get(by, ""), 0) + 1
+    return [
+        {by: group, "records": count}
+        for group, count in sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+    ]
+
+
+def _auto_columns(records: Sequence[Mapping[str, Any]]) -> list[str]:
+    ordered: list[str] = []
+    for record in records:
+        for column in record:
+            if column not in ordered:
+                ordered.append(column)
+    head = [c for c in _PRIORITY_COLUMNS if c in ordered]
+    tail = [c for c in ordered if c not in head and c not in _NOISY_COLUMNS]
+    return head + tail
+
+
+def records_table(
+    records: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> Table:
+    """A :class:`Table` over a record batch.
+
+    Without an explicit ``columns`` list, identity columns lead and the
+    digest columns (run/task keys, trace IDs) are left out -- they are for
+    joining, not for reading.
+    """
+    chosen = list(columns) if columns else _auto_columns(records)
+    if not chosen:
+        chosen = ["experiment"]
+    table = Table(columns=chosen, title=title)
+    table.add_dict_rows(records)
+    return table
+
+
+def report_document(
+    records: Sequence[Mapping[str, Any]],
+    *,
+    transform: str | None = None,
+    filters: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The JSON report envelope used by the CLI and ``GET /results``."""
+    document: dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "count": len(records),
+        "records": [dict(record) for record in records],
+    }
+    if transform:
+        document["transform"] = transform
+    if filters:
+        document["filters"] = {k: v for k, v in filters.items() if v is not None}
+    return document

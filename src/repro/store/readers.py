@@ -1,0 +1,441 @@
+"""Reader adapters: every known result payload, flattened into store records.
+
+A *reader* takes one JSON-native payload (the documents the suites, sweep
+drivers, benches and service jobs already emit) and returns a
+:class:`RunBatch`: the flat records to append plus the run identity carried
+by the payload itself (run ID, suite name, source schema).  Readers are
+registered by name and matched to payloads by their ``schema`` field, so
+``repro ingest`` and the service's job-completion hook auto-detect the
+right adapter.
+
+Record vocabulary (the ``experiment`` column is the record kind):
+
+* ``sweep`` / ``fit`` / ``rebalance`` / ``balance`` -- one scenario's
+  measured points and derived analysis, keyed by the runtime's
+  content-addressed execution keys where the payload carries them;
+* ``figure2`` / ``linear-array`` / ``mesh-array`` / ``systolic`` /
+  ``pebble`` / ``warp`` -- experiment-driver headline summaries (pebble
+  additionally emits one record per measured point), keyed by task keys;
+* ``runtime`` -- one record per suite run with worker/cache counters;
+* ``bench-systolic`` / ``bench-service`` -- benchmark timings, keyed by a
+  stable digest of the case identity so the same case matches across runs;
+* ``summary`` -- the E1 analytic-vs-measured classification rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.store.core import IngestReceipt, ResultStore
+
+__all__ = [
+    "RunBatch",
+    "register_reader",
+    "get_reader",
+    "reader_names",
+    "describe_readers",
+    "detect_reader",
+    "read_payload",
+    "ingest_payload",
+    "ingest_file",
+]
+
+
+@dataclass(frozen=True)
+class RunBatch:
+    """One reader's output: the records plus the payload's run identity."""
+
+    records: tuple[dict[str, Any], ...]
+    source_schema: str | None = None
+    run_id: str | None = None
+    suite: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "records", tuple(dict(r) for r in self.records))
+
+
+ReaderFn = Callable[[Mapping[str, Any]], RunBatch]
+
+
+@dataclass(frozen=True)
+class Reader:
+    """One registered payload adapter."""
+
+    name: str
+    fn: ReaderFn
+    schemas: tuple[str, ...]
+    description: str = ""
+
+
+_READERS: dict[str, Reader] = {}
+
+
+def register_reader(
+    name: str, *, schemas: Sequence[str] = (), description: str = ""
+) -> Callable[[ReaderFn], ReaderFn]:
+    """Decorator registering a reader; ``schemas`` are payload-schema prefixes."""
+
+    def decorate(fn: ReaderFn) -> ReaderFn:
+        if name in _READERS:
+            raise ConfigurationError(f"reader {name!r} is already registered")
+        _READERS[name] = Reader(
+            name=name, fn=fn, schemas=tuple(schemas), description=description
+        )
+        return fn
+
+    return decorate
+
+
+def get_reader(name: str) -> Reader:
+    """Look up a registered reader by name."""
+    try:
+        return _READERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_READERS))
+        raise ConfigurationError(
+            f"unknown reader {name!r}; known readers: {known}"
+        ) from None
+
+
+def reader_names() -> list[str]:
+    """Every registered reader name, sorted."""
+    return sorted(_READERS)
+
+
+def describe_readers() -> list[dict[str, str]]:
+    """Name, schema prefixes and description for every reader."""
+    return [
+        {
+            "reader": name,
+            "schemas": ", ".join(_READERS[name].schemas),
+            "description": _READERS[name].description,
+        }
+        for name in reader_names()
+    ]
+
+
+def detect_reader(payload: Mapping[str, Any]) -> Reader:
+    """The reader whose schema prefix matches the payload's ``schema``."""
+    schema = payload.get("schema")
+    if not isinstance(schema, str):
+        raise ConfigurationError(
+            "payload has no 'schema' field; pass an explicit reader name"
+        )
+    for reader in _READERS.values():
+        if any(schema.startswith(prefix) for prefix in reader.schemas):
+            return reader
+    known = ", ".join(
+        prefix for reader in _READERS.values() for prefix in reader.schemas
+    )
+    raise ConfigurationError(
+        f"no reader matches payload schema {schema!r}; known schemas: {known}"
+    )
+
+
+def read_payload(
+    payload: Mapping[str, Any], *, reader: str | None = None
+) -> tuple[Reader, RunBatch]:
+    """Flatten one payload through an explicit or auto-detected reader."""
+    chosen = get_reader(reader) if reader else detect_reader(payload)
+    return chosen, chosen.fn(payload)
+
+
+def ingest_payload(
+    store: ResultStore,
+    payload: Mapping[str, Any],
+    *,
+    reader: str | None = None,
+    run_id: str | None = None,
+    suite: str | None = None,
+    trace_id: str | None = None,
+) -> IngestReceipt:
+    """Flatten one payload and append it to the store (dedup included).
+
+    ``run_id``/``suite``/``trace_id`` override what the payload carries --
+    the service uses this to stamp job identity onto ingested results.
+    """
+    chosen, batch = read_payload(payload, reader=reader)
+    return store.append_run(
+        batch.records,
+        source=chosen.name,
+        source_schema=batch.source_schema,
+        run_id=run_id or batch.run_id,
+        suite=suite or batch.suite,
+        trace_id=trace_id,
+    )
+
+
+def ingest_file(
+    store: ResultStore, path: str | Path, *, reader: str | None = None
+) -> IngestReceipt:
+    """Ingest one JSON artifact from disk (``repro ingest``)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read {path}: {exc}") from exc
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(f"{path} is not a JSON object")
+    return ingest_payload(store, payload, reader=reader)
+
+
+def _case_key(**identity: Any) -> str:
+    """A stable content key for records without a runtime task key.
+
+    Bench rows have no content-addressed execution behind them; this digest
+    of the case identity is what lets the same case line up across runs for
+    trend and regression transforms.
+    """
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _scalar_summary(summary: Mapping[str, Any]) -> dict[str, Any]:
+    """The scalar slice of an experiment summary (lists become counts)."""
+    flat: dict[str, Any] = {}
+    for name, value in summary.items():
+        if isinstance(value, (list, tuple)):
+            flat[f"{name}_count"] = len(value)
+        elif isinstance(value, Mapping):
+            continue
+        else:
+            flat[name] = value
+    return flat
+
+
+def _experiment_records(
+    kind: str,
+    scenario: str,
+    tasks: int,
+    summary: Mapping[str, Any],
+    task_keys: Sequence[str | None] = (),
+) -> list[dict[str, Any]]:
+    """One headline record per experiment scenario (pebble: plus points)."""
+    records: list[dict[str, Any]] = []
+    headline = {
+        "experiment": kind,
+        "scenario": scenario,
+        "key": task_keys[0] if task_keys else None,
+        "tasks": tasks,
+        **_scalar_summary(summary),
+    }
+    records.append(headline)
+    if kind == "pebble":
+        points = summary.get("points") or []
+        for index, point in enumerate(points):
+            records.append(
+                {
+                    "experiment": "pebble",
+                    "scenario": f"{scenario}/{point.get('dag')}"
+                    f"/M={point.get('fast_memory_words')}",
+                    "key": task_keys[index] if index < len(task_keys) else None,
+                    **{k: v for k, v in point.items()},
+                }
+            )
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Suite results (repro-suite-result/v2 and /v3).
+# ---------------------------------------------------------------------------
+
+
+@register_reader(
+    "suite",
+    schemas=("repro-suite-result/",),
+    description="suite runs: sweep rows, fits, rebalance/balance, experiments",
+)
+def read_suite_result(payload: Mapping[str, Any]) -> RunBatch:
+    records: list[dict[str, Any]] = []
+    for scenario in payload.get("scenarios", ()):
+        name = scenario.get("scenario")
+        kernel = scenario.get("kernel")
+        point_keys = scenario.get("point_keys") or ()
+        for index, row in enumerate(scenario.get("rows", ())):
+            records.append(
+                {
+                    "experiment": "sweep",
+                    "scenario": name,
+                    "kernel": kernel,
+                    "key": point_keys[index] if index < len(point_keys) else None,
+                    **row,
+                }
+            )
+        fit = scenario.get("fit")
+        if fit:
+            records.append(
+                {"experiment": "fit", "scenario": name, "kernel": kernel, **fit}
+            )
+        for row in scenario.get("rebalance", ()):
+            records.append(
+                {"experiment": "rebalance", "scenario": name, "kernel": kernel, **row}
+            )
+        for row in scenario.get("balance", ()):
+            records.append(
+                {"experiment": "balance", "scenario": name, "kernel": kernel, **row}
+            )
+    for experiment in payload.get("experiments", ()):
+        records.extend(
+            _experiment_records(
+                experiment.get("experiment", ""),
+                experiment.get("scenario", ""),
+                experiment.get("tasks", 0),
+                experiment.get("summary") or {},
+                experiment.get("task_keys") or (),
+            )
+        )
+    runtime = payload.get("runtime") or {}
+    runtime_record: dict[str, Any] = {
+        "experiment": "runtime",
+        "scenario": payload.get("suite"),
+        "elapsed_seconds": payload.get("elapsed_seconds"),
+    }
+    for name, value in runtime.items():
+        if isinstance(value, Mapping):
+            for inner, inner_value in value.items():
+                if not isinstance(inner_value, (Mapping, list, tuple)):
+                    runtime_record[f"{name}_{inner}"] = inner_value
+        elif not isinstance(value, (list, tuple)):
+            runtime_record[name] = value
+    records.append(runtime_record)
+    return RunBatch(
+        records=tuple(records),
+        source_schema=payload.get("schema"),
+        run_id=payload.get("run_id"),
+        suite=payload.get("suite"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Standalone sweeps (repro-sweep-result/v1, repro-sweep-analytic/v1).
+# ---------------------------------------------------------------------------
+
+
+@register_reader(
+    "sweep",
+    schemas=("repro-sweep-result/", "repro-sweep-analytic/"),
+    description="standalone kernel sweeps (measured or analytic)",
+)
+def read_sweep_result(payload: Mapping[str, Any]) -> RunBatch:
+    kernel = payload.get("kernel")
+    scenario = f"sweep-{kernel}"
+    records: list[dict[str, Any]] = []
+    for row in payload.get("rows", ()):
+        records.append(
+            {"experiment": "sweep", "scenario": scenario, "kernel": kernel, **row}
+        )
+    fit = payload.get("fit")
+    if fit:
+        records.append(
+            {"experiment": "fit", "scenario": scenario, "kernel": kernel, **fit}
+        )
+    for row in payload.get("rebalance", ()):
+        records.append(
+            {"experiment": "rebalance", "scenario": scenario, "kernel": kernel, **row}
+        )
+    return RunBatch(records=tuple(records), source_schema=payload.get("schema"))
+
+
+# ---------------------------------------------------------------------------
+# Service experiment jobs (repro-service-experiment/v1).
+# ---------------------------------------------------------------------------
+
+
+@register_reader(
+    "experiment",
+    schemas=("repro-service-experiment/",),
+    description="experiment-driver summaries (service jobs, CLI drivers)",
+)
+def read_experiment_result(payload: Mapping[str, Any]) -> RunBatch:
+    kind = payload.get("experiment", "")
+    scenario = payload.get("scenario") or f"experiment-{kind}"
+    records = _experiment_records(
+        kind,
+        scenario,
+        payload.get("tasks", 0),
+        payload.get("summary") or {},
+        payload.get("task_keys") or (),
+    )
+    return RunBatch(records=tuple(records), source_schema=payload.get("schema"))
+
+
+# ---------------------------------------------------------------------------
+# Benchmark artifacts (BENCH_systolic.json, BENCH_service.json).
+# ---------------------------------------------------------------------------
+
+
+@register_reader(
+    "bench-systolic",
+    schemas=("repro-bench-systolic/",),
+    description="engine-vs-engine systolic timings (BENCH_systolic.json)",
+)
+def read_bench_systolic(payload: Mapping[str, Any]) -> RunBatch:
+    records: list[dict[str, Any]] = []
+    cases = (
+        ("matmul", ("order", "batches")),
+        ("matvec", ("length", "batches")),
+        ("qr", ("order", "rows")),
+    )
+    for kind, identity_fields in cases:
+        for row in payload.get(kind, ()):
+            identity = {name: row.get(name) for name in identity_fields}
+            label = "/".join(f"{name}={value}" for name, value in identity.items())
+            records.append(
+                {
+                    "experiment": "bench-systolic",
+                    "scenario": f"{kind}/{label}",
+                    "kernel": kind,
+                    "key": _case_key(bench="systolic", kind=kind, **identity),
+                    **row,
+                }
+            )
+    return RunBatch(records=tuple(records), source_schema=payload.get("schema"))
+
+
+@register_reader(
+    "bench-service",
+    schemas=("repro-bench-service/",),
+    description="service latency and dedup benchmarks (BENCH_service.json)",
+)
+def read_bench_service(payload: Mapping[str, Any]) -> RunBatch:
+    records: list[dict[str, Any]] = []
+    for kind, row in (payload.get("latency") or {}).items():
+        records.append(
+            {
+                "experiment": "bench-service",
+                "scenario": f"latency/{kind}",
+                "key": _case_key(bench="service", case="latency", kind=kind),
+                **row,
+            }
+        )
+    dedup = payload.get("dedup")
+    if dedup:
+        records.append(
+            {
+                "experiment": "bench-service",
+                "scenario": "dedup",
+                "key": _case_key(bench="service", case="dedup"),
+                **dedup,
+            }
+        )
+    return RunBatch(records=tuple(records), source_schema=payload.get("schema"))
+
+
+# ---------------------------------------------------------------------------
+# The E1 summary experiment (repro-summary/v1).
+# ---------------------------------------------------------------------------
+
+
+@register_reader(
+    "summary",
+    schemas=("repro-summary/",),
+    description="E1 analytic-vs-measured classification rows",
+)
+def read_summary_result(payload: Mapping[str, Any]) -> RunBatch:
+    records = tuple(dict(row) for row in payload.get("records", ()))
+    return RunBatch(records=records, source_schema=payload.get("schema"))

@@ -1,0 +1,292 @@
+"""The built-in derived-metric transforms over store records.
+
+Each transform is a columnar pass over a batch of merged store records
+(run metadata included), registered with the
+:mod:`repro.analysis.transforms` registry so ``repro report --transform``
+and ``GET /results?transform=`` can name it.  Numeric work goes through
+:class:`~repro.store.core.Frame` (float64 arrays, NaN for missing), so the
+passes stay single array expressions even over heterogeneous batches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.roofline import ridge_point
+from repro.analysis.transforms import register_transform
+from repro.core.model import ProcessingElement
+from repro.store.core import Frame
+
+__all__ = [
+    "engine_speedups",
+    "speedup_trend",
+    "regressions",
+    "balance_margins",
+    "classification_counts",
+    "roofline_positions",
+    "cache_hit_rates",
+]
+
+Records = Sequence[Mapping[str, Any]]
+
+
+def _bench_groups(records: Records) -> list[tuple[str, Frame]]:
+    """Bench rows grouped by case key, each group oldest ingest first."""
+    frame = Frame(records).where(experiment="bench-systolic")
+    ordered = frame.sorted_by("ingested_at")
+    groups: dict[str, list[dict[str, Any]]] = {}
+    for record in ordered.records():
+        key = record.get("key")
+        if key:
+            groups.setdefault(key, []).append(record)
+    return [(key, Frame(rows)) for key, rows in groups.items()]
+
+
+@register_transform(
+    "engine-speedups",
+    description="per-kernel fast-vs-reference engine speedups, one row per run",
+)
+def engine_speedups(records: Records) -> list[dict[str, Any]]:
+    frame = Frame(records).where(experiment="bench-systolic")
+    rows: list[dict[str, Any]] = []
+    seen: dict[tuple[Any, Any], dict[str, Any]] = {}
+    speedup = frame.numeric("speedup")
+    fast = frame.numeric("fast_seconds")
+    for i, record in enumerate(frame.records()):
+        group = (record.get("run_key"), record.get("kernel"))
+        entry = seen.setdefault(
+            group,
+            {
+                "run_id": record.get("run_id"),
+                "ingested_at": record.get("ingested_at"),
+                "kernel": record.get("kernel"),
+                "cases": 0,
+                "_speedups": [],
+                "_fast": [],
+            },
+        )
+        entry["cases"] += 1
+        if not np.isnan(speedup[i]):
+            entry["_speedups"].append(speedup[i])
+        if not np.isnan(fast[i]):
+            entry["_fast"].append(fast[i])
+    for entry in seen.values():
+        speedups = np.asarray(entry.pop("_speedups"), dtype=np.float64)
+        fasts = np.asarray(entry.pop("_fast"), dtype=np.float64)
+        entry["timed_cases"] = int(speedups.size)
+        entry["max_speedup"] = float(speedups.max()) if speedups.size else None
+        entry["mean_speedup"] = float(speedups.mean()) if speedups.size else None
+        entry["total_fast_seconds"] = float(fasts.sum()) if fasts.size else None
+        rows.append(entry)
+    rows.sort(key=lambda r: (r.get("ingested_at") or 0.0, r.get("kernel") or ""))
+    return rows
+
+
+@register_transform(
+    "speedup-trend",
+    description="per-case engine timings across runs, with run-over-run ratios",
+)
+def speedup_trend(records: Records) -> list[dict[str, Any]]:
+    rows: list[dict[str, Any]] = []
+    for key, group in _bench_groups(records):
+        fast = group.numeric("fast_seconds")
+        ratios = np.full(len(group), np.nan)
+        ratios[1:] = fast[1:] / fast[:-1]
+        for i, record in enumerate(group.records()):
+            rows.append(
+                {
+                    "kernel": record.get("kernel"),
+                    "scenario": record.get("scenario"),
+                    "key": key,
+                    "run_id": record.get("run_id"),
+                    "ingested_at": record.get("ingested_at"),
+                    "fast_seconds": record.get("fast_seconds"),
+                    "speedup": record.get("speedup"),
+                    "fast_ratio": None if np.isnan(ratios[i]) else float(ratios[i]),
+                }
+            )
+    rows.sort(
+        key=lambda r: (r.get("scenario") or "", r.get("ingested_at") or 0.0)
+    )
+    return rows
+
+
+@register_transform(
+    "regressions",
+    description="bench cases whose fast timing moved vs the previous run "
+    "(covers fast-only rows with null reference timings)",
+)
+def regressions(records: Records, threshold: float = 1.2) -> list[dict[str, Any]]:
+    rows: list[dict[str, Any]] = []
+    for key, group in _bench_groups(records):
+        if len(group) < 2:
+            continue
+        fast = group.numeric("fast_seconds")
+        ratio = fast[-1] / fast[-2]
+        latest = group.records()[-1]
+        previous = group.records()[-2]
+        rows.append(
+            {
+                "kernel": latest.get("kernel"),
+                "scenario": latest.get("scenario"),
+                "key": key,
+                "runs": len(group),
+                "reference_timed": latest.get("reference_seconds") is not None,
+                "fast_seconds": latest.get("fast_seconds"),
+                "previous_fast_seconds": previous.get("fast_seconds"),
+                "fast_ratio": None if np.isnan(ratio) else float(ratio),
+                "regression": bool(ratio > threshold) if not np.isnan(ratio) else False,
+                "run_id": latest.get("run_id"),
+                "previous_run_id": previous.get("run_id"),
+            }
+        )
+    rows.sort(key=lambda r: -(r.get("fast_ratio") or 0.0))
+    return rows
+
+
+@register_transform(
+    "balance-margins",
+    description="per-PE balance assessments and measured rebalance margins",
+)
+def balance_margins(records: Records) -> list[dict[str, Any]]:
+    frame = Frame(records)
+    rows: list[dict[str, Any]] = []
+    balance = frame.where(experiment="balance")
+    compute = balance.numeric("compute_time")
+    io = balance.numeric("io_time")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        margin = np.where(io > 0, compute / io, np.inf)
+    for i, record in enumerate(balance.records()):
+        rows.append(
+            {
+                "run_id": record.get("run_id"),
+                "scenario": record.get("scenario"),
+                "kernel": record.get("kernel"),
+                "pe": record.get("pe"),
+                "memory_words": record.get("memory_words"),
+                "bound": record.get("bound"),
+                "imbalance": record.get("imbalance"),
+                "compute_over_io": None if np.isnan(margin[i]) else float(margin[i]),
+            }
+        )
+    for record in frame.where(experiment="rebalance").records():
+        rows.append(
+            {
+                "run_id": record.get("run_id"),
+                "scenario": record.get("scenario"),
+                "kernel": record.get("kernel"),
+                "pe": None,
+                "memory_words": record.get("memory_new"),
+                "bound": "rebalance",
+                "imbalance": record.get("growth_factor"),
+                "compute_over_io": record.get("alpha"),
+            }
+        )
+    return rows
+
+
+@register_transform(
+    "classification-counts",
+    description="compute-/memory-bound classification counts per run",
+)
+def classification_counts(records: Records) -> list[dict[str, Any]]:
+    fits = Frame(records).where(experiment="fit").sorted_by("ingested_at")
+    groups: dict[tuple[Any, Any], dict[str, Any]] = {}
+    for record in fits.records():
+        group = (record.get("run_key"), record.get("computation_class"))
+        entry = groups.setdefault(
+            group,
+            {
+                "run_id": record.get("run_id"),
+                "suite": record.get("suite"),
+                "ingested_at": record.get("ingested_at"),
+                "computation_class": record.get("computation_class"),
+                "count": 0,
+                "kernels": [],
+            },
+        )
+        entry["count"] += 1
+        kernel = record.get("kernel")
+        if kernel and kernel not in entry["kernels"]:
+            entry["kernels"].append(kernel)
+    rows = []
+    for entry in groups.values():
+        entry["kernels"] = " ".join(entry["kernels"])
+        rows.append(entry)
+    rows.sort(
+        key=lambda r: (r.get("ingested_at") or 0.0, r.get("computation_class") or "")
+    )
+    return rows
+
+
+@register_transform(
+    "roofline",
+    description="sweep points placed on a PE's roofline "
+    "(params: compute_bandwidth, io_bandwidth)",
+)
+def roofline_positions(
+    records: Records,
+    compute_bandwidth: float = 8e6,
+    io_bandwidth: float = 1e6,
+) -> list[dict[str, Any]]:
+    sweeps = Frame(records).where(experiment="sweep")
+    # Memory is per point here; the roofline depends only on the bandwidths.
+    pe = ProcessingElement(
+        compute_bandwidth=float(compute_bandwidth),
+        io_bandwidth=float(io_bandwidth),
+        memory_words=1,
+        name="report",
+    )
+    ridge = ridge_point(pe)
+    intensity = sweeps.numeric("intensity")
+    attainable = np.minimum(pe.compute_bandwidth, pe.io_bandwidth * intensity)
+    rows: list[dict[str, Any]] = []
+    for i, record in enumerate(sweeps.records()):
+        if np.isnan(intensity[i]):
+            continue
+        rows.append(
+            {
+                "run_id": record.get("run_id"),
+                "scenario": record.get("scenario"),
+                "kernel": record.get("kernel"),
+                "memory_words": record.get("memory_words"),
+                "intensity": float(intensity[i]),
+                "ridge_intensity": float(ridge),
+                "attainable_ops_per_s": float(attainable[i]),
+                "compute_bound": bool(intensity[i] >= ridge),
+            }
+        )
+    return rows
+
+
+@register_transform(
+    "cache-hit-rates",
+    description="result/task cache hit rates per recorded suite run",
+)
+def cache_hit_rates(records: Records) -> list[dict[str, Any]]:
+    runtime = Frame(records).where(experiment="runtime").sorted_by("ingested_at")
+    rows: list[dict[str, Any]] = []
+    for prefix in ("cache", "task_cache"):
+        hits = runtime.numeric(f"{prefix}_hits")
+        misses = runtime.numeric(f"{prefix}_misses")
+        lookups = hits + misses
+        with np.errstate(invalid="ignore", divide="ignore"):
+            rate = np.where(lookups > 0, hits / lookups, np.nan)
+        for i, record in enumerate(runtime.records()):
+            if np.isnan(hits[i]) and np.isnan(misses[i]):
+                continue
+            rows.append(
+                {
+                    "run_id": record.get("run_id"),
+                    "suite": record.get("suite"),
+                    "ingested_at": record.get("ingested_at"),
+                    "cache": "results" if prefix == "cache" else "tasks",
+                    "hits": None if np.isnan(hits[i]) else int(hits[i]),
+                    "misses": None if np.isnan(misses[i]) else int(misses[i]),
+                    "hit_rate": None if np.isnan(rate[i]) else float(rate[i]),
+                }
+            )
+    rows.sort(key=lambda r: (r.get("ingested_at") or 0.0, r.get("cache") or ""))
+    return rows

@@ -89,6 +89,60 @@ class TestCacheIntegrity:
         assert finding.data["misplaced"] == 1
 
 
+class TestStoreIntegrity:
+    def _store_with_run(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        receipt = store.append_run(
+            [{"experiment": "sweep", "x": 1.0}], source="test"
+        )
+        return store.root / "runs" / receipt.run_key[:2] / f"{receipt.run_key}.json"
+
+    def test_absent_store_passes(self, tmp_path):
+        finding = _by_check(check_cache_integrity(tmp_path))["cache.store"]
+        assert finding.status == PASS
+        assert "no result store yet" in finding.detail
+
+    def test_healthy_store_passes_and_its_bytes_are_accounted(self, tmp_path):
+        self._store_with_run(tmp_path)
+        statuses = _by_check(check_cache_integrity(tmp_path))
+        assert statuses["cache.store"].status == PASS
+        assert statuses["cache.store"].data["entries"] == 1
+        # Store segments are accounted disk usage, not stray bytes.
+        assert statuses["cache.disk"].status == PASS
+
+    def test_unparseable_segment_fails(self, tmp_path):
+        path = self._store_with_run(tmp_path)
+        path.write_text("{ not json")
+        finding = _by_check(check_cache_integrity(tmp_path))["cache.store"]
+        assert finding.status == FAIL
+        assert finding.data["corrupt"] == 1
+
+    def test_record_count_mismatch_fails(self, tmp_path):
+        path = self._store_with_run(tmp_path)
+        segment = json.loads(path.read_text())
+        segment["run"]["record_count"] = 99
+        path.write_text(json.dumps(segment))
+        finding = _by_check(check_cache_integrity(tmp_path))["cache.store"]
+        assert finding.status == FAIL
+
+    def test_wrong_schema_fails(self, tmp_path):
+        path = self._store_with_run(tmp_path)
+        segment = json.loads(path.read_text())
+        segment["schema"] = "somebody-elses/v1"
+        path.write_text(json.dumps(segment))
+        finding = _by_check(check_cache_integrity(tmp_path))["cache.store"]
+        assert finding.status == FAIL
+
+    def test_store_tmp_orphans_not_double_reported(self, tmp_path):
+        path = self._store_with_run(tmp_path)
+        (path.parent / "leftover.tmp").write_text("partial")
+        statuses = _by_check(check_cache_integrity(tmp_path))
+        assert statuses["cache.store.orphans"].status == WARN
+        assert "cache.results.orphans" not in statuses
+
+
 class TestJournal:
     def _journal_with_jobs(self, tmp_path, *, finish=True):
         path = tmp_path / "jobs.jsonl"

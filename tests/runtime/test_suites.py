@@ -288,3 +288,60 @@ class TestRunSuiteExperiments:
         pebble_entry = payload["experiments"][1]
         assert pebble_entry["tasks"] == 4
         assert pebble_entry["summary"]["all_above_lower_bound"] is True
+
+
+class TestResultStoreIntegration:
+    def test_every_run_mints_a_fresh_run_id(self, mini_suite):
+        first = run_suite(mini_suite)
+        second = run_suite(mini_suite)
+        assert first.run_id and second.run_id
+        assert first.run_id != second.run_id
+        assert first.as_dict()["run_id"] == first.run_id
+
+    def test_payload_carries_point_and_task_keys(self, mini_experiment_suite):
+        result = run_suite(mini_experiment_suite)
+        payload = result.as_dict()
+        scenario = payload["scenarios"][0]
+        assert len(scenario["point_keys"]) == len(scenario["rows"]) == 3
+        assert all(len(key) == 64 for key in scenario["point_keys"])
+        for entry in payload["experiments"]:
+            assert len(entry["task_keys"]) == entry["tasks"]
+        # The keys are the runtime's content addresses: stable across runs.
+        again = run_suite(mini_experiment_suite).as_dict()
+        assert again["scenarios"][0]["point_keys"] == scenario["point_keys"]
+        assert again["experiments"][0]["task_keys"] == (
+            payload["experiments"][0]["task_keys"]
+        )
+
+    def test_cached_run_records_into_the_store(self, mini_experiment_suite, tmp_path):
+        from repro.runtime.suites import store_for
+
+        runner = SweepRunner(cache=ResultCache(tmp_path / "cache"))
+        result = run_suite(
+            mini_experiment_suite, runner, task_runner=task_runner_for(runner)
+        )
+        store = store_for(runner)
+        assert store is not None
+        assert store.root == tmp_path / "cache" / "store"
+        runs = store.runs()
+        assert [run.run_id for run in runs] == [result.run_id]
+        assert runs[0].suite == "mini-exp"
+        assert len(store) == runs[0].record_count > 0
+
+    def test_uncached_runner_has_no_store(self):
+        from repro.runtime.suites import store_for
+
+        assert store_for(SweepRunner()) is None
+        micro = ScenarioSuite(
+            name="micro",
+            description="",
+            scenarios=(Scenario("micro-matvec", "matvec", (8,), 16),),
+        )
+        run_suite(micro, SweepRunner())  # record=True with no cache: silent no-op
+
+    def test_record_false_skips_the_store(self, mini_suite, tmp_path):
+        from repro.runtime.suites import store_for
+
+        runner = SweepRunner(cache=ResultCache(tmp_path / "cache"))
+        run_suite(mini_suite, runner, record=False)
+        assert store_for(runner).run_count() == 0

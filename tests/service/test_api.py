@@ -129,6 +129,66 @@ class TestEndpoints:
         assert follower["deduped_into"] == primary["id"]
 
 
+class TestResultsEndpoint:
+    def test_finished_jobs_are_recorded_and_queryable(self, live_service):
+        service, client = live_service()
+        client.submit_and_wait("experiment", {"experiment": "warp"})
+        report = client.results()
+        assert report["schema"] == "repro-report/v1"
+        assert report["count"] >= 1
+        record = report["records"][0]
+        assert record["experiment"] == "warp"
+        assert service.executor.stats.results_recorded >= 1
+        stats = client.cache_stats()
+        assert stats["store"]["records"] >= 1
+
+    def test_filters_and_limit(self, live_service):
+        _, client = live_service()
+        client.submit_and_wait("experiment", {"experiment": "warp"})
+        client.submit_and_wait("experiment", {"experiment": "figure2"})
+        assert client.results(experiment="figure2")["count"] == 1
+        assert client.results(experiment="nothing")["count"] == 0
+        limited = client.results(limit=1)
+        assert limited["count"] == 1 and limited["filters"]["limit"] == 1
+
+    def test_transform_applies_after_filtering(self, live_service):
+        _, client = live_service()
+        client.submit_and_wait(
+            "sweep", {"kernel": "matmul", "memory_sizes": [12, 27, 48], "scale": 12}
+        )
+        report = client.results(transform="roofline")
+        assert report["transform"] == "roofline"
+        assert report["count"] == 3
+        assert all("compute_bound" in r for r in report["records"])
+
+    def test_unknown_transform_and_bad_limit_400(self, live_service):
+        _, client = live_service()
+        with pytest.raises(ServiceError) as excinfo:
+            client.results(transform="frobnicate")
+        assert excinfo.value.status == 400
+        assert "unknown transform" in str(excinfo.value)
+        with pytest.raises(ServiceError) as excinfo:
+            client.results(limit=-3)
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client._get("/results?limit=three", expect=(200,))
+        assert excinfo.value.status == 400
+
+    def test_uncached_service_reports_zero_records(self, live_service):
+        _, client = live_service(cache_dir=None)
+        report = client.results()
+        assert report["count"] == 0 and report["records"] == []
+
+    def test_results_survive_a_service_restart(self, live_service):
+        """The store is on disk: a fresh service answers for old jobs."""
+        _, client = live_service()
+        client.submit_and_wait("experiment", {"experiment": "warp"})
+        assert client.results()["count"] >= 1
+        _, reborn = live_service(start=False)  # same cache dir, no journal
+        report = reborn.results(experiment="warp")
+        assert report["count"] >= 1
+
+
 class TestAcceptance:
     def test_quick_suite_over_http_matches_direct_run(self, live_service, tmp_path):
         """Acceptance: the HTTP path returns the same experiments payload."""
@@ -139,7 +199,7 @@ class TestAcceptance:
         document = client.submit_and_wait("suite", {"suite": "quick"}, timeout=300.0)
         payload = document["result"]
 
-        assert payload["schema"] == "repro-suite-result/v2"
+        assert payload["schema"] == "repro-suite-result/v3"
         assert payload["experiments"] == direct.as_dict()["experiments"]
         assert payload["scenarios"] == direct.as_dict()["scenarios"]
 

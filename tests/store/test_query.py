@@ -1,0 +1,113 @@
+"""Tests for the store query/report layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.store import ResultStore, group_counts, query, records_table, report_document
+from repro.store.query import REPORT_SCHEMA
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    store = ResultStore(tmp_path / "store")
+    store.append_run(
+        [
+            {"experiment": "sweep", "scenario": "qr-small", "kernel": "qr", "x": 1},
+            {"experiment": "sweep", "scenario": "qr-large", "kernel": "qr", "x": 2},
+            {"experiment": "fit", "scenario": "qr-small", "kernel": "qr"},
+        ],
+        source="test",
+        run_id="run-1",
+        suite="quick",
+    )
+    store.append_run(
+        [
+            {"experiment": "sweep", "scenario": "fft", "kernel": "fft", "x": 3},
+        ],
+        source="test",
+        run_id="run-2",
+    )
+    return store
+
+
+class TestQuery:
+    def test_no_filters_returns_everything_oldest_first(self, store):
+        records = query(store)
+        assert len(records) == 4
+        assert [r["run_id"] for r in records] == ["run-1"] * 3 + ["run-2"]
+
+    def test_exact_filters(self, store):
+        assert len(query(store, experiment="sweep")) == 3
+        assert len(query(store, kernel="fft")) == 1
+        assert len(query(store, suite="quick")) == 3
+        assert len(query(store, run_id="run-2")) == 1
+        assert query(store, kernel="lu") == []
+
+    def test_scenario_matches_exact_or_prefix(self, store):
+        assert len(query(store, scenario="qr-small")) == 2
+        assert len(query(store, scenario="qr-")) == 3
+        assert query(store, scenario="nothing") == []
+
+    def test_filters_compose(self, store):
+        records = query(store, experiment="sweep", scenario="qr-")
+        assert [r["x"] for r in records] == [1, 2]
+
+    def test_limit_keeps_the_last_matches(self, store):
+        records = query(store, limit=2)
+        assert [r["experiment"] for r in records] == ["fit", "sweep"]
+        assert query(store, limit=0) == []
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            query(store, limit=-1)
+
+
+class TestGroupCounts:
+    def test_largest_group_first(self, store):
+        counts = group_counts(query(store))
+        assert counts[0] == {"experiment": "sweep", "records": 3}
+        assert counts[1] == {"experiment": "fit", "records": 1}
+
+    def test_group_by_any_column(self, store):
+        counts = group_counts(query(store), by="kernel")
+        assert {c["kernel"]: c["records"] for c in counts} == {"qr": 3, "fft": 1}
+
+
+class TestRecordsTable:
+    def test_auto_columns_lead_with_identity_and_skip_digests(self, store):
+        table = records_table(query(store))
+        assert list(table.columns[:5]) == [
+            "run_id", "suite", "experiment", "scenario", "kernel",
+        ]
+        assert "run_key" not in table.columns
+        assert "git_rev" not in table.columns
+        assert "x" in table.columns
+        assert "qr-small" in table.render_ascii()
+
+    def test_explicit_columns_win(self, store):
+        table = records_table(query(store), columns=("kernel", "x"), title="t")
+        assert list(table.columns) == ["kernel", "x"]
+        assert table.title == "t"
+
+    def test_empty_batch_renders(self):
+        assert list(records_table([]).columns) == ["experiment"]
+
+
+class TestReportDocument:
+    def test_envelope(self, store):
+        records = query(store, experiment="sweep")
+        document = report_document(
+            records,
+            transform=None,
+            filters={"experiment": "sweep", "kernel": None},
+        )
+        assert document["schema"] == REPORT_SCHEMA
+        assert document["count"] == 3
+        assert len(document["records"]) == 3
+        assert document["filters"] == {"experiment": "sweep"}  # Nones dropped
+        assert "transform" not in document
+
+    def test_transform_named_when_given(self):
+        document = report_document([], transform="regressions")
+        assert document["transform"] == "regressions"
+        assert document["count"] == 0

@@ -118,6 +118,92 @@ class TestCommands:
         assert main(argv) == 0
         assert "1 hits" in capsys.readouterr().out
 
+
+BENCH_PAYLOAD = {
+    "schema": "repro-bench-systolic/v2",
+    "matmul": [
+        {"order": 32, "batches": 2, "reference_seconds": 1.0,
+         "fast_seconds": 0.05, "speedup": 20.0},
+    ],
+    "matvec": [],
+    "qr": [],
+}
+
+
+class TestReportAndIngest:
+    def test_cached_experiment_run_is_recorded_and_queryable(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        argv = ["systolic", "--order", "4", "--batches", "8", "--cache-dir", cache]
+        assert main(argv) == 0
+        assert "recorded run" in capsys.readouterr().out
+        assert main(["report", "--cache-dir", cache, "--group", "experiment"]) == 0
+        output = capsys.readouterr().out
+        assert "systolic" in output and "records" in output
+
+    def test_report_json_is_the_report_document(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["figure2", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        argv = [
+            "report", "--cache-dir", cache, "--experiment", "figure2",
+            "--format", "json",
+        ]
+        assert main(argv) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro-report/v1"
+        assert document["count"] == 1
+        assert document["filters"] == {"experiment": "figure2"}
+        record = document["records"][0]
+        assert record["experiment"] == "figure2" and record["correct"] is True
+
+    def test_ingest_dedups_on_the_second_pass(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_systolic.json"
+        path.write_text(json.dumps(BENCH_PAYLOAD))
+        cache = str(tmp_path / "cache")
+        assert main(["ingest", str(path), "--cache-dir", cache]) == 0
+        assert "added run" in capsys.readouterr().out
+        assert main(["ingest", str(path), "--cache-dir", cache]) == 0
+        assert "deduplicated run" in capsys.readouterr().out
+        assert main(["report", "--cache-dir", cache, "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["count"] == 1
+
+    def test_report_regressions_exit_code(self, capsys, tmp_path):
+        slower = json.loads(json.dumps(BENCH_PAYLOAD))
+        slower["matmul"][0]["fast_seconds"] = 0.2  # 4x past the threshold
+        cache = str(tmp_path / "cache")
+        for name, payload in (("first", BENCH_PAYLOAD), ("second", slower)):
+            path = tmp_path / f"{name}.json"
+            path.write_text(json.dumps(payload))
+            assert main(["ingest", str(path), "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["report", "--regressions", "--cache-dir", cache]) == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_report_list_transforms(self, capsys, tmp_path):
+        argv = ["report", "--list-transforms", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        for name in ("regressions", "speedup-trend", "roofline", "suite",
+                     "bench-systolic"):
+            assert name in output
+
+    def test_cache_stats_and_clear_account_for_the_store(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["figure2", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        stats = capsys.readouterr().out
+        assert "result store  : 1 runs" in stats
+        # --keep-store clears the compute caches but keeps recorded history.
+        assert main(["cache", "clear", "--keep-store", "--cache-dir", cache]) == 0
+        assert "store kept" in capsys.readouterr().out
+        assert main(["report", "--cache-dir", cache, "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["count"] >= 1
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "1 store runs" in capsys.readouterr().out
+        assert main(["report", "--cache-dir", cache, "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["count"] == 0
+
     def test_pebble_cache_replays_every_point(self, capsys, tmp_path):
         argv = [
             "pebble", "--matmul-order", "4", "--fft-points", "16",
@@ -227,7 +313,7 @@ class TestSuiteCommand:
         assert "experiment tasks in" in output
         assert "experiment tasks" in output
         payload = json.loads(json_path.read_text())
-        assert payload["schema"] == "repro-suite-result/v2"
+        assert payload["schema"] == "repro-suite-result/v3"
         assert len(payload["scenarios"]) == 8
         # 6 experiment kinds plus the three large-order systolic scenarios.
         assert len(payload["experiments"]) == 9

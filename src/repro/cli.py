@@ -620,7 +620,19 @@ def _format_bytes(size: int) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import contextlib
+    import signal
+    import threading
+
+    from repro.faults.injector import FaultInjector, install, install_from_env
     from repro.service import JobService, serve
+
+    # The CLI flag wins over the environment; both off leaves the injector
+    # uninstalled (the common case -- fault checks are then a None test).
+    if args.faults:
+        install(FaultInjector.from_spec(args.faults, seed=args.faults_seed))
+    else:
+        install_from_env()
 
     cache_dir = None if args.no_cache else (args.cache_dir or _default_cache_dir())
     parallel = not args.serial and (args.jobs is None or args.jobs > 1)
@@ -630,13 +642,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         parallel=parallel,
         max_workers=args.jobs,
         workers=args.workers,
+        max_queue_depth=args.max_queue,
     )
     server = serve(args.host, args.port, service)
     service.start()
+
+    def _graceful(signum: int, frame: object) -> None:
+        # SIGTERM = graceful drain: stop admitting (503), give in-flight
+        # work args.drain_timeout seconds to finish and journal, then shut
+        # the listener down.  Runs on a helper thread because shutdown()
+        # would deadlock if called from inside serve_forever's loop; the
+        # signal handler itself returns immediately.  SIGINT (Ctrl-C)
+        # stays an immediate stop -- interactive users want out *now* and
+        # the journal recovers anything interrupted.
+        threading.Thread(
+            target=lambda: (service.drain(args.drain_timeout), server.shutdown()),
+            name="repro-drain",
+            daemon=True,
+        ).start()
+
+    with contextlib.suppress(ValueError):  # not the main thread (embedded)
+        signal.signal(signal.SIGTERM, _graceful)
+
     cache_note = f"cache {cache_dir}" if cache_dir else "cache disabled"
+    queue_note = (
+        f", queue limit {args.max_queue}" if args.max_queue is not None else ""
+    )
     print(
         f"repro service listening on http://{args.host}:{server.port} "
-        f"({args.workers} workers, {cache_note})",
+        f"({args.workers} workers, {cache_note}{queue_note})",
         flush=True,
     )
     try:
@@ -821,6 +855,7 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         jobs=args.jobs,
+        max_job_age=args.max_job_age,
     )
     if args.json == "-":
         print(json.dumps(report.as_dict(), indent=2))
@@ -901,6 +936,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--state-file", type=Path, default=None,
         help="JSON-lines job journal for restart recovery (default: none)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=None,
+        help="bound the scheduler queue; saturated submissions get 429 + "
+        "Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds SIGTERM gives in-flight jobs to finish before the "
+        "listener stops (default: 30)",
+    )
+    serve.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="chaos testing: inject faults per SPEC, e.g. "
+        "'task-crash:count=2;slow-task:rate=0.2,delay=0.05' "
+        "(overrides $REPRO_FAULTS; see repro.faults)",
+    )
+    serve.add_argument(
+        "--faults-seed", type=int, default=0,
+        help="seed for the fault injector's deterministic RNGs (default: 0)",
     )
     _add_task_runtime_options(serve)
 
@@ -1019,6 +1074,11 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument(
         "--jobs", type=int, default=None,
         help="intended worker-pool size, checked against the CPU affinity mask",
+    )
+    doctor.add_argument(
+        "--max-job-age", type=float, default=300.0,
+        help="warn on open jobs without a state transition for this many "
+        "seconds (default: 300)",
     )
     doctor.add_argument(
         "--json", nargs="?", const="-", default=None, metavar="PATH",

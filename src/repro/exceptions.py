@@ -63,11 +63,34 @@ class TaskExecutionError(ReproError):
 
 
 class ServiceError(ReproError):
-    """A job-service request failed (bad submission, lost job, HTTP error)."""
+    """A job-service request failed (bad submission, lost job, HTTP error).
 
-    def __init__(self, message: str, *, status: int | None = None) -> None:
+    ``retry_after`` (seconds) is set on backpressure responses (429 when
+    the queue is saturated, 503 while draining) so clients know how long to
+    hold off before resubmitting.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int | None = None,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+
+class QueueSaturatedError(ServiceError):
+    """The scheduler's bounded queue is full; the submission was shed.
+
+    Carries HTTP 429 semantics and a ``retry_after`` estimate derived from
+    the queue depth and recent job latency.
+    """
+
+    def __init__(self, message: str, *, retry_after: float) -> None:
+        super().__init__(message, status=429, retry_after=retry_after)
 
 
 class PebbleGameError(ReproError):

@@ -9,9 +9,17 @@ Four check groups, each producing pass/warn/fail :class:`Finding` records:
   ``disk_usage_bytes()`` accessors.
 * **journal replayability** -- parse every line of the JSON-lines job
   journal: a bad *tail* line is a warning (the documented crash artifact a
-  single torn append can leave), bad lines anywhere else are failures; the
-  check also replays the journal through :class:`~repro.service.jobs.JobStore`
+  single torn append can leave); a mid-file line that is a truncated JSON
+  prefix is also a warning (a repaired torn write -- the store terminates
+  the torn tail with a newline before its next append, leaving exactly one
+  skippable bad line); any other mid-file garbage is a failure.  The check
+  also replays the journal through :class:`~repro.service.jobs.JobStore`
   and reports terminal vs. interrupted jobs.
+* **job progress** -- replay the journal and flag open jobs that look
+  stuck: queued/running for longer than ``--max-job-age`` is a warning
+  (the service may just be busy), an attempt count past the job's recorded
+  retry budget without a terminal state is a failure (the retry machinery
+  lost track of it).
 * **worker liveness** -- against a running service (``host``/``port``),
   check ``GET /healthz`` answers, reports ``ok`` and has its worker threads
   alive.
@@ -41,12 +49,16 @@ __all__ = [
     "run_doctor",
     "check_cache_integrity",
     "check_journal",
+    "check_jobs",
     "check_service",
     "check_environment",
     "PASS",
     "WARN",
     "FAIL",
 ]
+
+#: Default age (seconds) past which an open job counts as stuck.
+DEFAULT_MAX_JOB_AGE = 300.0
 
 DOCTOR_SCHEMA = "repro-doctor/v1"
 
@@ -327,6 +339,7 @@ def check_journal(state_path: str | Path | None) -> list[Finding]:
 
     lines = path.read_text().splitlines()
     bad_lines: list[int] = []
+    torn_lines: list[int] = []
     parsed = 0
     for number, line in enumerate(lines, start=1):
         if not line.strip():
@@ -339,7 +352,18 @@ def check_journal(state_path: str | Path | None) -> list[Finding]:
                 or "id" not in snapshot.get("job", {})
             ):
                 raise ValueError("not a job snapshot")
-        except (json.JSONDecodeError, ValueError):
+        except json.JSONDecodeError:
+            # A truncated snapshot *prefix* is the repaired-torn-write
+            # artifact: the store newline-terminates a torn tail before
+            # its next append, so the partial line ends up mid-file but
+            # still recognisably snapshot-shaped.  Arbitrary garbage that
+            # never looked like a snapshot is a different (worse) story.
+            if line.lstrip().startswith('{"'):
+                torn_lines.append(number)
+            else:
+                bad_lines.append(number)
+            continue
+        except ValueError:
             bad_lines.append(number)
             continue
         parsed += 1
@@ -349,10 +373,13 @@ def check_journal(state_path: str | Path | None) -> list[Finding]:
         "lines": len(lines),
         "parsed": parsed,
         "bad_lines": bad_lines[:20],
+        "torn_lines": torn_lines[:20],
     }
     findings = []
-    tail_is_bad = bool(bad_lines) and bad_lines[-1] == len(lines)
+    all_bad = sorted(bad_lines + torn_lines)
+    tail_is_bad = bool(all_bad) and all_bad[-1] == len(lines)
     mid_file_bad = [n for n in bad_lines if n != len(lines)]
+    mid_file_torn = [n for n in torn_lines if n != len(lines)]
     if mid_file_bad:
         findings.append(
             Finding(
@@ -360,6 +387,18 @@ def check_journal(state_path: str | Path | None) -> list[Finding]:
                 FAIL,
                 f"{len(mid_file_bad)} unparseable lines in the middle of the "
                 "journal (replay skips them; job history is incomplete)",
+                data,
+            )
+        )
+    elif mid_file_torn:
+        findings.append(
+            Finding(
+                "journal",
+                WARN,
+                f"{len(mid_file_torn)} torn-write artifacts (truncated "
+                "snapshot lines, newline-terminated by the store's tail "
+                "repair); replay skips them, later snapshots of the same "
+                "jobs carry the state",
                 data,
             )
         )
@@ -409,6 +448,117 @@ def check_journal(state_path: str | Path | None) -> list[Finding]:
             )
         )
     return findings
+
+
+# ---------------------------------------------------------------------------
+# Job progress: stuck and budget-exceeded jobs.
+# ---------------------------------------------------------------------------
+
+
+def check_jobs(
+    state_path: str | Path | None, *, max_job_age: float = DEFAULT_MAX_JOB_AGE
+) -> list[Finding]:
+    """Findings about open jobs that have stopped making progress.
+
+    Age is measured from a job's *last* state transition (wall stamp on the
+    final timeline event), not its creation: a job legitimately retried two
+    minutes ago is younger than one untouched since submission.
+    """
+    if state_path is None:
+        return [Finding("jobs", WARN, "no journal configured; skipping")]
+    path = Path(state_path).expanduser()
+    if not path.exists():
+        return [
+            Finding(
+                "jobs",
+                WARN,
+                f"journal {path} does not exist yet",
+                {"state_path": str(path)},
+            )
+        ]
+
+    import time
+
+    from repro.service.jobs import JobStore
+    from repro.service.retry import RetryPolicy, policy_for
+
+    store = JobStore(path)
+    now = time.time()
+    stuck: list[dict[str, Any]] = []
+    over_budget: list[dict[str, Any]] = []
+    open_jobs = 0
+    for job in store.jobs():
+        if job.terminal:
+            continue
+        open_jobs += 1
+        last_stamp = job.created_at
+        if job.timeline:
+            last_stamp = float(job.timeline[-1].get("wall_time") or last_stamp)
+        age = now - last_stamp
+        policy = (
+            RetryPolicy.from_dict(job.retry) if job.retry else policy_for(job.kind)
+        )
+        if job.attempts > policy.max_attempts:
+            over_budget.append(
+                {
+                    "id": job.id,
+                    "state": job.state,
+                    "attempts": job.attempts,
+                    "max_attempts": policy.max_attempts,
+                }
+            )
+        elif age > max_job_age:
+            stuck.append(
+                {
+                    "id": job.id,
+                    "state": job.state,
+                    "attempts": job.attempts,
+                    "age_seconds": round(age, 1),
+                }
+            )
+
+    data = {
+        "state_path": str(path),
+        "open_jobs": open_jobs,
+        "max_job_age": max_job_age,
+        "stuck": stuck[:20],
+        "over_budget": over_budget[:20],
+    }
+    if over_budget:
+        return [
+            Finding(
+                "jobs.progress",
+                FAIL,
+                f"{len(over_budget)} open jobs exceeded their retry budget "
+                "without reaching a terminal state; the retry machinery "
+                "lost them (restart the service to requeue, then report "
+                "the bug)",
+                data,
+            )
+        ]
+    if stuck:
+        return [
+            Finding(
+                "jobs.progress",
+                WARN,
+                f"{len(stuck)} open jobs without a state transition for "
+                f"more than {max_job_age:.0f}s; the service may be "
+                "saturated, dead, or the jobs genuinely long",
+                data,
+            )
+        ]
+    return [
+        Finding(
+            "jobs.progress",
+            PASS,
+            (
+                f"{open_jobs} open jobs all progressing"
+                if open_jobs
+                else "no open jobs"
+            ),
+            data,
+        )
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -554,11 +704,13 @@ def run_doctor(
     host: str | None = None,
     port: int | None = None,
     jobs: int | None = None,
+    max_job_age: float = DEFAULT_MAX_JOB_AGE,
 ) -> DoctorReport:
     """Run every applicable check; the liveness probe needs ``port``."""
     findings: list[Finding] = []
     findings.extend(check_cache_integrity(cache_dir))
     findings.extend(check_journal(state_path))
+    findings.extend(check_jobs(state_path, max_job_age=max_job_age))
     if port is not None:
         findings.extend(check_service(host or "127.0.0.1", port))
     findings.extend(check_environment(jobs))

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.core.model import ComputationCost
 from repro.exceptions import ConfigurationError
+from repro.faults.injector import maybe_inject
 from repro.kernels.base import Kernel, KernelExecution
 from repro.kernels.counters import PhaseRecorder
 from repro.obs.metrics import REGISTRY
@@ -82,6 +83,12 @@ _METRIC_STORES = REGISTRY.counter(
 _METRIC_STORE_BYTES = REGISTRY.counter(
     "repro_cache_store_bytes_total",
     "Bytes written to the on-disk caches.",
+    labelnames=("cache",),
+)
+_METRIC_STORE_FAILURES = REGISTRY.counter(
+    "repro_cache_store_failures_total",
+    "Cache entries that could not be written (disk error); the result "
+    "stays correct, the key is simply a miss next time.",
     labelnames=("cache",),
 )
 
@@ -167,13 +174,19 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    store_failures: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
 
     def as_dict(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "store_failures": self.store_failures,
+        }
 
 
 class ResultCache:
@@ -255,7 +268,15 @@ class ResultCache:
             "peak_memory_words": int(execution.peak_memory_words),
         }
         data = json.dumps(entry, sort_keys=True).encode()
-        _atomic_write(self._path(key), data)
+        try:
+            _atomic_write(self._path(key), data)
+        except OSError:
+            # Best-effort durability: the measurement in hand is correct,
+            # so a full disk must not fail the run -- the key is simply a
+            # miss (and a re-measure) next time.
+            self.stats.store_failures += 1
+            _METRIC_STORE_FAILURES.labels(cache="results").inc()
+            return
         self.stats.stores += 1
         _METRIC_STORES.labels(cache="results").inc()
         _METRIC_STORE_BYTES.labels(cache="results").inc(len(data))
@@ -284,7 +305,12 @@ def _atomic_write(path: Path, data: bytes) -> None:
 
     Concurrent processes storing the same key each publish a complete entry,
     last writer wins; readers never observe a truncated file.
+
+    The chaos suite's ``cache-write-failure`` fault injects an ``OSError``
+    here, covering every consumer of this helper (both caches and the
+    result store's segment writes) with one injection point.
     """
+    maybe_inject("cache-write-failure", site=str(path))
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(
         prefix=f"{path.stem[:8]}-", suffix=".tmp", dir=path.parent
@@ -362,7 +388,14 @@ class TaskCache:
         """Persist one task's result under ``key``."""
         entry = {"schema": TASK_SCHEMA_VERSION, "label": label, "value": value}
         data = pickle.dumps(entry)
-        _atomic_write(self._path(key), data)
+        try:
+            _atomic_write(self._path(key), data)
+        except OSError:
+            # Best-effort, as in ResultCache.store: never fail the task
+            # whose result was already computed.
+            self.stats.store_failures += 1
+            _METRIC_STORE_FAILURES.labels(cache="tasks").inc()
+            return
         self.stats.stores += 1
         _METRIC_STORES.labels(cache="tasks").inc()
         _METRIC_STORE_BYTES.labels(cache="tasks").inc(len(data))

@@ -977,7 +977,12 @@ def run_suite(
             from repro.obs.trace import current_trace_id
             from repro.store.readers import ingest_payload
 
-            ingest_payload(
-                store, result.as_dict(), trace_id=current_trace_id()
-            )
+            try:
+                ingest_payload(
+                    store, result.as_dict(), trace_id=current_trace_id()
+                )
+            except OSError:
+                # Recording history is best-effort: a disk error (real or
+                # injected) must not fail a suite whose results are in hand.
+                pass
     return result

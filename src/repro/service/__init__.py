@@ -17,7 +17,17 @@ by one-shot CLI processes; this package is the long-lived front end:
 * :mod:`repro.service.api` -- stdlib JSON-over-HTTP endpoints
   (``POST /jobs``, ``GET /jobs/{id}``, ``GET /jobs/{id}/result``,
   ``GET /healthz``, ``GET /cache/stats``, ``GET /metrics``);
-* :mod:`repro.service.client` -- the blocking Python client.
+* :mod:`repro.service.client` -- the blocking Python client, with
+  transient-connection retries, backpressure-aware submission and
+  adaptive result polling;
+* :mod:`repro.service.retry` -- per-kind :class:`RetryPolicy` budgets
+  (bounded attempts, deterministic-jitter backoff, deadlines) that the
+  scheduler and the supervising :class:`WorkerPool` enforce.
+
+Resilience is part of the contract: the scheduler's queue can be bounded
+(saturated submissions shed with 429 + ``Retry-After``), crashed worker
+threads are reaped and their jobs retried, and the deterministic fault
+injector in :mod:`repro.faults` can rehearse all of it reproducibly.
 
 Observability rides on :mod:`repro.obs`: every submission carries a trace
 ID (minted or taken from ``X-Repro-Trace``) through the scheduler, the
@@ -30,6 +40,7 @@ Everything is stdlib-only (``threading`` + ``http.server``): no web
 framework is required to run ``repro serve``.
 """
 
+from repro.exceptions import QueueSaturatedError
 from repro.service.api import ServiceHTTPServer, serve
 from repro.service.client import ServiceClient
 from repro.service.jobs import (
@@ -41,6 +52,13 @@ from repro.service.jobs import (
     RUNNING,
     Job,
     JobStore,
+)
+from repro.service.retry import (
+    DEFAULT_POLICIES,
+    RetryPolicy,
+    is_transient,
+    policy_for,
+    transient_reason,
 )
 from repro.service.scheduler import (
     JobScheduler,
@@ -58,6 +76,7 @@ from repro.service.workers import (
 )
 
 __all__ = [
+    "DEFAULT_POLICIES",
     "DONE",
     "FAILED",
     "JOB_KINDS",
@@ -70,13 +89,18 @@ __all__ = [
     "JobScheduler",
     "JobService",
     "JobStore",
+    "QueueSaturatedError",
+    "RetryPolicy",
     "SchedulerStats",
     "ServiceClient",
     "ServiceHTTPServer",
     "WorkerPool",
     "analytic_sweep_payload",
     "evaluate_analytic_sweeps",
+    "is_transient",
     "job_key",
     "normalize_job_params",
+    "policy_for",
     "serve",
+    "transient_reason",
 ]

@@ -11,7 +11,12 @@ API reference
     the job status document (see ``GET /jobs/{id}``; a deduplicated
     submission carries ``deduped_into`` naming the in-flight primary it
     attached to), **400** for malformed JSON, unknown kinds/params or an
-    invalid trace ID, **413** when the body exceeds 1 MiB.
+    invalid trace ID, **413** when the body exceeds 1 MiB, **429** when the
+    scheduler's bounded queue is saturated, **503** while the service is
+    draining.  Both backpressure responses carry a ``Retry-After`` header
+    (integral seconds, also ``retry_after`` in the JSON body) that
+    :class:`~repro.service.client.ServiceClient` honors; a submission that
+    deduplicates against in-flight work is always admitted, even saturated.
 
 ``GET /jobs``
     Every job, oldest submission first: ``{"jobs": [<status document>]}``.
@@ -35,9 +40,10 @@ API reference
 
 ``GET /healthz``
     Liveness: ``{"ok": true, "uptime_seconds", "workers",
-    "workers_running", "queue_depth", "jobs": {state: count},
-    "scheduler": {...}, "executor": {...}}``.  Always **200** while the
-    process can answer at all.
+    "workers_running", "draining", "queue_depth", "max_queue_depth",
+    "jobs": {state: count}, "scheduler": {...}, "executor": {...},
+    "pool": {"count", "alive", "restarts", "hung_workers"}}``.  Always
+    **200** while the process can answer at all.
 
 ``GET /cache/stats``
     Both caches' hit/miss/store counters, entry counts and size on disk,
@@ -127,8 +133,22 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error(self, status: int, message: str) -> None:
-        self._send(status, {"error": message})
+    def _send_error(
+        self, status: int, message: str, *, retry_after: float | None = None
+    ) -> None:
+        body: dict[str, Any] = {"error": message}
+        if retry_after is not None:
+            body["retry_after"] = retry_after
+        data = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if retry_after is not None:
+            # The header form is integral seconds per RFC 9110; the JSON
+            # body keeps the fractional estimate for precise clients.
+            self.send_header("Retry-After", str(max(1, round(retry_after))))
+        self.end_headers()
+        self.wfile.write(data)
 
     def _read_json(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -153,7 +173,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             self._route_get()
         except ServiceError as exc:
-            self._send_error(exc.status or 400, str(exc))
+            self._send_error(
+                exc.status or 400, str(exc), retry_after=exc.retry_after
+            )
         except Exception as exc:  # noqa: BLE001 - never kill the connection thread
             self._send_error(500, f"{type(exc).__name__}: {exc}")
 
@@ -161,7 +183,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             self._route_post()
         except ServiceError as exc:
-            self._send_error(exc.status or 400, str(exc))
+            self._send_error(
+                exc.status or 400, str(exc), retry_after=exc.retry_after
+            )
         except ReproError as exc:
             self._send_error(400, str(exc))
         except Exception as exc:  # noqa: BLE001 - never kill the connection thread

@@ -5,6 +5,19 @@ poll its status, fetch its result.  Errors surface as
 :class:`~repro.exceptions.ServiceError` carrying the HTTP status, so callers
 can distinguish a rejected submission (400) from a lost job (404) or a
 failed one (500).
+
+Resilience built in:
+
+* transient connection failures (refused, reset) are retried with capped
+  exponential backoff before surfacing -- safe even for submissions,
+  because the scheduler's content-addressed dedup attaches an accidental
+  duplicate to the original instead of running it twice;
+* backpressure (429 queue-saturated, 503 draining) is honored rather than
+  fought: :meth:`submit` can sleep out the server's ``Retry-After`` hint
+  and resubmit until a ``busy_timeout`` budget runs out;
+* :meth:`wait` polls adaptively -- fast at first for sub-100ms analytic
+  jobs, decaying toward one request per second for minutes-long suites --
+  instead of hammering the service at a fixed 50ms forever.
 """
 
 from __future__ import annotations
@@ -21,16 +34,30 @@ from repro.service.jobs import DONE, FAILED
 
 __all__ = ["ServiceClient"]
 
+#: Poll interval growth for :meth:`ServiceClient.wait` -- each idle poll
+#: waits this factor longer than the last, up to the one-second ceiling.
+_POLL_GROWTH = 1.5
+_POLL_CEILING = 1.0
+
+#: HTTP statuses that mean "come back later", not "you did something wrong".
+_BUSY_STATUSES = (429, 503)
+
 
 class ServiceClient:
     """Blocking JSON-over-HTTP client for one service endpoint."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8035, *, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8035,
+        *,
+        timeout: float = 30.0,
+        connect_retries: int = 2,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_retries = max(0, connect_retries)
 
     # -- plumbing ------------------------------------------------------------
 
@@ -40,6 +67,30 @@ class ServiceClient:
         path: str,
         payload: dict[str, Any] | None = None,
         extra_headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        delay = 0.1
+        for attempt in range(self.connect_retries + 1):
+            try:
+                return self._request_once(method, path, payload, extra_headers)
+            except ConnectionError as exc:
+                # Refused/reset connections are the transient shape (a
+                # service mid-restart, a listen backlog burp); anything
+                # else -- timeouts included -- surfaces immediately.
+                if attempt >= self.connect_retries:
+                    raise ServiceError(
+                        f"cannot reach repro service at {self.host}:"
+                        f"{self.port} after {attempt + 1} attempts: {exc}"
+                    ) from exc
+                time.sleep(delay)
+                delay = min(1.0, delay * 2)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None,
+        extra_headers: dict[str, str] | None,
     ) -> tuple[int, dict[str, Any]]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
@@ -53,6 +104,8 @@ class ServiceClient:
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             raw = response.read()
+        except ConnectionError:
+            raise  # retried by _request
         except OSError as exc:
             raise ServiceError(
                 f"cannot reach repro service at {self.host}:{self.port}: {exc}"
@@ -125,24 +178,45 @@ class ServiceClient:
         params: dict[str, Any],
         *,
         trace_id: str | None = None,
+        busy_timeout: float = 0.0,
     ) -> dict[str, Any]:
         """Submit a job; returns its status document (state ``queued``).
 
         ``trace_id`` travels as the ``X-Repro-Trace`` header; the service
         mints one when it is omitted (the returned document's ``trace_id``
         says which).
+
+        ``busy_timeout`` is the backpressure budget: on a 429 (queue
+        saturated) or 503 (draining) response the client sleeps out the
+        server's ``Retry-After`` hint and resubmits, until the budget is
+        spent -- then the last backpressure error surfaces with its status
+        and ``retry_after`` attached.  The default of ``0`` surfaces
+        backpressure immediately, which is what tests and load-aware
+        callers want.
         """
         headers = {TRACE_HEADER: trace_id} if trace_id else None
-        status, document = self._request(
-            "POST", "/jobs", {"kind": kind, "params": params},
-            extra_headers=headers,
-        )
-        if status != 201:
+        deadline = time.monotonic() + busy_timeout
+        while True:
+            status, document = self._request(
+                "POST", "/jobs", {"kind": kind, "params": params},
+                extra_headers=headers,
+            )
+            if status == 201:
+                return document
+            retry_after = document.get("retry_after")
+            if status in _BUSY_STATUSES:
+                pause = float(retry_after) if retry_after else 1.0
+                remaining = deadline - time.monotonic()
+                if remaining > 0:
+                    time.sleep(min(pause, max(0.05, remaining)))
+                    continue
             raise ServiceError(
                 document.get("error", f"submission returned {status}"),
                 status=status,
+                retry_after=(
+                    float(retry_after) if retry_after is not None else None
+                ),
             )
-        return document
 
     def job(self, job_id: str) -> dict[str, Any]:
         return self._get(f"/jobs/{job_id}", expect=(200,))
@@ -167,20 +241,36 @@ class ServiceClient:
     ) -> dict[str, Any]:
         """Block until the job reaches a terminal state; return its result.
 
+        Polls adaptively: the first poll waits ``poll`` seconds, each idle
+        poll after that waits 1.5x longer, capped at one second -- quick
+        jobs still resolve in ~50ms while long suites cost the service one
+        status request per second instead of twenty.
+
         A failed job raises :class:`ServiceError` with the job's error and
-        HTTP status 500; a timeout raises with the last observed state.
+        HTTP status 500.  A timeout raises with the last observed state,
+        the job's attempt count and the tail of its timeline, so the error
+        message alone says whether the job was stuck queued, mid-retry, or
+        genuinely still running.
         """
         deadline = time.monotonic() + timeout
+        interval = max(0.001, poll)
         while True:
             document = self.job(job_id)
             if document["state"] in (DONE, FAILED):
                 return self.result(job_id)
             if time.monotonic() >= deadline:
+                tail = [
+                    f"{event.get('state')}@{event.get('wall_time', 0):.3f}"
+                    for event in (document.get("timeline") or [])[-4:]
+                ]
                 raise ServiceError(
                     f"timed out after {timeout:.0f}s waiting for job "
-                    f"{job_id} (last state {document['state']!r})"
+                    f"{job_id} (last state {document['state']!r}, "
+                    f"attempts {document.get('attempts', 0)}, "
+                    f"timeline tail: {' -> '.join(tail) or 'empty'})"
                 )
-            time.sleep(poll)
+            time.sleep(min(interval, max(0.0, deadline - time.monotonic())))
+            interval = min(_POLL_CEILING, interval * _POLL_GROWTH)
 
     def submit_and_wait(
         self,
@@ -189,7 +279,8 @@ class ServiceClient:
         *,
         timeout: float = 120.0,
         poll: float = 0.05,
+        busy_timeout: float = 0.0,
     ) -> dict[str, Any]:
-        """Submit one job and block for its result."""
-        job = self.submit(kind, params)
+        """Submit one job (waiting out backpressure) and block for its result."""
+        job = self.submit(kind, params, busy_timeout=busy_timeout)
         return self.wait(job["id"], timeout=timeout, poll=poll)

@@ -38,6 +38,8 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.exceptions import ConfigurationError, ServiceError
+from repro.faults.injector import torn_write_armed
+from repro.obs.metrics import REGISTRY
 
 __all__ = [
     "Job",
@@ -69,18 +71,36 @@ _TRANSITIONS = {
 
 STATE_SCHEMA = "repro-service-job/v1"
 
+#: Journal appends that could not be written (disk full, permissions).  The
+#: journal is best-effort durable: a failed append degrades recovery, never
+#: a live job, and the metric is how operators find out.
+_METRIC_JOURNAL_WRITE_FAILURES = REGISTRY.counter(
+    "repro_journal_write_failures_total",
+    "Journal snapshot appends that failed with an I/O error.",
+)
+_METRIC_JOURNAL_TORN_REPAIRS = REGISTRY.counter(
+    "repro_journal_torn_tail_repairs_total",
+    "Torn journal tail lines terminated before appending new snapshots.",
+)
+
 
 def _new_job_id() -> str:
     return uuid.uuid4().hex[:12]
 
 
-def _timeline_event(state: str) -> dict[str, Any]:
-    """One timeline entry: the state entered plus both clock stamps."""
-    return {
+def _timeline_event(state: str, **extra: Any) -> dict[str, Any]:
+    """One timeline entry: the state entered plus both clock stamps.
+
+    ``extra`` carries transition context -- ``attempt`` on ``running``
+    events, ``reason`` on requeues -- and rides along in the journal.
+    """
+    event = {
         "state": state,
         "wall_time": time.time(),
         "monotonic": time.monotonic(),
     }
+    event.update({key: value for key, value in extra.items() if value is not None})
+    return event
 
 
 def _seconds_between(earlier: dict[str, Any], later: dict[str, Any]) -> float | None:
@@ -114,13 +134,15 @@ def _replayed_timeline(fields: dict[str, Any]) -> list[dict[str, Any]]:
         events = []
         for event in persisted:
             if isinstance(event, dict) and "state" in event:
-                events.append(
-                    {
-                        "state": event["state"],
-                        "wall_time": event.get("wall_time"),
-                        "monotonic": event.get("monotonic"),
-                    }
-                )
+                replayed = {
+                    "state": event["state"],
+                    "wall_time": event.get("wall_time"),
+                    "monotonic": event.get("monotonic"),
+                }
+                for extra in ("attempt", "reason"):
+                    if event.get(extra) is not None:
+                        replayed[extra] = event[extra]
+                events.append(replayed)
         if events:
             return events
     events = []
@@ -153,6 +175,11 @@ class Job:
     started_at: float | None = None
     finished_at: float | None = None
     timeline: list[dict[str, Any]] = field(default_factory=list)
+    #: Execution attempts started (each ``queued -> running`` transition).
+    attempts: int = 0
+    #: The retry policy the job was admitted under, as a plain dict so it
+    #: journals verbatim (see :mod:`repro.service.retry`).
+    retry: dict[str, Any] | None = None
 
     @property
     def terminal(self) -> bool:
@@ -165,9 +192,9 @@ class Job:
             return None
         return self.finished_at - self.created_at
 
-    def record_event(self, state: str) -> None:
+    def record_event(self, state: str, **extra: Any) -> None:
         """Append one stamped state-transition event to the timeline."""
-        self.timeline.append(_timeline_event(state))
+        self.timeline.append(_timeline_event(state, **extra))
 
     def timeline_payload(self) -> list[dict[str, Any]]:
         """The timeline with per-state durations, for API consumers.
@@ -197,6 +224,8 @@ class Job:
             "deduped_into": self.deduped_into,
             "trace_id": self.trace_id,
             "error": self.error,
+            "attempts": self.attempts,
+            "retry": self.retry,
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -216,8 +245,26 @@ class JobStore:
         self._jobs: dict[str, Job] = {}
         self._lock = threading.RLock()
         self.state_path = Path(state_path).expanduser() if state_path else None
+        # A crash mid-append leaves a torn (newline-less) tail line.  Detect
+        # it now so the next append terminates it first -- otherwise the new
+        # snapshot would concatenate onto the torn prefix, turning one
+        # harmless crash artifact into an unparseable mid-file line.
+        self._tail_torn = False
         if self.state_path is not None and self.state_path.exists():
+            self._tail_torn = self._detect_torn_tail()
             self._replay()
+
+    def _detect_torn_tail(self) -> bool:
+        try:
+            with self.state_path.open("rb") as handle:
+                handle.seek(0, 2)
+                size = handle.tell()
+                if size == 0:
+                    return False
+                handle.seek(size - 1)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
 
     # -- queries -------------------------------------------------------------
 
@@ -261,6 +308,7 @@ class JobStore:
         key: str | None = None,
         deduped_into: str | None = None,
         trace_id: str | None = None,
+        retry: dict[str, Any] | None = None,
     ) -> Job:
         if kind not in JOB_KINDS:
             known = ", ".join(JOB_KINDS)
@@ -274,6 +322,7 @@ class JobStore:
             key=key,
             deduped_into=deduped_into,
             trace_id=trace_id,
+            retry=dict(retry) if retry else None,
         )
         job.record_event(QUEUED)
         with self._lock:
@@ -290,8 +339,13 @@ class JobStore:
     def mark_failed(self, job: Job, error: str) -> None:
         self._transition(job, FAILED, error=error)
 
-    def requeue(self, job: Job) -> None:
-        """Reset an interrupted job to ``queued`` (restart recovery)."""
+    def requeue(self, job: Job, *, reason: str | None = None) -> None:
+        """Reset an open job to ``queued`` (restart recovery, crash retry).
+
+        ``reason`` names why -- ``worker-crash``, ``restart-recovery``, a
+        transient error class -- and is stamped on the timeline event, so
+        the journal records every requeue with its cause.
+        """
         with self._lock:
             if job.terminal:
                 raise ConfigurationError(
@@ -300,7 +354,7 @@ class JobStore:
             job.state = QUEUED
             job.started_at = None
             job.deduped_into = None
-            job.record_event(QUEUED)
+            job.record_event(QUEUED, reason=reason)
             self._persist(job)
 
     def _transition(
@@ -312,13 +366,16 @@ class JobStore:
                     f"job {job.id} cannot move {job.state!r} -> {state!r}"
                 )
             job.state = state
+            extra: dict[str, Any] = {}
             if state == RUNNING:
                 job.started_at = time.time()
+                job.attempts += 1
+                extra["attempt"] = job.attempts
             else:
                 job.finished_at = time.time()
                 job.result = result
                 job.error = error
-            job.record_event(state)
+            job.record_event(state, **extra)
             self._persist(job)
 
     # -- persistence ---------------------------------------------------------
@@ -328,9 +385,29 @@ class JobStore:
             return
         snapshot = {"schema": STATE_SCHEMA, "job": job.as_dict(include_result=True)}
         line = json.dumps(snapshot, sort_keys=True, default=str) + "\n"
-        self.state_path.parent.mkdir(parents=True, exist_ok=True)
-        with self.state_path.open("a") as handle:
-            handle.write(line)
+        data = line.encode()
+        try:
+            self.state_path.parent.mkdir(parents=True, exist_ok=True)
+            with self.state_path.open("ab") as handle:
+                if self._tail_torn:
+                    # Terminate the torn line a crash (or injected torn
+                    # write) left, so it stays one skippable bad line
+                    # instead of corrupting this snapshot.
+                    handle.write(b"\n")
+                    self._tail_torn = False
+                    _METRIC_JOURNAL_TORN_REPAIRS.inc()
+                if torn_write_armed(site=f"journal:{job.id}"):
+                    # Chaos mode: emulate a crash mid-append by persisting
+                    # only a prefix of the line and "losing" the rest.
+                    handle.write(data[: max(1, len(data) // 2)])
+                    self._tail_torn = True
+                    return
+                handle.write(data)
+        except OSError:
+            # Best-effort durability: an unwritable journal must not take
+            # down live jobs.  Recovery for this transition is lost; the
+            # metric (and repro doctor) is how anyone finds out.
+            _METRIC_JOURNAL_WRITE_FAILURES.inc()
 
     def _replay(self) -> None:
         for snapshot in self._read_snapshots():
@@ -349,6 +426,8 @@ class JobStore:
                 started_at=fields.get("started_at"),
                 finished_at=fields.get("finished_at"),
                 timeline=_replayed_timeline(fields),
+                attempts=int(fields.get("attempts") or 0),
+                retry=fields.get("retry") or None,
             )
             self._jobs[job.id] = job  # later snapshots win
 

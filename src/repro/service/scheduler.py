@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
@@ -33,7 +34,7 @@ import numpy as np
 
 from repro.analysis.sweep import normalize_memory_sizes
 from repro.core.registry import ComputationSpec, get as registry_get
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, QueueSaturatedError
 from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
 from repro.obs.trace import new_trace_id, normalize_trace_id
 from repro.runtime.cache import execution_key
@@ -45,6 +46,7 @@ from repro.runtime.suites import (
 from repro.runtime.tasks import task_key
 from repro.runtime.vectorized import cost_grid
 from repro.service.jobs import JOB_KINDS, Job, JobStore
+from repro.service.retry import RetryPolicy, policy_for
 
 __all__ = [
     "JobScheduler",
@@ -85,6 +87,16 @@ _METRIC_JOBS_COMPLETED = REGISTRY.counter(
 _METRIC_JOBS_FAILED = REGISTRY.counter(
     "repro_jobs_failed_total", "Jobs finished with an error, by kind.",
     labelnames=("kind",),
+)
+_METRIC_JOB_RETRIES = REGISTRY.counter(
+    "repro_job_retries_total",
+    "Jobs requeued for another attempt, by kind and reason.",
+    labelnames=("kind", "reason"),
+)
+_METRIC_JOBS_REJECTED = REGISTRY.counter(
+    "repro_jobs_rejected_total",
+    "Submissions refused by admission control, by reason.",
+    labelnames=("reason",),
 )
 
 #: Modules whose source participates in a suite job's content address: the
@@ -346,6 +358,8 @@ class SchedulerStats:
     batched_jobs: int = 0
     completed: int = 0
     failed: int = 0
+    retried: int = 0
+    rejected: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -355,29 +369,66 @@ class SchedulerStats:
             "batched_jobs": self.batched_jobs,
             "completed": self.completed,
             "failed": self.failed,
+            "retried": self.retried,
+            "rejected": self.rejected,
         }
 
 
 class JobScheduler:
-    """FIFO job queue with in-flight dedup and analytic-sweep batching.
+    """FIFO job queue with dedup, batching, retry backoff and admission control.
 
     All state transitions happen under one condition variable, so a follower
     can never attach to a primary after its result has been fanned out.
+
+    ``max_queue_depth`` bounds the number of *waiting* jobs: a submission
+    that would exceed it is shed with :class:`QueueSaturatedError` (HTTP
+    429) and a ``retry_after`` estimate -- unless it deduplicates against
+    in-flight work, which is always admitted (a follower consumes no queue
+    slot or compute, so shedding it would only waste the work already
+    underway).  Retried jobs re-enter the queue with a per-job ``not
+    before`` stamp from their :class:`~repro.service.retry.RetryPolicy`
+    backoff; :meth:`claim` skips held-back jobs until their delay elapses.
     """
 
-    def __init__(self, store: JobStore) -> None:
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        max_queue_depth: int | None = None,
+        workers_hint: int = 2,
+    ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth!r}"
+            )
         self.store = store
+        self.max_queue_depth = max_queue_depth
+        self.workers_hint = max(1, workers_hint)
         self._cond = threading.Condition()
         self._queue: deque[str] = deque()
+        self._not_before: dict[str, float] = {}  # job id -> monotonic stamp
         self._inflight: dict[str, str] = {}  # job key -> primary job id
         self._followers: dict[str, list[str]] = {}  # primary id -> follower ids
         self._closed = False
+        self._avg_run_seconds: float | None = None
         self.stats = SchedulerStats()
 
     @property
     def queue_depth(self) -> int:
         with self._cond:
             return len(self._queue)
+
+    def retry_after_estimate(self) -> float:
+        """Seconds a shed client should wait before resubmitting."""
+        with self._cond:
+            return self._retry_after_locked()
+
+    def _retry_after_locked(self) -> float:
+        # Queue depth divided by worker parallelism, scaled by the EWMA of
+        # recent job run times; clamped to something a client can act on.
+        average = self._avg_run_seconds or 1.0
+        estimate = (len(self._queue) + 1) * average / self.workers_hint
+        return round(min(60.0, max(1.0, estimate)), 1)
 
     # -- submission ----------------------------------------------------------
 
@@ -398,11 +449,15 @@ class JobScheduler:
         trace_id = normalize_trace_id(trace_id) if trace_id else new_trace_id()
         params = normalize_job_params(kind, params)
         key = job_key(kind, params)  # may be slow; computed outside the lock
+        policy = policy_for(kind)
         with self._cond:
-            self.stats.submitted += 1
-            _METRIC_SUBMITTED.labels(kind=kind).inc()
             primary_id = self._inflight.get(key)
             if primary_id is not None:
+                # Load shedding prefers attaching duplicates over admitting
+                # new keys: a follower is free, so it bypasses the depth
+                # check even when the queue is saturated.
+                self.stats.submitted += 1
+                _METRIC_SUBMITTED.labels(kind=kind).inc()
                 job = self.store.create(
                     kind, params, key=key, deduped_into=primary_id,
                     trace_id=trace_id,
@@ -411,7 +466,23 @@ class JobScheduler:
                 self.stats.deduped += 1
                 _METRIC_DEDUP_ATTACHES.inc()
                 return job
-            job = self.store.create(kind, params, key=key, trace_id=trace_id)
+            if (
+                self.max_queue_depth is not None
+                and len(self._queue) >= self.max_queue_depth
+            ):
+                self.stats.rejected += 1
+                _METRIC_JOBS_REJECTED.labels(reason="saturated").inc()
+                raise QueueSaturatedError(
+                    f"queue is saturated ({len(self._queue)} jobs waiting, "
+                    f"limit {self.max_queue_depth}); retry later",
+                    retry_after=self._retry_after_locked(),
+                )
+            self.stats.submitted += 1
+            _METRIC_SUBMITTED.labels(kind=kind).inc()
+            job = self.store.create(
+                kind, params, key=key, trace_id=trace_id,
+                retry=policy.as_dict(),
+            )
             self._inflight[key] = job.id
             self._queue.append(job.id)
             _METRIC_QUEUE_DEPTH.set(len(self._queue))
@@ -429,36 +500,97 @@ class JobScheduler:
         if key is None:  # journal predates key persistence; recompute
             key = job_key(job.kind, normalize_job_params(job.kind, job.params))
         with self._cond:
-            self.store.requeue(job)
+            self.store.requeue(job, reason="restart-recovery")
             job.key = key
             self._inflight.setdefault(key, job.id)
             self._queue.append(job.id)
             _METRIC_QUEUE_DEPTH.set(len(self._queue))
             self._cond.notify()
 
+    def retry(self, job: Job, *, reason: str) -> bool:
+        """Requeue a failed attempt if the job's retry policy allows it.
+
+        Returns ``False`` (caller should fail the job instead) once the
+        attempt budget or deadline is exhausted.  The job keeps its id, its
+        key (so followers stay attached and new duplicates keep attaching)
+        and its incremented attempt count; it becomes claimable only after
+        the policy's deterministic backoff delay.
+        """
+        policy = (
+            RetryPolicy.from_dict(job.retry) if job.retry else policy_for(job.kind)
+        )
+        age = time.time() - job.created_at
+        if not policy.allows_retry(job.attempts, age):
+            return False
+        delay = policy.backoff_delay(job.attempts, token=job.id)
+        with self._cond:
+            self.store.requeue(job, reason=reason)
+            if job.key is not None:
+                self._inflight.setdefault(job.key, job.id)
+            self._not_before[job.id] = time.monotonic() + delay
+            self._queue.append(job.id)
+            self.stats.retried += 1
+            _METRIC_JOB_RETRIES.labels(kind=job.kind, reason=reason).inc()
+            _METRIC_QUEUE_DEPTH.set(len(self._queue))
+            self._cond.notify()
+        return True
+
     # -- the worker side -----------------------------------------------------
+
+    def _pop_ready(self) -> str | None:
+        """Remove and return the first claimable job id (holds the lock)."""
+        now = time.monotonic()
+        for index, job_id in enumerate(self._queue):
+            if self._not_before.get(job_id, 0.0) <= now:
+                del self._queue[index]
+                self._not_before.pop(job_id, None)
+                return job_id
+        return None
 
     def claim(self, timeout: float | None = None) -> list[Job]:
         """Pop the next unit of work, marking every claimed job running.
 
         Returns one job -- or, when the head of the queue is an analytic
-        sweep, every queued analytic sweep as one batch.  Returns ``[]`` on
-        timeout or shutdown.
+        sweep, every *claimable* queued analytic sweep as one batch (jobs
+        still inside their retry-backoff window stay queued).  Returns
+        ``[]`` on timeout or shutdown.
         """
         with self._cond:
-            if not self._queue and not self._closed:
-                self._cond.wait(timeout)
-            if not self._queue:
-                return []
-            batch = [self.store.get(self._queue.popleft())]
+            end = None if timeout is None else time.monotonic() + timeout
+            while True:
+                head = self._pop_ready()
+                if head is not None:
+                    break
+                if self._closed:
+                    return []
+                now = time.monotonic()
+                if end is not None and now >= end:
+                    return []
+                wait = None if end is None else end - now
+                held = [
+                    self._not_before[job_id] - now
+                    for job_id in self._queue
+                    if self._not_before.get(job_id, 0.0) > now
+                ]
+                if held:
+                    soonest = max(0.001, min(held))
+                    wait = soonest if wait is None else min(wait, soonest)
+                self._cond.wait(wait)
+            batch = [self.store.get(head)]
             if is_analytic_sweep(batch[0]):
+                now = time.monotonic()
                 rest: deque[str] = deque()
                 while self._queue:
-                    job = self.store.get(self._queue.popleft())
-                    if is_analytic_sweep(job):
+                    job_id = self._queue.popleft()
+                    job = self.store.get(job_id)
+                    if (
+                        is_analytic_sweep(job)
+                        and self._not_before.get(job_id, 0.0) <= now
+                    ):
+                        self._not_before.pop(job_id, None)
                         batch.append(job)
                     else:
-                        rest.append(job.id)
+                        rest.append(job_id)
                 self._queue = rest
                 if len(batch) > 1:
                     self.stats.batches += 1
@@ -486,6 +618,14 @@ class JobScheduler:
             follower_ids = self._followers.pop(job.id, [])
             if job.key is not None and self._inflight.get(job.key) == job.id:
                 del self._inflight[job.key]
+            if job.started_at is not None:
+                # EWMA of run times feeds the 429 Retry-After estimate.
+                elapsed = max(0.0, time.time() - job.started_at)
+                self._avg_run_seconds = (
+                    elapsed
+                    if self._avg_run_seconds is None
+                    else 0.8 * self._avg_run_seconds + 0.2 * elapsed
+                )
             if error is None:
                 self.stats.completed += 1 + len(follower_ids)
                 _METRIC_JOBS_COMPLETED.labels(kind=job.kind).inc(

@@ -17,15 +17,18 @@ together (plus restart recovery) for the HTTP layer and the CLI.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ServiceError
+from repro.faults.injector import InjectedWorkerCrash, maybe_inject
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.service.retry import is_transient, transient_reason
 from repro.runtime.cache import ResultCache, TaskCache
 from repro.runtime.engine import SweepRunner
 from repro.runtime.suites import (
@@ -59,6 +62,16 @@ _METRIC_JOB_SECONDS = obs_metrics.REGISTRY.histogram(
     "Execution wall time of one job, by kind.",
     labelnames=("kind",),
 )
+_METRIC_WORKER_RESTARTS = obs_metrics.REGISTRY.counter(
+    "repro_worker_restarts_total",
+    "Dead worker threads detected and respawned by the supervisor.",
+)
+_METRIC_WORKER_STOP_HUNG = obs_metrics.REGISTRY.counter(
+    "repro_worker_stop_hung_total",
+    "Worker threads still alive after a pool stop timeout.",
+)
+
+_LOG = logging.getLogger("repro.service")
 
 
 @dataclass
@@ -247,50 +260,157 @@ class JobExecutor:
 
 
 class WorkerPool:
-    """N daemon threads draining the scheduler into the executor."""
+    """N supervised daemon threads draining the scheduler into the executor.
+
+    Every claimed batch is registered in an in-flight map before execution
+    begins.  A *supervisor* thread watches the workers: when one dies --
+    the chaos suite's ``task-crash`` fault, or any real bug that escapes
+    the per-job guard -- the supervisor requeues its in-flight jobs through
+    the scheduler's retry path (attempt count incremented, backoff applied)
+    and respawns a replacement worker, counted by
+    ``repro_worker_restarts_total``.  A crashed worker therefore costs one
+    retry delay, never a stranded job.
+
+    :meth:`stop` reports honesty instead of silence: a worker still alive
+    after its join timeout is logged, counted by
+    ``repro_worker_stop_hung_total``, recorded in :attr:`hung_workers`, and
+    makes ``stop`` return ``False`` so callers know the shutdown was
+    unclean (the stop flag stays set, so a hung worker exits as soon as it
+    unblocks).
+    """
 
     def __init__(
-        self, scheduler: JobScheduler, executor: JobExecutor, *, count: int = 2
+        self,
+        scheduler: JobScheduler,
+        executor: JobExecutor,
+        *,
+        count: int = 2,
+        supervise_interval: float = 0.2,
     ) -> None:
         if count < 1:
             raise ReproError(f"worker count must be >= 1, got {count!r}")
         self.scheduler = scheduler
         self.executor = executor
         self.count = count
-        self._threads: list[threading.Thread] = []
+        self.supervise_interval = supervise_interval
+        self._lock = threading.Lock()
+        self._workers: dict[str, threading.Thread] = {}
+        self._inflight: dict[str, list[str]] = {}  # thread name -> job ids
+        self._supervisor: threading.Thread | None = None
+        self._next_index = 0
         self._stop = threading.Event()
+        self.restarts = 0
+        self.hung_workers: list[str] = []
 
     @property
     def running(self) -> bool:
-        return any(thread.is_alive() for thread in self._threads)
+        with self._lock:
+            return any(thread.is_alive() for thread in self._workers.values())
+
+    def as_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "alive": sum(
+                    1 for t in self._workers.values() if t.is_alive()
+                ),
+                "restarts": self.restarts,
+                "hung_workers": list(self.hung_workers),
+            }
 
     def start(self) -> None:
-        if self._threads:
-            return
-        self.scheduler.reopen()  # a stop/start cycle must not leave claim() hot
-        for index in range(self.count):
-            thread = threading.Thread(
-                target=self._loop, name=f"repro-worker-{index}", daemon=True
+        with self._lock:
+            if self._workers:
+                return
+            self._stop.clear()
+            self.scheduler.reopen()  # a stop/start cycle must not leave claim() hot
+            self.hung_workers = []
+            for _ in range(self.count):
+                self._spawn_locked()
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="repro-supervisor", daemon=True
             )
-            thread.start()
-            self._threads.append(thread)
+            self._supervisor.start()
 
-    def stop(self, timeout: float = 5.0) -> None:
+    def _spawn_locked(self) -> None:
+        name = f"repro-worker-{self._next_index}"
+        self._next_index += 1
+        thread = threading.Thread(
+            target=self._run_worker, name=name, daemon=True
+        )
+        self._workers[name] = thread
+        thread.start()
+
+    def stop(self, timeout: float = 5.0) -> bool:
+        """Stop workers and supervisor; ``False`` when any worker hung.
+
+        ``thread.join(timeout)`` returning says nothing about success, so
+        each worker is re-checked with ``is_alive`` afterwards: survivors
+        are logged, counted and reported to the caller instead of being
+        silently abandoned.  The stop flag is left set on an unclean stop,
+        so a hung worker that eventually unblocks exits instead of claiming
+        new work.
+        """
         self._stop.set()
         self.scheduler.close()
-        for thread in self._threads:
-            thread.join(timeout)
-        self._threads = []
-        self._stop.clear()
+        supervisor = self._supervisor
+        if supervisor is not None:
+            supervisor.join(max(timeout, self.supervise_interval * 5))
+            self._supervisor = None
+        with self._lock:
+            workers = dict(self._workers)
+        deadline = time.monotonic() + timeout
+        hung = []
+        for name, thread in workers.items():
+            thread.join(max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                hung.append(name)
+        if hung:
+            _METRIC_WORKER_STOP_HUNG.inc(len(hung))
+            _LOG.warning(
+                "worker pool stop was unclean: %d worker(s) still alive "
+                "after %.1fs: %s", len(hung), timeout, ", ".join(hung),
+            )
+        with self._lock:
+            self.hung_workers = hung
+            self._workers = {}
+            self._inflight = {
+                name: jobs
+                for name, jobs in self._inflight.items()
+                if name in hung
+            }
+        return not hung
+
+    # -- the worker threads --------------------------------------------------
+
+    def _run_worker(self) -> None:
+        try:
+            self._loop()
+        except InjectedWorkerCrash:
+            # A chaos-injected death: return quietly (no threading
+            # excepthook noise).  The in-flight registration survives, so
+            # the supervisor requeues this worker's jobs and respawns it.
+            return
 
     def _loop(self) -> None:
+        name = threading.current_thread().name
         while not self._stop.is_set():
             batch = self.scheduler.claim(timeout=0.1)
             if not batch:
                 continue
+            with self._lock:
+                self._inflight[name] = [job.id for job in batch]
             try:
+                # The task-crash injection point sits between claim and
+                # execute -- the job is marked running and registered
+                # in-flight, exactly the window a real crash strands work.
+                # slow-task stalls here too, simulating a wedged job.
+                maybe_inject("task-crash", site=f"{name}:{batch[0].kind}")
+                maybe_inject("slow-task", site=f"{name}:{batch[0].kind}")
                 payloads = self.executor.execute_batch(batch)
             except Exception as exc:  # noqa: BLE001 - jobs must never kill a worker
+                with self._lock:
+                    self._inflight.pop(name, None)
                 if len(batch) > 1:
                     # One bad job must not poison the unrelated analytic
                     # sweeps that happened to ride the same batch: retry each
@@ -298,8 +418,10 @@ class WorkerPool:
                     for job in batch:
                         self._run_alone(job)
                 else:
-                    self.scheduler.fail(batch[0], f"{type(exc).__name__}: {exc}")
+                    self._resolve_failure(batch[0], exc)
                 continue
+            with self._lock:
+                self._inflight.pop(name, None)
             for job, payload in zip(batch, payloads):
                 self.executor.record_payload(job, payload)
                 self.scheduler.finish(job, payload)
@@ -308,10 +430,66 @@ class WorkerPool:
         try:
             (payload,) = self.executor.execute_batch([job])
         except Exception as exc:  # noqa: BLE001 - jobs must never kill a worker
-            self.scheduler.fail(job, f"{type(exc).__name__}: {exc}")
+            self._resolve_failure(job, exc)
         else:
             self.executor.record_payload(job, payload)
             self.scheduler.finish(job, payload)
+
+    def _resolve_failure(self, job: Job, exc: Exception) -> None:
+        """Retry a transient failure within policy; fail everything else."""
+        message = f"{type(exc).__name__}: {exc}"
+        if is_transient(exc) and self.scheduler.retry(
+            job, reason=transient_reason(exc)
+        ):
+            return
+        self.scheduler.fail(job, message)
+
+    # -- supervision ---------------------------------------------------------
+
+    def _supervise(self) -> None:
+        while not self._stop.wait(self.supervise_interval):
+            self.reap_dead_workers()
+
+    def reap_dead_workers(self) -> int:
+        """Requeue dead workers' jobs and respawn replacements.
+
+        Normally driven by the supervisor thread; public so tests (and a
+        paranoid caller) can force a supervision pass synchronously.
+        Returns the number of dead workers handled.
+        """
+        with self._lock:
+            dead = [
+                name
+                for name, thread in self._workers.items()
+                if not thread.is_alive()
+            ]
+            orphans: list[str] = []
+            for name in dead:
+                orphans.extend(self._inflight.pop(name, []))
+                del self._workers[name]
+            respawned = 0
+            if not self._stop.is_set():
+                for _ in dead:
+                    self._spawn_locked()
+                    respawned += 1
+                self.restarts += respawned
+        if respawned:
+            _METRIC_WORKER_RESTARTS.inc(respawned)
+            _LOG.warning(
+                "supervisor: %d dead worker(s) respawned, %d job(s) requeued",
+                respawned, len(orphans),
+            )
+        for job_id in orphans:
+            job = self.scheduler.store.get(job_id)
+            if job.terminal:
+                continue
+            if not self.scheduler.retry(job, reason="worker-crash"):
+                self.scheduler.fail(
+                    job,
+                    "worker crashed mid-job and the retry policy is "
+                    f"exhausted after {job.attempts} attempt(s)",
+                )
+        return len(dead)
 
 
 class JobService:
@@ -331,14 +509,18 @@ class JobService:
         parallel: bool = True,
         max_workers: int | None = None,
         workers: int = 2,
+        max_queue_depth: int | None = None,
     ) -> None:
         self.store = JobStore(state_path)
-        self.scheduler = JobScheduler(self.store)
+        self.scheduler = JobScheduler(
+            self.store, max_queue_depth=max_queue_depth, workers_hint=workers
+        )
         self.executor = JobExecutor(
             cache_dir=cache_dir, parallel=parallel, max_workers=max_workers
         )
         self.pool = WorkerPool(self.scheduler, self.executor, count=workers)
         self.started_at = time.time()
+        self._draining = threading.Event()
         for job in self.store.interrupted():
             try:
                 self.scheduler.requeue(job)
@@ -350,11 +532,44 @@ class JobService:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "JobService":
+        self._draining.clear()
         self.pool.start()
         return self
 
-    def stop(self) -> None:
-        self.pool.stop()
+    def stop(self, timeout: float = 5.0) -> bool:
+        """Stop the worker pool; ``False`` when the stop was unclean."""
+        return self.pool.stop(timeout)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown: refuse new jobs, finish in-flight, stop.
+
+        Submissions after this point get 503 + ``Retry-After``.  Queued and
+        running work is given ``timeout`` seconds to reach a terminal state
+        (every transition is journaled as usual, so anything unfinished is
+        requeued by the next boot's restart recovery).  Returns ``True``
+        when the queue fully drained and the pool stopped cleanly.
+        """
+        self._draining.set()
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            counts = self.store.state_counts()
+            if counts.get("queued", 0) == 0 and counts.get("running", 0) == 0:
+                break
+            time.sleep(0.05)
+        counts = self.store.state_counts()
+        drained = counts.get("queued", 0) == 0 and counts.get("running", 0) == 0
+        clean = self.pool.stop(max(1.0, deadline - time.monotonic()))
+        if not drained:
+            _LOG.warning(
+                "drain timed out with %d queued and %d running job(s); "
+                "they stay journaled for restart recovery",
+                counts.get("queued", 0), counts.get("running", 0),
+            )
+        return drained and clean
 
     # -- the API surface -----------------------------------------------------
 
@@ -365,6 +580,12 @@ class JobService:
         *,
         trace_id: str | None = None,
     ) -> Job:
+        if self._draining.is_set():
+            raise ServiceError(
+                "service is draining and not accepting new jobs",
+                status=503,
+                retry_after=max(5.0, self.scheduler.retry_after_estimate()),
+            )
         return self.scheduler.submit(kind, params, trace_id=trace_id)
 
     def job(self, job_id: str) -> Job:
@@ -379,10 +600,13 @@ class JobService:
             "uptime_seconds": time.time() - self.started_at,
             "workers": self.pool.count,
             "workers_running": self.pool.running,
+            "draining": self.draining,
             "queue_depth": self.scheduler.queue_depth,
+            "max_queue_depth": self.scheduler.max_queue_depth,
             "jobs": self.store.state_counts(),
             "scheduler": self.scheduler.stats.as_dict(),
             "executor": self.executor.stats.as_dict(),
+            "pool": self.pool.as_dict(),
         }
 
     def cache_stats(self) -> dict[str, Any]:

@@ -14,6 +14,7 @@ from repro.obs.doctor import (
     Finding,
     check_cache_integrity,
     check_environment,
+    check_jobs,
     check_journal,
     run_doctor,
 )
@@ -185,6 +186,66 @@ class TestJournal:
     def test_missing_journal_is_a_warning(self, tmp_path):
         findings = check_journal(tmp_path / "never-written.jsonl")
         assert [f.status for f in findings] == [WARN]
+
+    def test_mid_file_torn_artifact_is_a_warning(self, tmp_path):
+        # A repaired torn write: a truncated snapshot prefix that ended up
+        # newline-terminated mid-file.  Recognisably snapshot-shaped, so a
+        # WARN -- unlike arbitrary mid-file garbage, which stays a FAIL.
+        path = self._journal_with_jobs(tmp_path)
+        lines = path.read_text().splitlines()
+        lines.insert(1, lines[0][: len(lines[0]) // 2])
+        path.write_text("\n".join(lines) + "\n")
+        finding = _by_check(check_journal(path))["journal"]
+        assert finding.status == WARN
+        assert "torn" in finding.detail
+        assert finding.data["torn_lines"] == [2]
+
+
+class TestJobProgress:
+    def test_no_journal_configured_warns(self):
+        (finding,) = check_jobs(None)
+        assert finding.status == WARN
+
+    def test_missing_journal_warns(self, tmp_path):
+        (finding,) = check_jobs(tmp_path / "never-written.jsonl")
+        assert finding.status == WARN
+
+    def test_all_terminal_passes(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        job = store.create("suite", {"suite": "quick"})
+        store.mark_running(job)
+        store.mark_done(job, {"ok": True})
+        (finding,) = check_jobs(path)
+        assert finding.status == PASS
+        assert finding.data["open_jobs"] == 0
+
+    def test_fresh_open_job_passes(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        JobStore(path).create("suite", {"suite": "quick"})
+        (finding,) = check_jobs(path, max_job_age=300.0)
+        assert finding.status == PASS
+        assert finding.data["open_jobs"] == 1
+
+    def test_stale_open_job_warns(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        JobStore(path).create("suite", {"suite": "quick"})
+        (finding,) = check_jobs(path, max_job_age=0.0)
+        assert finding.status == WARN
+        assert finding.data["stuck"][0]["state"] == "queued"
+
+    def test_attempts_past_budget_fails(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        job = store.create("suite", {"suite": "quick"})
+        # Burn past the suite policy's 2-attempt budget without ever
+        # reaching a terminal state: the retry machinery lost this job.
+        for _ in range(3):
+            store.mark_running(job)
+            store.requeue(job, reason="worker-crash")
+        (finding,) = check_jobs(path)
+        assert finding.status == FAIL
+        assert finding.data["over_budget"][0]["attempts"] == 3
 
 
 class TestEnvironment:

@@ -44,6 +44,7 @@ from repro.arrays.wavefront import (
     validate_engine,
 )
 from repro.exceptions import ConfigurationError
+from repro.obs import spans as obs_spans
 
 __all__ = [
     "TriangularQRResult",
@@ -103,25 +104,28 @@ def _givens_rotation_batch(
     zero) take the scalar early return ``(1, 0)`` via masking, with the
     divisors swapped to 1 so no warning-raising 0/0 is ever evaluated.
     """
-    a, b = np.broadcast_arrays(a, b)
-    abs_a = np.abs(a)
-    abs_b = np.abs(b)
-    scale = np.where(abs_b > abs_a, abs_b, abs_a)
-    idle = scale == 0.0
-    safe_scale = np.where(idle, 1.0, scale)
-    an = a / safe_scale
-    bn = b / safe_scale
-    flat_an = an.ravel()
-    flat_bn = bn.ravel()
-    h = np.fromiter(
-        (math.hypot(x, y) for x, y in zip(flat_an.tolist(), flat_bn.tolist())),
-        dtype=float,
-        count=flat_an.size,
-    ).reshape(an.shape)
-    safe_h = np.where(idle, 1.0, h)
-    c = np.where(idle, 1.0, an / safe_h)
-    s = np.where(idle, 0.0, bn / safe_h)
-    return c, s
+    # Aggregated under one phase name: the per-element ``math.hypot`` loop is
+    # the profiler's prime suspect for the remaining qr_wavefront overhead.
+    with obs_spans.phase("givens_rotation_batch"):
+        a, b = np.broadcast_arrays(a, b)
+        abs_a = np.abs(a)
+        abs_b = np.abs(b)
+        scale = np.where(abs_b > abs_a, abs_b, abs_a)
+        idle = scale == 0.0
+        safe_scale = np.where(idle, 1.0, scale)
+        an = a / safe_scale
+        bn = b / safe_scale
+        flat_an = an.ravel()
+        flat_bn = bn.ravel()
+        h = np.fromiter(
+            (math.hypot(x, y) for x, y in zip(flat_an.tolist(), flat_bn.tolist())),
+            dtype=float,
+            count=flat_an.size,
+        ).reshape(an.shape)
+        safe_h = np.where(idle, 1.0, h)
+        c = np.where(idle, 1.0, an / safe_h)
+        s = np.where(idle, 0.0, bn / safe_h)
+        return c, s
 
 
 @dataclass(frozen=True)

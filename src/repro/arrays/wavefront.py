@@ -32,6 +32,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.obs import spans as obs_spans
 
 __all__ = [
     "ENGINES",
@@ -161,41 +162,48 @@ def matmul_wavefront(
     outputs = np.zeros((batches, n, n))
     active_cell_cycles = 0
 
-    for cycle in range(total_cycles):
-        index = cycle - lanes
-        valid = (index >= 0) & (index < stream_len)
-        safe = np.where(valid, index, 0)
-        a_col = np.where(valid, a_stream[lanes, safe], np.nan)
-        b_row = np.where(valid, b_stream[safe, lanes], np.nan)
+    # One aggregate phase sample over the whole cycle loop: an order-256
+    # mesh runs ~10^3 cycles and must not emit a span per cycle.
+    with obs_spans.phase("matmul_wavefront.cycles"):
+        for cycle in range(total_cycles):
+            index = cycle - lanes
+            valid = (index >= 0) & (index < stream_len)
+            safe = np.where(valid, index, 0)
+            a_col = np.where(valid, a_stream[lanes, safe], np.nan)
+            b_row = np.where(valid, b_stream[safe, lanes], np.nan)
 
-        new_a = np.empty((n, n))
-        new_a[:, 0] = a_col
-        new_a[:, 1:] = a_regs[:, :-1]
-        new_b = np.empty((n, n))
-        new_b[0, :] = b_row
-        new_b[1:, :] = b_regs[:-1, :]
+            new_a = np.empty((n, n))
+            new_a[:, 0] = a_col
+            new_a[:, 1:] = a_regs[:, :-1]
+            new_b = np.empty((n, n))
+            new_b[0, :] = b_row
+            new_b[1:, :] = b_regs[:-1, :]
 
-        active = ~(np.isnan(new_a) | np.isnan(new_b))
-        # acc + a*b is evaluated exactly where the reference performs its
-        # scalar multiply-accumulate; inactive cells keep their bits.
-        accumulators = np.where(active, accumulators + new_a * new_b, accumulators)
-        accumulated_terms += active
-        active_cell_cycles += int(np.count_nonzero(active))
+            active = ~(np.isnan(new_a) | np.isnan(new_b))
+            # acc + a*b is evaluated exactly where the reference performs its
+            # scalar multiply-accumulate; inactive cells keep their bits.
+            accumulators = np.where(
+                active, accumulators + new_a * new_b, accumulators
+            )
+            accumulated_terms += active
+            active_cell_cycles += int(np.count_nonzero(active))
 
-        done = active & (accumulated_terms == n)
-        if done.any():
-            row_idx, col_idx = np.nonzero(done)
-            batch_idx = (cycle - row_idx - col_idx) // n
-            if (batch_idx < 0).any() or (batch_idx >= batches).any():
-                raise SimulationError(
-                    "systolic dataflow produced a result outside "
-                    "any problem instance"
-                )
-            outputs[batch_idx, row_idx, col_idx] = accumulators[row_idx, col_idx]
-            accumulators[row_idx, col_idx] = 0.0
-            accumulated_terms[row_idx, col_idx] = 0
+            done = active & (accumulated_terms == n)
+            if done.any():
+                row_idx, col_idx = np.nonzero(done)
+                batch_idx = (cycle - row_idx - col_idx) // n
+                if (batch_idx < 0).any() or (batch_idx >= batches).any():
+                    raise SimulationError(
+                        "systolic dataflow produced a result outside "
+                        "any problem instance"
+                    )
+                outputs[batch_idx, row_idx, col_idx] = accumulators[
+                    row_idx, col_idx
+                ]
+                accumulators[row_idx, col_idx] = 0.0
+                accumulated_terms[row_idx, col_idx] = 0
 
-        a_regs, b_regs = new_a, new_b
+            a_regs, b_regs = new_a, new_b
 
     return outputs, total_cycles, active_cell_cycles
 
@@ -226,28 +234,29 @@ def matvec_wavefront(
     outputs = np.zeros((batches, n))
     active_cell_cycles = 0
 
-    for cycle in range(total_cycles):
-        global_row = cycle - cells
-        active = (global_row >= 0) & (global_row < stream_len)
-        safe = np.where(active, global_row, 0)
+    with obs_spans.phase("matvec_wavefront.cycles"):
+        for cycle in range(total_cycles):
+            global_row = cycle - cells
+            active = (global_row >= 0) & (global_row < stream_len)
+            safe = np.where(active, global_row, 0)
 
-        incoming = np.empty(n)
-        incoming[0] = 0.0
-        incoming[1:] = partial_regs[:-1]
-        if bool(np.any(active & np.isnan(incoming))):
-            raise SimulationError(
-                "partial sum missing where the dataflow expects one"
-            )
+            incoming = np.empty(n)
+            incoming[0] = 0.0
+            incoming[1:] = partial_regs[:-1]
+            if bool(np.any(active & np.isnan(incoming))):
+                raise SimulationError(
+                    "partial sum missing where the dataflow expects one"
+                )
 
-        a_values = a_stream[safe, cells]
-        x_values = x_stack[safe // n, cells]
-        updated = incoming + a_values * x_values
-        active_cell_cycles += int(np.count_nonzero(active))
+            a_values = a_stream[safe, cells]
+            x_values = x_stack[safe // n, cells]
+            updated = incoming + a_values * x_values
+            active_cell_cycles += int(np.count_nonzero(active))
 
-        if active[n - 1]:
-            batch, i = divmod(cycle - (n - 1), n)
-            outputs[batch, i] = updated[n - 1]
-        partial_regs = np.where(active, updated, np.nan)
+            if active[n - 1]:
+                batch, i = divmod(cycle - (n - 1), n)
+                outputs[batch, i] = updated[n - 1]
+            partial_regs = np.where(active, updated, np.nan)
 
     return outputs, total_cycles, active_cell_cycles
 
@@ -307,26 +316,35 @@ def qr_wavefront(a: np.ndarray, order: int) -> tuple[np.ndarray, int, int]:
     diagonal = r.reshape(-1)[:: n + 1]  # writable view of r's diagonal
     tail_mask = np.triu(np.ones((n, n), dtype=bool), k=1)
 
+    # Per-step phases aggregate (total seconds + call count per name), so an
+    # order-128 QR's ~380 steps cost ~380 clock-read pairs and flush as two
+    # phase spans, not 380.  The phases partition each step disjointly --
+    # gather | rotation generation (timed inside ``_givens_rotation_batch``)
+    # | band apply -- so exclusive-time rollups never double-count.
     for step in range(m + n - 1):
         lo = max(0, step - m + 1)  # first active array row i on the diagonal
         hi = min(n - 1, step) + 1  # one past the last active array row
-        # Input row k = step - i meets boundary cell (i, i) at this step;
-        # vec[k, i] sits at flat index k*n + i = step*n - i*(n - 1).
-        boundary = diagonal[lo:hi]
-        incoming = work_flat[step * n - (n - 1) * np.arange(lo, hi)]
+        with obs_spans.phase("qr_wavefront.gather"):
+            # Input row k = step - i meets boundary cell (i, i) at this step;
+            # vec[k, i] sits at flat index k*n + i = step*n - i*(n - 1).
+            boundary = diagonal[lo:hi]
+            incoming = work_flat[step * n - (n - 1) * np.arange(lo, hi)]
         c, s = givens_rotation(boundary, incoming)
-        new_boundary = c * boundary + s * incoming
-        if n > 1:
-            # Band rows ordered by i ascending; the matching in-flight rows
-            # k = step - i come out of a reversed slice of the row block.
-            r_band = r[lo:hi]
-            v_band = work[step - hi + 1 : step - lo + 1][::-1]
-            mask = tail_mask[lo:hi]
-            new_r = c[:, None] * r_band + s[:, None] * v_band
-            new_v = -s[:, None] * r_band + c[:, None] * v_band
-            r[lo:hi] = np.where(mask, new_r, r_band)
-            work[step - hi + 1 : step - lo + 1] = np.where(mask, new_v, v_band)[::-1]
-        diagonal[lo:hi] = new_boundary
+        with obs_spans.phase("qr_wavefront.apply"):
+            new_boundary = c * boundary + s * incoming
+            if n > 1:
+                # Band rows ordered by i ascending; the matching in-flight
+                # rows k = step - i come out of a reversed slice of the block.
+                r_band = r[lo:hi]
+                v_band = work[step - hi + 1 : step - lo + 1][::-1]
+                mask = tail_mask[lo:hi]
+                new_r = c[:, None] * r_band + s[:, None] * v_band
+                new_v = -s[:, None] * r_band + c[:, None] * v_band
+                r[lo:hi] = np.where(mask, new_r, r_band)
+                work[step - hi + 1 : step - lo + 1] = np.where(
+                    mask, new_v, v_band
+                )[::-1]
+            diagonal[lo:hi] = new_boundary
 
     # One boundary + (n - i - 1) internal interactions per (k, i) pair --
     # every pair occurs exactly once, so the totals close over the schedule.

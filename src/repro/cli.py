@@ -118,6 +118,7 @@ _EXPERIMENT_DESCRIPTIONS = {
     "suite": "run a named scenario suite through the parallel runtime",
     "serve": "run the long-lived job service (HTTP JSON API over the runtime)",
     "submit": "submit a job to a running service and wait for its result",
+    "trace": "show or export a job's span tree from a running service",
     "cache": "inspect or clear the on-disk result caches and the result store",
     "report": "query recorded results: filter, transform and render run history",
     "ingest": "load result JSON artifacts (suite/sweep/bench) into the result store",
@@ -634,6 +635,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         install_from_env()
 
+    if args.log_json:
+        from repro.obs.spans import configure_json_logging
+
+        configure_json_logging()
+
     cache_dir = None if args.no_cache else (args.cache_dir or _default_cache_dir())
     parallel = not args.serial and (args.jobs is None or args.jobs > 1)
     service = JobService(
@@ -643,6 +649,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.jobs,
         workers=args.workers,
         max_queue_depth=args.max_queue,
+        spans=not args.no_spans,
     )
     server = serve(args.host, args.port, service)
     service.start()
@@ -725,6 +732,39 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"wrote JSON to {args.json}")
     else:
         print(json.dumps(document["result"], indent=2))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.spans import chrome_trace, render_tree, spans_payload
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    document = client.trace(args.trace_id)
+    if args.action == "show":
+        print(
+            f"trace {document['trace_id']}: {document['span_count']} spans, "
+            f"{document['roots']} roots, depth {document['depth']}"
+        )
+        print()
+        print(render_tree(document["tree"]))
+        return 0
+    # export: Chrome/Perfetto trace-event JSON (load in chrome://tracing or
+    # ui.perfetto.dev), or the raw repro-spans/v1 document for `repro ingest`.
+    if args.format == "chrome":
+        payload = chrome_trace(document["spans"])
+    else:
+        payload = spans_payload(document["trace_id"], document["spans"])
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.out is None:
+        print(text, end="")
+    else:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text)
+        print(
+            f"wrote {args.format} trace ({document['span_count']} spans) "
+            f"to {args.out}"
+        )
     return 0
 
 
@@ -957,6 +997,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults-seed", type=int, default=0,
         help="seed for the fault injector's deterministic RNGs (default: 0)",
     )
+    serve.add_argument(
+        "--log-json", action="store_true",
+        help="structured JSON-lines logging on stderr, each line stamped "
+        "with the trace/span IDs bound on the emitting thread",
+    )
+    serve.add_argument(
+        "--no-spans", action="store_true",
+        help="disable span collection (GET /trace/{id} then returns 404)",
+    )
     _add_task_runtime_options(serve)
 
     submit = subparsers.add_parser("submit", help=_EXPERIMENT_DESCRIPTIONS["submit"])
@@ -988,6 +1037,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None,
         help="trace ID to stamp on the job (4..64 chars of [A-Za-z0-9._-]; "
         "minted by the service when omitted)",
+    )
+
+    trace = subparsers.add_parser("trace", help=_EXPERIMENT_DESCRIPTIONS["trace"])
+    trace.add_argument("action", choices=("show", "export"))
+    trace.add_argument(
+        "trace_id",
+        help="trace ID (the one submitted via --trace, or the service-minted "
+        "one echoed by `repro submit`)",
+    )
+    trace.add_argument("--host", default="127.0.0.1", help="service address")
+    trace.add_argument("--port", type=int, default=8035, help="service port")
+    trace.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="HTTP timeout in seconds (default: 30)",
+    )
+    trace.add_argument(
+        "--format", choices=("chrome", "spans"), default="chrome",
+        help="export format: Chrome/Perfetto trace-event JSON (default) or "
+        "the raw repro-spans/v1 document",
+    )
+    trace.add_argument(
+        "--out", type=Path, default=None,
+        help="write the export to this file instead of stdout",
     )
 
     cache = subparsers.add_parser("cache", help=_EXPERIMENT_DESCRIPTIONS["cache"])
@@ -1152,6 +1224,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "suite": _cmd_suite,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "trace": _cmd_trace,
         "cache": _cmd_cache,
         "report": _cmd_report,
         "ingest": _cmd_ingest,

@@ -13,15 +13,20 @@ own service stack:
   via the ``X-Repro-Trace`` header / ``repro submit --trace``), carried on
   the job, its journal lines and its lowered runtime tasks, and surfaced in
   ``GET /jobs/{id}`` next to the per-job state-transition timeline.
+* :mod:`repro.obs.spans` -- hierarchical spans over those trace IDs plus
+  the aggregating engine-phase profiler: a bounded ring buffer of finished
+  spans behind no-op-when-disabled hooks, span capture across the process
+  pool, ``GET /trace/{id}`` tree assembly, Chrome/Perfetto export and
+  JSON-lines logging correlated by trace/span IDs.
 * :mod:`repro.obs.doctor` -- the ``repro doctor`` diagnostics: cache
   integrity, journal replayability, worker liveness and environment sanity
   checks, each a structured pass/warn/fail finding.
 
-This ``__init__`` deliberately exports only the metrics and trace layers:
-they sit *below* ``repro.runtime`` (which imports them to instrument
-itself), while :mod:`repro.obs.doctor` sits *above* the runtime and the
-service and must be imported explicitly (``from repro.obs import doctor``)
-to keep the import graph acyclic.
+This ``__init__`` deliberately exports only the metrics, trace and span
+layers: they sit *below* ``repro.runtime`` (which imports them to
+instrument itself), while :mod:`repro.obs.doctor` sits *above* the runtime
+and the service and must be imported explicitly
+(``from repro.obs import doctor``) to keep the import graph acyclic.
 
 See ``docs/operations.md`` for the operator's handbook: every exported
 metric, the trace lifecycle, and triage recipes built on these pieces.
@@ -45,6 +50,17 @@ from repro.obs.trace import (
     normalize_trace_id,
     tag_tasks,
 )
+from repro.obs.spans import (
+    SPANS_SCHEMA,
+    SpanCollector,
+    chrome_trace,
+    current_span_id,
+    phase,
+    span,
+    span_tree,
+    spans_payload,
+    trace_document,
+)
 
 __all__ = [
     "Counter",
@@ -55,10 +71,19 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "SIZE_BUCKETS",
+    "SPANS_SCHEMA",
+    "SpanCollector",
     "TRACE_HEADER",
     "bind",
+    "chrome_trace",
+    "current_span_id",
     "current_trace_id",
     "new_trace_id",
     "normalize_trace_id",
+    "phase",
+    "span",
+    "span_tree",
+    "spans_payload",
     "tag_tasks",
+    "trace_document",
 ]

@@ -23,6 +23,9 @@ Four check groups, each producing pass/warn/fail :class:`Finding` records:
 * **worker liveness** -- against a running service (``host``/``port``),
   check ``GET /healthz`` answers, reports ``ok`` and has its worker threads
   alive.
+* **span buffer** -- when span collection is enabled in this process, the
+  ring buffer's dropped-span counter: any evictions are a warning, because
+  ``GET /trace/{id}`` may then return partial trees for older jobs.
 * **environment sanity** -- numpy importable (with version), and the CPU
   affinity mask vs. ``os.cpu_count()`` and the requested ``--jobs``:
   oversubscribing an affinity-restricted container is the classic silent
@@ -51,6 +54,7 @@ __all__ = [
     "check_journal",
     "check_jobs",
     "check_service",
+    "check_spans",
     "check_environment",
     "PASS",
     "WARN",
@@ -618,6 +622,54 @@ def check_service(host: str, port: int, *, timeout: float = 5.0) -> list[Finding
 
 
 # ---------------------------------------------------------------------------
+# Span buffer sanity.
+# ---------------------------------------------------------------------------
+
+
+def check_spans() -> list[Finding]:
+    """Findings about this process's span ring buffer.
+
+    Only meaningful inside a process that collects spans (the service, or a
+    CLI run with tracing on); a plain ``repro doctor`` invocation reports
+    the disabled state as a pass rather than pretending to have inspected a
+    buffer that does not exist.
+    """
+    from repro.obs import spans as obs_spans
+
+    if not obs_spans.enabled():
+        return [
+            Finding(
+                "spans",
+                PASS,
+                "span collection not enabled in this process",
+                {"enabled": False},
+            )
+        ]
+    stats = obs_spans.stats()
+    if stats.get("dropped", 0) > 0:
+        return [
+            Finding(
+                "spans",
+                WARN,
+                f"{stats['dropped']} spans evicted from the ring buffer "
+                f"(capacity {stats.get('capacity')}); GET /trace/{{id}} may "
+                "return partial trees for older jobs -- raise the capacity "
+                "or export traces sooner",
+                stats,
+            )
+        ]
+    return [
+        Finding(
+            "spans",
+            PASS,
+            f"{stats.get('spans', 0)} of {stats.get('capacity', 0)} buffer "
+            "slots in use, no spans dropped",
+            stats,
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
 # Environment sanity.
 # ---------------------------------------------------------------------------
 
@@ -713,5 +765,6 @@ def run_doctor(
     findings.extend(check_jobs(state_path, max_job_age=max_job_age))
     if port is not None:
         findings.extend(check_service(host or "127.0.0.1", port))
+    findings.extend(check_spans())
     findings.extend(check_environment(jobs))
     return DoctorReport(findings)

@@ -44,6 +44,8 @@ __all__ = [
     "REGISTRY",
     "LATENCY_BUCKETS",
     "SIZE_BUCKETS",
+    "build_info",
+    "record_build_info",
 ]
 
 METRICS_SCHEMA = "repro-metrics/v1"
@@ -411,3 +413,50 @@ def _prometheus_histogram(
 
 #: The process-local default registry every instrumented layer reports to.
 REGISTRY = MetricsRegistry()
+
+
+def build_info() -> dict[str, str]:
+    """Build identity fields: git revision, python and numpy versions.
+
+    The git revision comes from :func:`repro.store.core.git_revision`
+    (imported lazily -- the store imports this module at import time, so a
+    top-level import would be a cycle).  Everything degrades to
+    ``"unknown"``; provenance is advisory, never load-bearing.
+    """
+    import platform
+
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unknown"
+    try:
+        from repro.store.core import git_revision
+
+        revision = git_revision() or "unknown"
+    except Exception:  # pragma: no cover - provenance must never raise
+        revision = "unknown"
+    return {
+        "git_rev": revision,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+    }
+
+
+def record_build_info(registry: MetricsRegistry | None = None) -> dict[str, str]:
+    """Register and set the ``repro_build_info`` gauge; returns its fields.
+
+    The standard build-info idiom: a gauge pinned at 1 whose labels carry
+    the identity, so a scrape (or the JSON renderer) names the exact
+    commit and interpreter behind every other series.  Span roots stamp
+    the same fields (see :func:`repro.obs.spans.enable`).
+    """
+    info = build_info()
+    target = registry if registry is not None else REGISTRY
+    target.gauge(
+        "repro_build_info",
+        "Build identity (value is always 1; the labels carry the info).",
+        labelnames=("git_rev", "python", "numpy"),
+    ).labels(**info).set(1.0)
+    return info

@@ -36,6 +36,7 @@ from enum import Enum
 from typing import Hashable, Sequence
 
 from repro.exceptions import ConfigurationError, PebbleGameError
+from repro.obs import spans as obs_spans
 from repro.pebble.dag import ComputationDAG
 
 __all__ = ["MoveKind", "Move", "GameResult", "RedBluePebbleGame", "play_topological"]
@@ -347,40 +348,47 @@ def _play_fast(
     dependency-violating order surfaces as a load of a non-blue node), and
     unknown output nodes surface in the final store loop.
     """
-    nodes = list(dag.predecessors)
-    index = {node: i for i, node in enumerate(nodes)}
-    n = len(nodes)
+    # The two halves of the fast engine are timed as disjoint phases: the
+    # whole-array numpy setup below vs. the scalar LRU replay loop.  The
+    # split answers the classic E9 triage question -- is a slow scenario
+    # bound by DAG preprocessing or by the sequential move replay?
+    with obs_spans.phase("pebble.frontier-setup"):
+        nodes = list(dag.predecessors)
+        index = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+
+        # Whole-array setup: CSR predecessor structure, successor counts via
+        # bincount, blue frontier and output flags as boolean scatters.
+        pred_counts = np.fromiter(
+            (len(preds) for preds in dag.predecessors.values()), dtype=np.int64, count=n
+        )
+        pred_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(pred_counts, out=pred_ptr[1:])
+        pred_flat = np.fromiter(
+            (index[p] for preds in dag.predecessors.values() for p in preds),
+            dtype=np.int64,
+            count=int(pred_ptr[-1]),
+        )
+        blue_frontier = pred_counts == 0  # inputs start blue
+        output_flags = np.zeros(n, dtype=bool)
+        if dag.outputs:
+            output_flags[[index[out] for out in dag.outputs]] = True
+
+        # Convert to list/bytearray form for the scalar replay loop (numpy
+        # bool arrays are one byte per element, so ``tobytes`` is the 0/1
+        # string the bytearray wants) and translate the schedule to dense
+        # indices once.
+        flat = pred_flat.tolist()
+        ptr = pred_ptr.tolist()
+        preds_of = [tuple(flat[ptr[j] : ptr[j + 1]]) for j in range(n)]
+        remaining_uses = np.bincount(pred_flat, minlength=n).tolist()
+        is_output = bytearray(output_flags.tobytes())
+        red = bytearray(n)
+        blue = bytearray(blue_frontier.tobytes())
+        indexed_schedule = [index[node] for node in schedule]
+
     heappush = heapq.heappush
     heappop = heapq.heappop
-
-    # Whole-array setup: CSR predecessor structure, successor counts via
-    # bincount, blue frontier and output flags as boolean scatters.
-    pred_counts = np.fromiter(
-        (len(preds) for preds in dag.predecessors.values()), dtype=np.int64, count=n
-    )
-    pred_ptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(pred_counts, out=pred_ptr[1:])
-    pred_flat = np.fromiter(
-        (index[p] for preds in dag.predecessors.values() for p in preds),
-        dtype=np.int64,
-        count=int(pred_ptr[-1]),
-    )
-    blue_frontier = pred_counts == 0  # inputs start blue
-    output_flags = np.zeros(n, dtype=bool)
-    if dag.outputs:
-        output_flags[[index[out] for out in dag.outputs]] = True
-
-    # Convert to list/bytearray form for the scalar replay loop (numpy bool
-    # arrays are one byte per element, so ``tobytes`` is the 0/1 string the
-    # bytearray wants) and translate the schedule to dense indices once.
-    flat = pred_flat.tolist()
-    ptr = pred_ptr.tolist()
-    preds_of = [tuple(flat[ptr[j] : ptr[j + 1]]) for j in range(n)]
-    remaining_uses = np.bincount(pred_flat, minlength=n).tolist()
-    is_output = bytearray(output_flags.tobytes())
-    red = bytearray(n)
-    blue = bytearray(blue_frontier.tobytes())
-    indexed_schedule = [index[node] for node in schedule]
 
     red_count = 0
     peak_red = 0
@@ -412,56 +420,62 @@ def _play_fast(
             "set of a single node (its predecessors plus its result)"
         )
 
-    for i in indexed_schedule:
-        preds = preds_of[i]
-        if not preds:
-            continue  # inputs stay blue until first needed
-        # Ensure all predecessors are red.
-        for p in preds:
-            if not red[p]:
+    # One aggregate sample for the whole replay: the larger E9 scenarios play
+    # hundreds of thousands of moves, so per-move spans are out of the
+    # question.
+    with obs_spans.phase("pebble.lru-replay"):
+        for i in indexed_schedule:
+            preds = preds_of[i]
+            if not preds:
+                continue  # inputs stay blue until first needed
+            # Ensure all predecessors are red.
+            for p in preds:
+                if not red[p]:
+                    while red_count + 1 > red_pebble_limit:
+                        evict_one(preds)
+                    if not blue[p]:
+                        raise PebbleGameError(
+                            f"cannot load {nodes[p]!r}: it has no blue pebble"
+                        )
+                    red[p] = 1
+                    red_count += 1
+                    if red_count > peak_red:
+                        peak_red = red_count
+                    loads += 1
+                clock += 1
+                stamp[p] = clock
+                heappush(heap, (clock, p))
+            # Place the result.
+            if not red[i]:
                 while red_count + 1 > red_pebble_limit:
                     evict_one(preds)
-                if not blue[p]:
-                    raise PebbleGameError(
-                        f"cannot load {nodes[p]!r}: it has no blue pebble"
-                    )
-                red[p] = 1
+                red[i] = 1
                 red_count += 1
                 if red_count > peak_red:
                     peak_red = red_count
-                loads += 1
+            computations += 1
             clock += 1
-            stamp[p] = clock
-            heappush(heap, (clock, p))
-        # Place the result.
-        if not red[i]:
-            while red_count + 1 > red_pebble_limit:
-                evict_one(preds)
-            red[i] = 1
-            red_count += 1
-            if red_count > peak_red:
-                peak_red = red_count
-        computations += 1
-        clock += 1
-        stamp[i] = clock
-        heappush(heap, (clock, i))
-        # Discard values that are now dead (their heap entries go stale).
-        for p in preds:
-            remaining_uses[p] -= 1
-            if remaining_uses[p] == 0 and red[p] and (not is_output[p] or blue[p]):
-                red[p] = 0
-                red_count -= 1
+            stamp[i] = clock
+            heappush(heap, (clock, i))
+            # Discard values that are now dead (their heap entries go stale).
+            for p in preds:
+                remaining_uses[p] -= 1
+                if remaining_uses[p] == 0 and red[p] and (not is_output[p] or blue[p]):
+                    red[p] = 0
+                    red_count -= 1
 
-    # Store any outputs still only in fast memory.
-    for out in dag.outputs:
-        i = index.get(out)
-        if i is None:
-            raise ConfigurationError(f"output {out!r} is not a node of the DAG")
-        if not blue[i]:
-            if not red[i]:
-                raise PebbleGameError(f"output {out!r} was lost before being stored")
-            blue[i] = 1
-            stores += 1
+        # Store any outputs still only in fast memory.
+        for out in dag.outputs:
+            i = index.get(out)
+            if i is None:
+                raise ConfigurationError(f"output {out!r} is not a node of the DAG")
+            if not blue[i]:
+                if not red[i]:
+                    raise PebbleGameError(
+                        f"output {out!r} was lost before being stored"
+                    )
+                blue[i] = 1
+                stores += 1
 
     return GameResult(
         io_operations=loads + stores,

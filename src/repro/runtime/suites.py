@@ -44,6 +44,7 @@ from repro.kernels import (
     StreamingTriangularSolve,
 )
 from repro.kernels.base import Kernel
+from repro.obs import spans as obs_spans
 from repro.runtime.cache import TaskCache, execution_key
 from repro.runtime.engine import SweepPlan, SweepRunner
 from repro.runtime.tasks import Task, TaskRunner
@@ -931,10 +932,19 @@ def run_suite(
     experiment_tasks = [scenario.tasks() for scenario in suite.experiments]
 
     started = time.perf_counter()
-    sweeps = runner.run_plans(plans)
-    flat_results = task_runner.run(
-        [task for tasks in experiment_tasks for task in tasks]
-    )
+    with obs_spans.span(
+        "suite.run",
+        kind="suite",
+        attributes={
+            "suite": suite.name,
+            "scenarios": len(plans),
+            "experiments": len(experiment_tasks),
+        },
+    ):
+        sweeps = runner.run_plans(plans)
+        flat_results = task_runner.run(
+            [task for tasks in experiment_tasks for task in tasks]
+        )
     elapsed = time.perf_counter() - started
 
     experiment_results = []

@@ -36,6 +36,7 @@ from functools import lru_cache
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.exceptions import ConfigurationError, TaskExecutionError
+from repro.obs import spans as obs_spans
 from repro.obs.metrics import REGISTRY
 from repro.runtime.cache import MISS, TaskCache, _fingerprint
 
@@ -202,6 +203,26 @@ def _run_task(task: Task) -> tuple[float, Any]:
     return time.perf_counter() - start, value
 
 
+def _run_task_traced(
+    task: Task, ctx: tuple[str | None, str | None]
+) -> tuple[float, Any, list[dict[str, Any]]]:
+    """Traced worker entry point: ``(seconds, value, finished_spans)``.
+
+    Submitted instead of :func:`_run_task` only when span collection is on
+    in the parent, so the disabled path ships exactly the pre-span tuple.
+    ``ctx`` carries the parent's trace/span IDs across the pool boundary;
+    the task runs under a local ``kind="task"`` span (engine phases
+    aggregate beneath it) and every span finished in the child returns
+    with the result for the parent to absorb.
+    """
+    start = time.perf_counter()
+    with obs_spans.capture_spans(
+        ctx, f"task:{task.label}", kind="task", attributes={"key": task.key()}
+    ) as captured:
+        value = task.run()
+    return time.perf_counter() - start, value, captured.spans
+
+
 def _wrap_failure(task: Task, exc: BaseException) -> TaskExecutionError:
     return TaskExecutionError(
         f"task {task.label!r} failed: {type(exc).__name__}: {exc}",
@@ -224,11 +245,25 @@ def execute_tasks(
     """
     if not tasks:
         return []
+    # None when span collection is off: the untraced entry point is then
+    # submitted unchanged, so tracing-off is byte-identical to pre-span code.
+    ctx = obs_spans.task_context()
     if not parallel or max_workers == 1 or len(tasks) == 1:
         results = []
         for task in tasks:
             try:
-                seconds, value = _run_task(task)
+                if ctx is None:
+                    seconds, value = _run_task(task)
+                else:
+                    # In-process: the contextvar already parents the span;
+                    # capture_spans is reserved for pool children, where
+                    # swapping the process-global collector is race-free.
+                    with obs_spans.span(
+                        f"task:{task.label}",
+                        kind="task",
+                        attributes={"key": task.key()},
+                    ):
+                        seconds, value = _run_task(task)
             except Exception as exc:
                 raise _wrap_failure(task, exc) from exc
             _METRIC_TASK_SECONDS.observe(seconds)
@@ -236,11 +271,18 @@ def execute_tasks(
         return results
     workers = min(max_workers, len(tasks))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_run_task, task) for task in tasks]
+        if ctx is None:
+            futures = [pool.submit(_run_task, task) for task in tasks]
+        else:
+            futures = [pool.submit(_run_task_traced, task, ctx) for task in tasks]
         results = []
         for task, future in zip(tasks, futures):
             try:
-                seconds, value = future.result()
+                if ctx is None:
+                    seconds, value = future.result()
+                else:
+                    seconds, value, finished = future.result()
+                    obs_spans.absorb(finished)
             except Exception as exc:
                 raise _wrap_failure(task, exc) from exc
             _METRIC_TASK_SECONDS.observe(seconds)
@@ -319,6 +361,22 @@ class TaskRunner:
 
     def run(self, tasks: Sequence[Task]) -> list[Any]:
         """Resolve every task, via the cache where possible, in order."""
+        if not obs_spans.enabled():
+            return self._resolve(tasks)
+        with obs_spans.span(
+            "tasks.run", kind="runtime", attributes={"tasks": len(tasks)}
+        ) as batch_span:
+            results = self._resolve(tasks)
+            # Runner-lifetime counters, not batch counters: enough to tell
+            # "replayed from cache" from "recomputed" for a slow batch.
+            batch_span.set(
+                executed_total=self.stats.executed,
+                cache_hits_total=self.stats.cache_hits,
+                deduped_total=self.stats.deduped,
+            )
+            return results
+
+    def _resolve(self, tasks: Sequence[Task]) -> list[Any]:
         results: list[Any] = [None] * len(tasks)
         pending: list[tuple[int, Task, str | None]] = []
         cache_hits = 0

@@ -30,6 +30,7 @@ from repro.core.laws import (
 from repro.core.model import BatchCost
 from repro.core.registry import ComputationSpec, all_specs, get
 from repro.exceptions import ConfigurationError
+from repro.obs import spans as obs_spans
 
 __all__ = [
     "intensity_grid",
@@ -69,7 +70,10 @@ def cost_grid(
     """
     n = np.asarray(problem_sizes, dtype=float).reshape(-1, 1)
     m = np.asarray(memory_words, dtype=float).reshape(1, -1)
-    return _spec_of(computation).batch_costs(n, m)
+    # Sweeps call this once per computation; the aggregating phase timer
+    # keeps the whole N x M evaluation down to one sample per call.
+    with obs_spans.phase("cost_grid"):
+        return _spec_of(computation).batch_costs(n, m)
 
 
 def rebalance_grid(

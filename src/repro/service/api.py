@@ -68,6 +68,14 @@ API reference
     ``repro-metrics/v1`` JSON document with ``?format=json``.  **400** for
     an unknown ``format``.
 
+``GET /trace/{id}``
+    The span tree recorded for one trace ID: the ``repro-spans/v1``
+    document with ``trace_id``, ``span_count``, ``depth``, the nested
+    ``tree`` (each node a span dict plus ``children``) and the flat
+    ``spans`` list.  Responses: **200**, or **404** when no spans are
+    buffered for the trace (collection disabled, unknown trace, or evicted
+    from the bounded buffer -- see ``repro_spans_dropped_total``).
+
 Anything else is **404** ``{"error": ...}``.  All other responses are
 ``application/json``; error bodies are ``{"error": "<message>"}``.
 
@@ -79,11 +87,13 @@ the worker pool; the HTTP layer only moves small JSON documents.
 from __future__ import annotations
 
 import json
+import logging
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import ReproError, ServiceError
+from repro.obs.spans import json_logging_enabled
 from repro.obs.trace import TRACE_HEADER
 from repro.service.jobs import DONE, FAILED, Job
 from repro.service.workers import JobService
@@ -92,6 +102,8 @@ __all__ = ["ServiceHTTPServer", "serve"]
 
 #: Upper bound on request bodies; job submissions are small JSON documents.
 MAX_BODY_BYTES = 1 << 20
+
+_ACCESS_LOG = logging.getLogger("repro.service.http")
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -111,10 +123,14 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 class _Handler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer
 
-    # Keep the access log quiet: the service is driven by tests, benchmarks
-    # and CI where per-request stderr lines are pure noise.
+    # Keep the access log quiet by default: the service is driven by tests,
+    # benchmarks and CI where per-request stderr lines are pure noise.  With
+    # ``repro serve --log-json`` the structured log is the point, so requests
+    # go through the logging stack (each line then carries the submission's
+    # trace/span IDs when one is bound on this thread).
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        pass
+        if json_logging_enabled():
+            _ACCESS_LOG.info(format, *args)
 
     @property
     def service(self) -> JobService:
@@ -212,6 +228,9 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         parts = [part for part in path.split("/") if part]
+        if len(parts) == 2 and parts[0] == "trace":
+            self._send(200, self.service.trace(parts[1]))
+            return
         if len(parts) == 2 and parts[0] == "jobs":
             self._send(200, self.service.job(parts[1]).as_dict())
             return

@@ -221,6 +221,10 @@ class ServiceClient:
     def job(self, job_id: str) -> dict[str, Any]:
         return self._get(f"/jobs/{job_id}", expect=(200,))
 
+    def trace(self, trace_id: str) -> dict[str, Any]:
+        """The ``repro-spans/v1`` span-tree document for one trace ID."""
+        return self._get(f"/trace/{trace_id}", expect=(200,))
+
     def result(self, job_id: str) -> dict[str, Any]:
         """The result document of a finished job; raises unless ``done``."""
         status, document = self._request("GET", f"/jobs/{job_id}/result")

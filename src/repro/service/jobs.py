@@ -46,6 +46,7 @@ __all__ = [
     "JobStore",
     "JOB_KINDS",
     "JOB_STATES",
+    "MAX_TIMELINE_EVENTS",
     "QUEUED",
     "RUNNING",
     "DONE",
@@ -70,6 +71,12 @@ _TRANSITIONS = {
 }
 
 STATE_SCHEMA = "repro-service-job/v1"
+
+#: Upper bound on per-job timeline events.  A job riding the retry path for
+#: hours would otherwise grow its timeline (and every journal snapshot, which
+#: embeds it whole) without bound; older transitions are compacted away and
+#: counted in ``Job.truncated_transitions`` instead.
+MAX_TIMELINE_EVENTS = 40
 
 #: Journal appends that could not be written (disk full, permissions).  The
 #: journal is best-effort durable: a failed append degrades recovery, never
@@ -175,6 +182,8 @@ class Job:
     started_at: float | None = None
     finished_at: float | None = None
     timeline: list[dict[str, Any]] = field(default_factory=list)
+    #: Timeline events dropped by compaction (see ``MAX_TIMELINE_EVENTS``).
+    truncated_transitions: int = 0
     #: Execution attempts started (each ``queued -> running`` transition).
     attempts: int = 0
     #: The retry policy the job was admitted under, as a plain dict so it
@@ -193,8 +202,20 @@ class Job:
         return self.finished_at - self.created_at
 
     def record_event(self, state: str, **extra: Any) -> None:
-        """Append one stamped state-transition event to the timeline."""
+        """Append one stamped state-transition event to the timeline.
+
+        The timeline is compacted to the most recent
+        :data:`MAX_TIMELINE_EVENTS` entries -- the recent history is what
+        answers "why is this job slow", while a long-retrying job's full
+        churn would bloat every journal snapshot.  Dropped events are
+        counted in :attr:`truncated_transitions` (journaled, so the count
+        survives replay).
+        """
         self.timeline.append(_timeline_event(state, **extra))
+        overflow = len(self.timeline) - MAX_TIMELINE_EVENTS
+        if overflow > 0:
+            del self.timeline[:overflow]
+            self.truncated_transitions += overflow
 
     def timeline_payload(self) -> list[dict[str, Any]]:
         """The timeline with per-state durations, for API consumers.
@@ -231,6 +252,7 @@ class Job:
             "finished_at": self.finished_at,
             "elapsed_seconds": self.elapsed_seconds,
             "timeline": self.timeline_payload(),
+            "truncated_transitions": self.truncated_transitions,
             "has_result": self.result is not None,
         }
         if include_result:
@@ -426,6 +448,7 @@ class JobStore:
                 started_at=fields.get("started_at"),
                 finished_at=fields.get("finished_at"),
                 timeline=_replayed_timeline(fields),
+                truncated_transitions=int(fields.get("truncated_transitions") or 0),
                 attempts=int(fields.get("attempts") or 0),
                 retry=fields.get("retry") or None,
             )

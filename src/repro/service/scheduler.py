@@ -35,6 +35,7 @@ import numpy as np
 from repro.analysis.sweep import normalize_memory_sizes
 from repro.core.registry import ComputationSpec, get as registry_get
 from repro.exceptions import ConfigurationError, QueueSaturatedError
+from repro.obs import spans as obs_spans
 from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
 from repro.obs.trace import new_trace_id, normalize_trace_id
 from repro.runtime.cache import execution_key
@@ -447,6 +448,8 @@ class JobScheduler:
         identity of the request that asked for it.
         """
         trace_id = normalize_trace_id(trace_id) if trace_id else new_trace_id()
+        submit_wall = time.time()
+        submit_mono = time.monotonic()
         params = normalize_job_params(kind, params)
         key = job_key(kind, params)  # may be slow; computed outside the lock
         policy = policy_for(kind)
@@ -465,6 +468,13 @@ class JobScheduler:
                 self._followers.setdefault(primary_id, []).append(job.id)
                 self.stats.deduped += 1
                 _METRIC_DEDUP_ATTACHES.inc()
+                self._open_root_span(
+                    job,
+                    submit_wall,
+                    submit_mono,
+                    event="scheduler.dedup-attach",
+                    primary_id=primary_id,
+                )
                 return job
             if (
                 self.max_queue_depth is not None
@@ -487,7 +497,47 @@ class JobScheduler:
             self._queue.append(job.id)
             _METRIC_QUEUE_DEPTH.set(len(self._queue))
             self._cond.notify()
+            self._open_root_span(
+                job, submit_wall, submit_mono, event="scheduler.enqueue"
+            )
             return job
+
+    def _open_root_span(
+        self,
+        job: Job,
+        submit_wall: float,
+        submit_mono: float,
+        *,
+        event: str,
+        primary_id: str | None = None,
+    ) -> None:
+        """Start the job's root span (covers submit -> terminal state).
+
+        Every submission gets its own root on its own trace -- followers
+        included, since dedup shares the *work* but not the request
+        identity.  The root is stashed as a transient attribute on the job
+        (never journaled) and finished by :meth:`_complete`; the validate/
+        key/enqueue work done so far is recorded as an already-measured
+        child so the tree shows admission cost next to queue wait.
+        """
+        root = obs_spans.start_span(
+            "service.submit",
+            kind="api",
+            trace_id=job.trace_id,
+            attributes={"job_id": job.id, "job_kind": job.kind},
+        )
+        if root is None:
+            return
+        job.root_span = root
+        obs_spans.record_span(
+            event,
+            "scheduler",
+            trace_id=job.trace_id,
+            parent_id=root.span_id,
+            start_wall=submit_wall,
+            duration=max(0.0, time.monotonic() - submit_mono),
+            attributes={"primary_id": primary_id} if primary_id else None,
+        )
 
     def requeue(self, job: Job) -> None:
         """Re-enqueue a recovered job under its existing id (restart path).
@@ -597,8 +647,23 @@ class JobScheduler:
                     self.stats.batched_jobs += len(batch)
             _METRIC_QUEUE_DEPTH.set(len(self._queue))
             _METRIC_BATCH_JOBS.observe(len(batch))
+            claim_wall = time.time()
             for job in batch:
                 self.store.mark_running(job)
+                # A zero-length marker on each claimed job's trace: when the
+                # claim rode a vectorized batch, the trace says so (and how
+                # many jobs shared the array pass).
+                root = getattr(job, "root_span", None)
+                if root is not None:
+                    obs_spans.record_span(
+                        "scheduler.batch",
+                        "scheduler",
+                        trace_id=job.trace_id,
+                        parent_id=root.span_id,
+                        start_wall=claim_wall,
+                        duration=0.0,
+                        attributes={"batch_jobs": len(batch)},
+                    )
             return batch
 
     def finish(self, job: Job, result: Any) -> None:
@@ -641,6 +706,16 @@ class JobScheduler:
                 self.store.mark_done(target, result)
             else:
                 self.store.mark_failed(target, error)
+            # Close the submission's root span (primary and followers each
+            # own one): the root's duration is the client-visible latency,
+            # submit to terminal state.
+            root = getattr(target, "root_span", None)
+            if root is not None:
+                root.set(state=target.state, attempts=target.attempts)
+                if error is not None:
+                    root.set(error=error)
+                root.finish()
+                target.root_span = None
 
     def close(self) -> None:
         """Wake every waiting worker so it can observe shutdown."""

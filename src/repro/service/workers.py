@@ -27,6 +27,7 @@ from typing import Any
 from repro.exceptions import ReproError, ServiceError
 from repro.faults.injector import InjectedWorkerCrash, maybe_inject
 from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.obs import trace as obs_trace
 from repro.service.retry import is_transient, transient_reason
 from repro.runtime.cache import ResultCache, TaskCache
@@ -152,14 +153,27 @@ class JobExecutor:
         start = time.perf_counter()
         # Bind the job's trace for the duration: anything that reads
         # ``current_trace_id()`` below this frame (task labels, error
-        # messages) attributes its work to this submission.
+        # messages) attributes its work to this submission.  The execution
+        # span parents under the job's root (opened at submission) so the
+        # trace tree separates queue wait from run time; recovered jobs
+        # without a live root simply start a fresh tree here.
         with obs_trace.bind(job.trace_id):
-            if job.kind == "suite":
-                payload = self._execute_suite(job)
-            elif job.kind == "experiment":
-                payload = self._execute_experiment(job)
-            else:
-                payload = self._execute_sweep(job)
+            with obs_spans.activate(getattr(job, "root_span", None)):
+                with obs_spans.span(
+                    "job.execute",
+                    kind="worker",
+                    attributes={
+                        "job_id": job.id,
+                        "job_kind": job.kind,
+                        "attempt": job.attempts,
+                    },
+                ):
+                    if job.kind == "suite":
+                        payload = self._execute_suite(job)
+                    elif job.kind == "experiment":
+                        payload = self._execute_experiment(job)
+                    else:
+                        payload = self._execute_sweep(job)
         _METRIC_JOB_SECONDS.labels(kind=job.kind).observe(
             time.perf_counter() - start
         )
@@ -230,6 +244,34 @@ class JobExecutor:
         if receipt.added:
             with self._stats_lock:
                 self.stats.results_recorded += 1
+
+    def record_trace(self, job: Job) -> None:
+        """Ingest one terminal job's span tree into the result store.
+
+        Runs *after* the scheduler closed the job's root span, so the
+        snapshot includes the full submit-to-terminal tree.  Best-effort
+        like :meth:`record_payload`: spans are diagnostics, never worth
+        failing a finished job over.  The ``repro-spans/v1`` records make
+        per-phase hotspots queryable across runs (``span-hotspots``).
+        """
+        if self.result_store is None or job.trace_id is None:
+            return
+        sink = obs_spans.collector()
+        if sink is None:
+            return
+        spans = sink.spans(job.trace_id)
+        if not spans:
+            return
+        try:
+            ingest_payload(
+                self.result_store,
+                obs_spans.spans_payload(job.trace_id, spans),
+                run_id=job.trace_id,
+                trace_id=job.trace_id,
+            )
+        except Exception:  # noqa: BLE001 - history is best-effort
+            with self._stats_lock:
+                self.stats.record_failures += 1
 
     def cache_stats(self) -> dict[str, Any]:
         """Live stats for both caches, including size on disk."""
@@ -425,6 +467,7 @@ class WorkerPool:
             for job, payload in zip(batch, payloads):
                 self.executor.record_payload(job, payload)
                 self.scheduler.finish(job, payload)
+                self.executor.record_trace(job)
 
     def _run_alone(self, job: Job) -> None:
         try:
@@ -434,6 +477,7 @@ class WorkerPool:
         else:
             self.executor.record_payload(job, payload)
             self.scheduler.finish(job, payload)
+            self.executor.record_trace(job)
 
     def _resolve_failure(self, job: Job, exc: Exception) -> None:
         """Retry a transient failure within policy; fail everything else."""
@@ -443,6 +487,7 @@ class WorkerPool:
         ):
             return
         self.scheduler.fail(job, message)
+        self.executor.record_trace(job)
 
     # -- supervision ---------------------------------------------------------
 
@@ -510,7 +555,9 @@ class JobService:
         max_workers: int | None = None,
         workers: int = 2,
         max_queue_depth: int | None = None,
+        spans: bool = True,
     ) -> None:
+        self.spans = spans
         self.store = JobStore(state_path)
         self.scheduler = JobScheduler(
             self.store, max_queue_depth=max_queue_depth, workers_hint=workers
@@ -532,6 +579,13 @@ class JobService:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "JobService":
+        # Build identity is always published on /metrics; span collection is
+        # on by default (cheap: bounded buffer, aggregated phases) but can be
+        # opted out (``repro serve --no-spans``), dropping every hook back to
+        # its branch-predictable no-op.
+        obs_metrics.record_build_info()
+        if self.spans and not obs_spans.enabled():
+            obs_spans.enable()
         self._draining.clear()
         self.pool.start()
         return self
@@ -590,6 +644,27 @@ class JobService:
 
     def job(self, job_id: str) -> Job:
         return self.store.get(job_id)
+
+    def trace(self, trace_id: str) -> dict[str, Any]:
+        """The rooted span tree for one trace (``GET /trace/{id}``).
+
+        404s when no spans are buffered for the trace -- collection may be
+        disabled, the trace may be unknown, or its spans may have been
+        evicted from the ring (``repro_spans_dropped_total`` says which).
+        """
+        sink = obs_spans.collector()
+        spans = sink.spans(trace_id) if sink is not None else []
+        if not spans:
+            detail = (
+                "span collection is disabled"
+                if sink is None
+                else "unknown trace, or its spans were evicted from the buffer"
+            )
+            raise ServiceError(
+                f"no spans recorded for trace {trace_id!r} ({detail})",
+                status=404,
+            )
+        return obs_spans.trace_document(trace_id, spans)
 
     def jobs(self) -> list[Job]:
         return self.store.jobs()

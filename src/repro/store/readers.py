@@ -427,6 +427,72 @@ def read_bench_service(payload: Mapping[str, Any]) -> RunBatch:
 
 
 # ---------------------------------------------------------------------------
+# Trace spans (repro-spans/v1).
+# ---------------------------------------------------------------------------
+
+
+@register_reader(
+    "spans",
+    schemas=("repro-spans/",),
+    description="trace span trees: per-span inclusive/exclusive timings",
+)
+def read_spans_payload(payload: Mapping[str, Any]) -> RunBatch:
+    """One record per span, with tree-derived depth and exclusive time.
+
+    ``exclusive_seconds`` is the span's duration minus its direct
+    children's -- the time genuinely spent *at* that level, which is what
+    hotspot rollups must sum so nested spans are never double-counted.
+    The trace ID travels as run metadata (``run_id``), not as a record
+    column: ``trace_id`` is one of the store's reserved run columns.
+    """
+    spans = [dict(s) for s in payload.get("spans", ())]
+    by_id: dict[Any, dict[str, Any]] = {s.get("span_id"): s for s in spans}
+    child_seconds: dict[Any, float] = {}
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent in by_id:
+            child_seconds[parent] = child_seconds.get(parent, 0.0) + float(
+                s.get("duration") or 0.0
+            )
+
+    def _depth(span_id: Any) -> int:
+        depth = 1
+        parent = by_id[span_id].get("parent_id")
+        while parent in by_id:
+            depth += 1
+            parent = by_id[parent].get("parent_id")
+        return depth
+
+    records: list[dict[str, Any]] = []
+    for s in spans:
+        duration = float(s.get("duration") or 0.0)
+        attributes = s.get("attributes") or {}
+        records.append(
+            {
+                "experiment": "span",
+                "scenario": s.get("name"),
+                "key": s.get("span_id"),
+                "name": s.get("name"),
+                "kind": s.get("kind"),
+                "parent_id": s.get("parent_id"),
+                "depth": _depth(s.get("span_id")),
+                "seconds": duration,
+                "exclusive_seconds": max(
+                    0.0, duration - child_seconds.get(s.get("span_id"), 0.0)
+                ),
+                "calls": int(attributes.get("calls") or 1),
+                "start_wall": s.get("start_wall"),
+                "pid": s.get("pid"),
+            }
+        )
+    return RunBatch(
+        records=tuple(records),
+        source_schema=payload.get("schema"),
+        run_id=payload.get("trace_id"),
+    )
+
+
+# ---------------------------------------------------------------------------
 # The E1 summary experiment (repro-summary/v1).
 # ---------------------------------------------------------------------------
 

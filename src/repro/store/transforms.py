@@ -27,6 +27,7 @@ __all__ = [
     "classification_counts",
     "roofline_positions",
     "cache_hit_rates",
+    "span_hotspots",
 ]
 
 Records = Sequence[Mapping[str, Any]]
@@ -258,6 +259,63 @@ def roofline_positions(
                 "compute_bound": bool(intensity[i] >= ridge),
             }
         )
+    return rows
+
+
+@register_transform(
+    "span-hotspots",
+    description="per-phase exclusive-time rollup over recorded span trees, "
+    "one row per (trace, span name)",
+)
+def span_hotspots(records: Records) -> list[dict[str, Any]]:
+    """Where did each traced run actually spend its time, by span name?
+
+    Sums *exclusive* seconds (the spans reader already subtracted each
+    span's children), so a ``qr_wavefront.gather`` phase and its enclosing
+    task span never double-count the same wall time.  Rows sort hottest
+    first within each trace; ``share`` is the name's fraction of the
+    trace's total exclusive time.  Because the rollup groups by ``run_id``
+    (the trace ID), the same phase name lines up across runs for
+    cross-run comparison.
+    """
+    frame = Frame(records).where(experiment="span")
+    exclusive = frame.numeric("exclusive_seconds")
+    calls = frame.numeric("calls")
+    groups: dict[tuple[Any, Any], dict[str, Any]] = {}
+    totals: dict[Any, float] = {}
+    for i, record in enumerate(frame.records()):
+        seconds = 0.0 if np.isnan(exclusive[i]) else float(exclusive[i])
+        run = record.get("run_id")
+        totals[run] = totals.get(run, 0.0) + seconds
+        entry = groups.setdefault(
+            (run, record.get("name")),
+            {
+                "run_id": run,
+                "ingested_at": record.get("ingested_at"),
+                "name": record.get("name"),
+                "kind": record.get("kind"),
+                "spans": 0,
+                "calls": 0,
+                "exclusive_seconds": 0.0,
+            },
+        )
+        entry["spans"] += 1
+        entry["calls"] += 1 if np.isnan(calls[i]) else int(calls[i])
+        entry["exclusive_seconds"] += seconds
+    rows = []
+    for entry in groups.values():
+        total = totals.get(entry["run_id"]) or 0.0
+        entry["share"] = (
+            entry["exclusive_seconds"] / total if total > 0.0 else None
+        )
+        rows.append(entry)
+    rows.sort(
+        key=lambda r: (
+            r.get("ingested_at") or 0.0,
+            r.get("run_id") or "",
+            -(r.get("exclusive_seconds") or 0.0),
+        )
+    )
     return rows
 
 

@@ -16,6 +16,7 @@ from repro.obs.doctor import (
     check_environment,
     check_jobs,
     check_journal,
+    check_spans,
     run_doctor,
 )
 from repro.service.jobs import JobStore
@@ -381,3 +382,54 @@ class TestDoctorCli:
         assert code == 0
         assert "repro doctor" in capsys.readouterr().out
         assert json.loads(out_path.read_text())["schema"] == "repro-doctor/v1"
+
+
+class TestSpanBuffer:
+    def test_disabled_collector_is_an_explicit_pass(self):
+        from repro.obs import spans as obs_spans
+
+        saved = obs_spans.collector()
+        obs_spans.disable()
+        try:
+            (finding,) = check_spans()
+            assert finding.check == "spans" and finding.status == PASS
+            assert "not enabled" in finding.detail
+        finally:
+            obs_spans._COLLECTOR = saved
+
+    def test_evictions_warn_with_the_dropped_count(self):
+        from repro.obs import spans as obs_spans
+
+        saved = obs_spans.collector()
+        obs_spans.disable()
+        try:
+            # build_info={} skips the git probe and stamps nothing.
+            obs_spans.enable(2, build_info={})
+            for index in range(5):
+                obs_spans.record_span(
+                    f"s{index}", "task", trace_id="doctor-t",
+                    parent_id=None, start_wall=1.0, duration=0.1,
+                )
+            (finding,) = check_spans()
+            assert finding.status == WARN
+            assert "3 spans evicted" in finding.detail
+            assert finding.data["dropped"] == 3
+        finally:
+            obs_spans._COLLECTOR = saved
+
+    def test_healthy_buffer_reports_occupancy(self):
+        from repro.obs import spans as obs_spans
+
+        saved = obs_spans.collector()
+        obs_spans.disable()
+        try:
+            obs_spans.enable(8, build_info={})
+            obs_spans.record_span(
+                "only", "task", trace_id="doctor-h",
+                parent_id=None, start_wall=1.0, duration=0.1,
+            )
+            (finding,) = check_spans()
+            assert finding.status == PASS
+            assert "1 of 8" in finding.detail
+        finally:
+            obs_spans._COLLECTOR = saved

@@ -283,3 +283,48 @@ class TestBatchFailureIsolation:
             client.wait(bad["id"])
         assert excinfo.value.status == 500
         assert "fft evaluation exploded" in str(excinfo.value)
+
+
+class TestTraceEndpoint:
+    def test_traced_submission_yields_a_rooted_tree(self, live_service):
+        _, client = live_service()
+        job = client.submit(
+            "experiment",
+            {"experiment": "systolic", "params": {"order": 4, "batches": 1}},
+            trace_id="api-trace-1",
+        )
+        assert job["trace_id"] == "api-trace-1"
+        client.wait(job["id"])
+
+        document = client.trace("api-trace-1")
+        assert document["schema"] == "repro-spans/v1"
+        assert document["trace_id"] == "api-trace-1"
+        assert document["roots"] == 1
+        assert document["depth"] >= 4
+        kinds = {span["kind"] for span in document["spans"]}
+        assert {"api", "scheduler", "worker", "task"} <= kinds
+        (root,) = document["tree"]
+        assert root["name"] == "service.submit"
+
+    def test_unknown_trace_is_a_404(self, live_service):
+        _, client = live_service()
+        with pytest.raises(ServiceError) as excinfo:
+            client.trace("never-submitted")
+        assert excinfo.value.status == 404
+
+    def test_spans_disabled_service_records_nothing(self, live_service):
+        from repro.obs import spans as obs_spans
+
+        saved = obs_spans.collector()
+        obs_spans.disable()
+        try:
+            _, client = live_service(spans=False)
+            job = client.submit(
+                "experiment", {"experiment": "warp"}, trace_id="api-trace-off",
+            )
+            client.wait(job["id"])
+            with pytest.raises(ServiceError) as excinfo:
+                client.trace("api-trace-off")
+            assert excinfo.value.status == 404
+        finally:
+            obs_spans._COLLECTOR = saved

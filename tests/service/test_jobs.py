@@ -8,7 +8,15 @@ import threading
 import pytest
 
 from repro.exceptions import ConfigurationError, ServiceError
-from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, Job, JobStore
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    MAX_TIMELINE_EVENTS,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobStore,
+)
 
 
 class TestJob:
@@ -190,3 +198,42 @@ class TestRecoveryResilience:
         assert job.state == FAILED
         assert "unrecoverable after restart" in job.error
         assert service.scheduler.queue_depth == 0
+
+
+class TestTimelineCompaction:
+    def _churn(self, store, job, cycles):
+        for _ in range(cycles):
+            store.mark_running(job)
+            store.requeue(job, reason="test-churn")
+
+    def test_timeline_keeps_only_the_recent_tail(self):
+        store = JobStore()
+        job = store.create("suite", {"suite": "quick"})
+        # create records 1 event; each running/requeue cycle records 2 more.
+        cycles = 30
+        self._churn(store, job, cycles)
+        total = 1 + 2 * cycles
+        assert len(job.timeline) == MAX_TIMELINE_EVENTS
+        assert job.truncated_transitions == total - MAX_TIMELINE_EVENTS
+        # The tail is the *recent* history: it ends with the last requeue.
+        assert job.timeline[-1]["state"] == QUEUED
+        assert job.as_dict()["truncated_transitions"] == job.truncated_transitions
+
+    def test_short_timelines_are_untouched(self):
+        store = JobStore()
+        job = store.create("suite", {"suite": "quick"})
+        store.mark_running(job)
+        store.mark_done(job, {"ok": True})
+        assert len(job.timeline) == 3
+        assert job.truncated_transitions == 0
+
+    def test_truncation_count_survives_journal_replay(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        job = store.create("suite", {"suite": "quick"})
+        self._churn(store, job, 25)
+
+        recovered = JobStore(path)
+        twin = recovered.get(job.id)
+        assert len(twin.timeline) == MAX_TIMELINE_EVENTS
+        assert twin.truncated_transitions == job.truncated_transitions > 0

@@ -24,6 +24,7 @@ from repro.store import (
     get_reader,
     ingest_file,
     ingest_payload,
+    query,
     reader_names,
 )
 
@@ -239,3 +240,73 @@ class TestExperimentReader:
         assert record["correct"] is True
         assert record["orders_count"] == 2
         assert "nested" not in record
+
+
+def _spans_document(trace_id: str) -> dict:
+    """A three-level trace: api root -> task -> aggregated phase."""
+    return {
+        "schema": "repro-spans/v1",
+        "trace_id": trace_id,
+        "spans": [
+            {"trace_id": trace_id, "span_id": "root", "parent_id": None,
+             "name": "service.submit", "kind": "api", "start_wall": 1.0,
+             "duration": 1.0, "pid": 1, "attributes": {"git_rev": "abc1234"}},
+            {"trace_id": trace_id, "span_id": "task", "parent_id": "root",
+             "name": "task:probe", "kind": "task", "start_wall": 1.1,
+             "duration": 0.6, "pid": 1, "attributes": {}},
+            {"trace_id": trace_id, "span_id": "ph", "parent_id": "task",
+             "name": "hot.loop", "kind": "phase", "start_wall": 1.1,
+             "duration": 0.5, "pid": 1, "attributes": {"calls": 40}},
+        ],
+    }
+
+
+class TestSpansReader:
+    def test_registered_and_detected_by_schema_prefix(self):
+        assert "spans" in reader_names()
+        assert detect_reader(_spans_document("t")).name == "spans"
+
+    def test_exclusive_time_subtracts_direct_children(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        receipt = ingest_payload(
+            store, _spans_document("trace-a"),
+            run_id="trace-a", trace_id="trace-a",
+        )
+        assert receipt.added and receipt.record_count == 3
+        records = {r["key"]: r for r in query(store, experiment="span")}
+        assert records["root"]["exclusive_seconds"] == pytest.approx(0.4)
+        assert records["task"]["exclusive_seconds"] == pytest.approx(0.1)
+        assert records["ph"]["exclusive_seconds"] == pytest.approx(0.5)
+        # Inclusive time is kept alongside; depth is tree-derived.
+        assert records["root"]["seconds"] == pytest.approx(1.0)
+        assert records["root"]["depth"] == 1
+        assert records["ph"]["depth"] == 3
+        assert records["ph"]["calls"] == 40
+
+    def test_trace_id_travels_as_run_metadata(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        ingest_payload(
+            store, _spans_document("trace-b"),
+            run_id="trace-b", trace_id="trace-b",
+        )
+        for record in query(store, experiment="span"):
+            assert record["run_id"] == "trace-b"
+            assert record["trace_id"] == "trace-b"
+        assert query(store, run_id="trace-b")
+
+    def test_orphan_span_keeps_full_duration_as_exclusive(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        document = {
+            "schema": "repro-spans/v1",
+            "trace_id": "trace-c",
+            "spans": [
+                {"trace_id": "trace-c", "span_id": "lost",
+                 "parent_id": "evicted", "name": "survivor", "kind": "task",
+                 "start_wall": 2.0, "duration": 0.25, "pid": 3,
+                 "attributes": {}},
+            ],
+        }
+        ingest_payload(store, document, run_id="trace-c", trace_id="trace-c")
+        (record,) = query(store, experiment="span")
+        assert record["depth"] == 1
+        assert record["exclusive_seconds"] == pytest.approx(0.25)

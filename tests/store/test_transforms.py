@@ -212,3 +212,57 @@ class TestAnalysisTransforms:
         assert rows[0]["compute_over_io"] == pytest.approx(2.0)
         assert rows[1]["bound"] == "rebalance"
         assert rows[1]["imbalance"] == pytest.approx(4.0)
+
+
+class TestSpanHotspots:
+    def _ingest_trace(self, store, trace_id, hot_seconds):
+        document = {
+            "schema": "repro-spans/v1",
+            "trace_id": trace_id,
+            "spans": [
+                {"trace_id": trace_id, "span_id": "root", "parent_id": None,
+                 "name": "service.submit", "kind": "api", "start_wall": 1.0,
+                 "duration": 1.0, "pid": 1, "attributes": {}},
+                {"trace_id": trace_id, "span_id": "task", "parent_id": "root",
+                 "name": "task:probe", "kind": "task", "start_wall": 1.1,
+                 "duration": 0.9, "pid": 1, "attributes": {}},
+                {"trace_id": trace_id, "span_id": "hot", "parent_id": "task",
+                 "name": "hot.loop", "kind": "phase", "start_wall": 1.1,
+                 "duration": hot_seconds, "pid": 1,
+                 "attributes": {"calls": 50}},
+                {"trace_id": trace_id, "span_id": "cold", "parent_id": "task",
+                 "name": "cold.loop", "kind": "phase", "start_wall": 1.2,
+                 "duration": 0.05, "pid": 1, "attributes": {"calls": 2}},
+            ],
+        }
+        ingest_payload(store, document, run_id=trace_id, trace_id=trace_id)
+
+    def test_rollup_names_the_hot_phase_per_trace(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        self._ingest_trace(store, "trace-1", hot_seconds=0.7)
+        rows = apply_transform("span-hotspots", store.records())
+        assert rows, "spans must produce hotspot rows"
+        top = rows[0]
+        assert top["name"] == "hot.loop"
+        assert top["exclusive_seconds"] == pytest.approx(0.7)
+        assert top["calls"] == 50
+        # Shares partition the trace's exclusive time: they sum to 1.
+        assert sum(row["share"] for row in rows) == pytest.approx(1.0)
+
+    def test_same_phase_lines_up_across_traces(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        self._ingest_trace(store, "trace-1", hot_seconds=0.7)
+        self._ingest_trace(store, "trace-2", hot_seconds=0.3)
+        rows = apply_transform("span-hotspots", store.records())
+        hot = [row for row in rows if row["name"] == "hot.loop"]
+        assert [row["run_id"] for row in hot] == ["trace-1", "trace-2"]
+        assert hot[0]["exclusive_seconds"] == pytest.approx(0.7)
+        assert hot[1]["exclusive_seconds"] == pytest.approx(0.3)
+
+    def test_non_span_records_are_ignored(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append_run(
+            [{"experiment": "sweep", "kernel": "matmul", "intensity": 4.0}],
+            source="test",
+        )
+        assert apply_transform("span-hotspots", store.records()) == []
